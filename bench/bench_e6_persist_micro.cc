@@ -1,0 +1,127 @@
+// Experiment E6 — microbenchmarks of the NVM write path: persist
+// primitives, persistent-vector appends, engine inserts and commits,
+// including the flush/fence counts each operation issues (the quantities
+// the injected latency multiplies).
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/pheap.h"
+#include "alloc/pvector.h"
+#include "core/database.h"
+
+using namespace hyrise_nv;  // NOLINT: benchmark brevity
+
+namespace {
+
+std::unique_ptr<alloc::PHeap> MakeHeap(const nvm::NvmLatencyModel& model) {
+  nvm::PmemRegionOptions options;
+  options.tracking = nvm::TrackingMode::kNone;
+  options.latency = model;
+  auto result = alloc::PHeap::Create(size_t{64} << 20, options);
+  return std::move(result).ValueUnsafe();
+}
+
+void BM_PersistLine(benchmark::State& state) {
+  auto heap = MakeHeap(nvm::NvmLatencyModel::Scaled(
+      static_cast<double>(state.range(0))));
+  auto* slot =
+      heap->Resolve<uint64_t>(alloc::PAllocator::HeapBegin() + 64);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    heap->region().AtomicPersist64(slot, ++v);
+  }
+  state.SetLabel("latency factor " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PersistLine)->Arg(0)->Arg(1)->Arg(4);
+
+void BM_PersistRange(benchmark::State& state) {
+  auto heap = MakeHeap(nvm::NvmLatencyModel::DefaultNvm());
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  auto alloc_result = heap->allocator().Alloc(bytes);
+  auto* data = heap->Resolve<uint8_t>(*alloc_result);
+  for (auto _ : state) {
+    data[0]++;
+    heap->region().Persist(data, bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_PersistRange)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_PVectorAppend(benchmark::State& state) {
+  auto heap = MakeHeap(nvm::NvmLatencyModel::Scaled(
+      static_cast<double>(state.range(0))));
+  auto desc_off = heap->allocator().Alloc(sizeof(alloc::PVectorDesc));
+  auto* desc = heap->Resolve<alloc::PVectorDesc>(*desc_off);
+  alloc::PVector<uint64_t>::Format(heap->region(), desc);
+  alloc::PVector<uint64_t> vec(&heap->region(), &heap->allocator(), desc);
+  (void)vec.Reserve(1 << 20);
+  uint64_t v = 0;
+  heap->region().stats().Reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec.Append(++v));
+  }
+  state.counters["flushes/op"] = benchmark::Counter(
+      static_cast<double>(heap->region().stats().flush_lines.load()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["fences/op"] = benchmark::Counter(
+      static_cast<double>(heap->region().stats().fences.load()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PVectorAppend)->Arg(0)->Arg(1);
+
+std::unique_ptr<core::Database> MakeDb(bool nvm_latency) {
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = size_t{256} << 20;
+  options.tracking = nvm::TrackingMode::kNone;
+  options.nvm_latency = nvm_latency ? nvm::NvmLatencyModel::DefaultNvm()
+                                    : nvm::NvmLatencyModel::DramSpeed();
+  return std::move(core::Database::Create(options)).ValueUnsafe();
+}
+
+void BM_EngineInsertCommit(benchmark::State& state) {
+  auto db = MakeDb(state.range(0) != 0);
+  auto schema = *storage::Schema::Make({{"k", storage::DataType::kInt64},
+                                        {"v", storage::DataType::kString}});
+  storage::Table* table = *db->CreateTable("t", schema);
+  int64_t k = 0;
+  db->nvm_stats().Reset();
+  for (auto _ : state) {
+    auto tx = *db->Begin();
+    benchmark::DoNotOptimize(
+        db->Insert(tx, table, {storage::Value(k++),
+                               storage::Value(std::string("payload"))}));
+    (void)db->Commit(tx);
+  }
+  state.counters["flushes/txn"] = benchmark::Counter(
+      static_cast<double>(db->nvm_stats().flush_lines.load()),
+      benchmark::Counter::kAvgIterations);
+  state.counters["fences/txn"] = benchmark::Counter(
+      static_cast<double>(db->nvm_stats().fences.load()),
+      benchmark::Counter::kAvgIterations);
+  state.SetLabel(state.range(0) ? "NVM latency" : "DRAM speed");
+}
+BENCHMARK(BM_EngineInsertCommit)->Arg(0)->Arg(1);
+
+void BM_EngineBatchedCommit(benchmark::State& state) {
+  // Amortisation: N inserts per commit.
+  auto db = MakeDb(true);
+  auto schema = *storage::Schema::Make({{"k", storage::DataType::kInt64}});
+  storage::Table* table = *db->CreateTable("t", schema);
+  const int64_t batch = state.range(0);
+  int64_t k = 0;
+  for (auto _ : state) {
+    auto tx = *db->Begin();
+    for (int64_t i = 0; i < batch; ++i) {
+      benchmark::DoNotOptimize(
+          db->Insert(tx, table, {storage::Value(k++)}));
+    }
+    (void)db->Commit(tx);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EngineBatchedCommit)->Arg(1)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

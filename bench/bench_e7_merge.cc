@@ -1,0 +1,90 @@
+// Experiment E7 — delta→main merge performance: throughput vs delta
+// size, on DRAM-speed vs NVM-latency regions, and the effect of dead
+// versions. Merge is the background cost that keeps the delta (and
+// therefore restart-time volatile rebuild work) small.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "workload/enterprise.h"
+
+using namespace hyrise_nv;  // NOLINT: benchmark brevity
+
+namespace {
+
+struct MergeSample {
+  uint64_t delta_rows;
+  double seconds;
+  double rows_per_second;
+};
+
+MergeSample RunMerge(uint64_t rows, bool nvm_latency,
+                     double delete_fraction) {
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = std::max<size_t>(size_t{256} << 20, rows * 512);
+  options.tracking = nvm::TrackingMode::kNone;
+  options.nvm_latency = nvm_latency ? nvm::NvmLatencyModel::DefaultNvm()
+                                    : nvm::NvmLatencyModel::DramSpeed();
+  auto db = bench::Unwrap(core::Database::Create(options), "create");
+  workload::EnterpriseConfig config;
+  storage::Table* table = bench::Unwrap(
+      workload::LoadEnterpriseTable(db.get(), "enterprise", rows, config),
+      "load");
+
+  if (delete_fraction > 0) {
+    Rng rng(3);
+    auto tx = bench::Unwrap(db->Begin(), "begin");
+    uint64_t in_batch = 0;
+    for (uint64_t r = 0; r < rows; ++r) {
+      if (!rng.Bernoulli(delete_fraction)) continue;
+      bench::Die(db->Delete(tx, table, {false, r}), "delete");
+      if (++in_batch >= 512) {
+        bench::Die(db->Commit(tx), "commit");
+        tx = bench::Unwrap(db->Begin(), "begin");
+        in_batch = 0;
+      }
+    }
+    bench::Die(db->Commit(tx), "commit");
+  }
+
+  auto stats = bench::Unwrap(db->Merge("enterprise"), "merge");
+  MergeSample sample;
+  sample.delta_rows = rows;
+  sample.seconds = stats.seconds;
+  sample.rows_per_second = rows / stats.seconds;
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E7 — delta→main merge performance\n\n");
+  std::printf("merge throughput vs delta size (DRAM vs NVM latency):\n");
+  std::printf("%12s %14s %14s %10s\n", "delta rows", "dram[Mrow/s]",
+              "nvm[Mrow/s]", "nvm/dram");
+  for (uint64_t base : {5000, 10000, 20000}) {
+    const uint64_t rows = bench::Scaled(base);
+    const MergeSample dram = RunMerge(rows, false, 0);
+    const MergeSample nvm = RunMerge(rows, true, 0);
+    std::printf("%12llu %14.2f %14.2f %9.2fx\n",
+                static_cast<unsigned long long>(rows),
+                dram.rows_per_second / 1e6, nvm.rows_per_second / 1e6,
+                dram.rows_per_second / nvm.rows_per_second);
+  }
+
+  std::printf("\nmerge with dead versions (NVM, %llu rows):\n",
+              static_cast<unsigned long long>(bench::Scaled(20000)));
+  std::printf("%16s %12s\n", "deleted rows", "merge[ms]");
+  for (double fraction : {0.0, 0.25, 0.5}) {
+    const MergeSample sample =
+        RunMerge(bench::Scaled(20000), true, fraction);
+    std::printf("%15.0f%% %12.2f\n", fraction * 100,
+                sample.seconds * 1e3);
+  }
+  std::printf("\npaper shape check: merge cost is linear in delta size; "
+              "NVM latency adds a bounded slowdown (bulk persists "
+              "amortise the barriers)\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's demonstration, scaled to laptop size: load the same dataset
+// into the log-based engine and into Hyrise-NV, kill both, and compare
+// recovery. The log engine replays checkpoint + log and rebuilds indexes
+// (time grows with data); Hyrise-NV maps its NVM region and fixes up
+// in-flight transactions (time is flat).
+//
+//   ./build/examples/example_instant_restart_demo [rows]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "nvm/nvm_env.h"
+#include "workload/enterprise.h"
+
+using namespace hyrise_nv;  // NOLINT: example brevity
+
+namespace {
+
+struct Outcome {
+  double recovery_seconds;
+  uint64_t rows;
+};
+
+Outcome RunEngine(core::DurabilityMode mode, uint64_t rows) {
+  const std::string dir = nvm::TempPath("restart_demo");
+  std::filesystem::create_directories(dir);
+
+  core::DatabaseOptions options;
+  options.mode = mode;
+  options.region_size = 512 << 20;
+  options.data_dir = dir;
+  options.tracking = nvm::TrackingMode::kShadow;
+  options.nvm_latency = nvm::NvmLatencyModel::DefaultNvm();
+  // A plausible SATA-SSD-class device for the baseline.
+  options.device.write_mbps = 500;
+  options.device.read_mbps = 500;
+  options.device.sync_latency_us = 20;
+
+  auto db = std::move(core::Database::Create(options)).ValueUnsafe();
+  workload::EnterpriseConfig config;
+  auto table_result =
+      workload::LoadEnterpriseTable(db.get(), "enterprise", rows, config);
+  if (!table_result.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 table_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  (void)db->CreateIndex("enterprise", 0);
+
+  auto recovered_result = core::Database::CrashAndRecover(std::move(db));
+  if (!recovered_result.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered_result.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto recovered = std::move(recovered_result).ValueUnsafe();
+  Outcome outcome;
+  outcome.recovery_seconds =
+      recovered->last_recovery_report().total_seconds;
+  outcome.rows = core::CountRows(*recovered->GetTable("enterprise"),
+                                 recovered->ReadSnapshot(),
+                                 storage::kTidNone);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : 50000;
+  workload::EnterpriseConfig config;
+  std::printf("dataset: %llu rows (~%.1f MB logical)\n\n",
+              static_cast<unsigned long long>(rows),
+              rows * workload::EnterpriseRowBytes(config) / 1e6);
+
+  std::printf("%-12s %15s %12s\n", "engine", "recovery [s]", "rows back");
+  const Outcome log_outcome =
+      RunEngine(core::DurabilityMode::kWalValue, rows);
+  std::printf("%-12s %15.4f %12llu\n", "log-based",
+              log_outcome.recovery_seconds,
+              static_cast<unsigned long long>(log_outcome.rows));
+  const Outcome nvm_outcome = RunEngine(core::DurabilityMode::kNvm, rows);
+  std::printf("%-12s %15.4f %12llu\n", "hyrise-nv",
+              nvm_outcome.recovery_seconds,
+              static_cast<unsigned long long>(nvm_outcome.rows));
+
+  std::printf("\nspeedup: %.0fx — and it stays flat as the dataset grows "
+              "(the paper's 92.2 GB: 53 s vs <1 s)\n",
+              log_outcome.recovery_seconds /
+                  std::max(nvm_outcome.recovery_seconds, 1e-9));
+  return log_outcome.rows == nvm_outcome.rows ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// An order-processing application on Hyrise-NV: loads a TPC-C-style
+// schema, runs a NewOrder/Payment/OrderStatus mix, merges the delta into
+// the main partition, survives a crash, and keeps processing.
+//
+//   ./build/examples/example_oltp_app [transactions]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/database.h"
+#include "core/query.h"
+#include "workload/tpcc.h"
+
+using namespace hyrise_nv;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  const uint64_t txns =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = 256 << 20;
+  options.nvm_latency = nvm::NvmLatencyModel::DefaultNvm();
+  auto db = std::move(core::Database::Create(options)).ValueUnsafe();
+
+  workload::TpccConfig config;
+  config.warehouses = 2;
+  config.items = 500;
+  workload::TpccRunner runner(db.get(), config);
+  if (Status status = runner.Load(); !status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %u warehouses, %u items\n", config.warehouses,
+              config.items);
+
+  auto stats_result = runner.Run(txns);
+  if (!stats_result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 stats_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& stats = *stats_result;
+  std::printf("ran %llu txns in %.2f s (%.0f txn/s): %llu new-orders, "
+              "%llu payments, %llu order-status, %llu aborts\n",
+              static_cast<unsigned long long>(stats.transactions()),
+              stats.seconds, stats.TxnPerSecond(),
+              static_cast<unsigned long long>(stats.new_orders),
+              static_cast<unsigned long long>(stats.payments),
+              static_cast<unsigned long long>(stats.order_statuses),
+              static_cast<unsigned long long>(stats.aborts));
+
+  // Merge the accumulated delta into a fresh main generation. Updates in
+  // TPC-C churn district/stock rows, so merge retires many dead versions.
+  auto merge_stats = db->Merge("order_line");
+  if (merge_stats.ok()) {
+    std::printf("merged order_line: %llu rows -> main, %llu versions "
+                "retired, %.1f ms\n",
+                static_cast<unsigned long long>(merge_stats->rows_after),
+                static_cast<unsigned long long>(merge_stats->dropped_rows),
+                merge_stats->seconds * 1e3);
+  }
+
+  const uint64_t orders_before = core::CountRows(
+      *db->GetTable("orders"), db->ReadSnapshot(), storage::kTidNone);
+
+  // Crash + instant restart, then keep going.
+  auto recovered_result = core::Database::CrashAndRecover(std::move(db));
+  if (!recovered_result.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered_result.status().ToString().c_str());
+    return 1;
+  }
+  auto recovered = std::move(recovered_result).ValueUnsafe();
+  std::printf("crash + instant restart: %.3f ms\n",
+              recovered->last_recovery_report().nvm.total_seconds * 1e3);
+  const uint64_t orders_after =
+      core::CountRows(*recovered->GetTable("orders"),
+                      recovered->ReadSnapshot(), storage::kTidNone);
+  std::printf("orders before crash: %llu, after recovery: %llu\n",
+              static_cast<unsigned long long>(orders_before),
+              static_cast<unsigned long long>(orders_after));
+  return orders_before == orders_after ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Quickstart: create a Hyrise-NV database on (simulated) NVM, run
+// transactions, crash it, and watch instant recovery bring back exactly
+// the committed state.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "core/query.h"
+
+using namespace hyrise_nv;  // NOLINT: example brevity
+
+int main() {
+  // 1. Configure an NVM-backed engine. With no data_dir the region lives
+  //    in process memory with full crash simulation (shadow tracking).
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = 64 << 20;
+  options.nvm_latency = nvm::NvmLatencyModel::DefaultNvm();
+
+  auto db_result = core::Database::Create(options);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 db_result.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(db_result).ValueUnsafe();
+
+  // 2. DDL: a table and a secondary index.
+  auto schema = *storage::Schema::Make({{"id", storage::DataType::kInt64},
+                                        {"city", storage::DataType::kString},
+                                        {"revenue", storage::DataType::kDouble}});
+  storage::Table* table = *db->CreateTable("accounts", schema);
+  (void)db->CreateIndex("accounts", 1);
+
+  // 3. Transactions.
+  auto tx = *db->Begin();
+  (void)db->Insert(tx, table, {storage::Value(int64_t{1}),
+                               storage::Value(std::string("berlin")),
+                               storage::Value(1200.0)});
+  (void)db->Insert(tx, table, {storage::Value(int64_t{2}),
+                               storage::Value(std::string("potsdam")),
+                               storage::Value(800.0)});
+  (void)db->Commit(tx);
+
+  auto doomed = *db->Begin();  // this one will die with the crash
+  (void)db->Insert(doomed, table, {storage::Value(int64_t{3}),
+                                   storage::Value(std::string("ghost")),
+                                   storage::Value(1e9)});
+
+  // 4. Query through the index.
+  auto rows = *db->ScanEqual(table, 1, storage::Value(std::string("berlin")),
+                             db->ReadSnapshot(), storage::kTidNone);
+  std::printf("rows in berlin before crash: %zu\n", rows.size());
+
+  // 5. Power failure + instant restart.
+  auto recovered_result = core::Database::CrashAndRecover(std::move(db));
+  if (!recovered_result.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovered_result.status().ToString().c_str());
+    return 1;
+  }
+  auto recovered = std::move(recovered_result).ValueUnsafe();
+  const auto& report = recovered->last_recovery_report().nvm;
+  std::printf("instant restart took %.3f ms (map %.3f ms, fixup %.3f ms, "
+              "attach %.3f ms)\n",
+              report.total_seconds * 1e3, report.map_seconds * 1e3,
+              report.fixup_seconds * 1e3, report.attach_seconds * 1e3);
+
+  storage::Table* rtable = *recovered->GetTable("accounts");
+  const uint64_t count = core::CountRows(rtable, recovered->ReadSnapshot(),
+                                         storage::kTidNone);
+  auto revenue = *core::SumDouble(rtable, 2, recovered->ReadSnapshot(),
+                                  storage::kTidNone);
+  std::printf("after recovery: %llu rows, total revenue %.2f "
+              "(uncommitted 'ghost' row is gone)\n",
+              static_cast<unsigned long long>(count), revenue);
+  return count == 2 ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+#include "alloc/pheap.h"
+
+namespace hyrise_nv::alloc {
+
+Result<std::unique_ptr<PHeap>> PHeap::Create(
+    size_t size, const nvm::PmemRegionOptions& options) {
+  auto heap = std::unique_ptr<PHeap>(new PHeap());
+  auto region_result = nvm::PmemRegion::Create(size, options);
+  if (!region_result.ok()) return region_result.status();
+  heap->region_ = std::move(region_result).ValueUnsafe();
+  HYRISE_NV_RETURN_NOT_OK(FormatRegionHeader(*heap->region_));
+  HYRISE_NV_RETURN_NOT_OK(PAllocator::Format(*heap->region_));
+  heap->allocator_ = std::make_unique<PAllocator>(*heap->region_);
+  heap->was_clean_ = false;
+  return heap;
+}
+
+Result<std::unique_ptr<PHeap>> PHeap::Open(
+    const nvm::PmemRegionOptions& options) {
+  auto heap = std::unique_ptr<PHeap>(new PHeap());
+  auto region_result = nvm::PmemRegion::Open(options);
+  if (!region_result.ok()) return region_result.status();
+  heap->region_ = std::move(region_result).ValueUnsafe();
+  HYRISE_NV_RETURN_NOT_OK(ValidateRegionHeader(*heap->region_));
+  heap->was_clean_ = WasCleanShutdown(*heap->region_);
+  heap->allocator_ = std::make_unique<PAllocator>(*heap->region_);
+  HYRISE_NV_RETURN_NOT_OK(heap->allocator_->Recover());
+  MarkDirty(*heap->region_);
+  return heap;
+}
+
+Status PHeap::CloseClean() {
+  MarkClean(*region_);
+  if (!region_->file_path().empty()) {
+    return region_->SyncToFile();
+  }
+  return Status::OK();
+}
+
+}  // namespace hyrise_nv::alloc

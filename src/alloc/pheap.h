@@ -1,0 +1,64 @@
+#ifndef HYRISE_NV_ALLOC_PHEAP_H_
+#define HYRISE_NV_ALLOC_PHEAP_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "alloc/pallocator.h"
+#include "alloc/region_header.h"
+#include "common/macros.h"
+#include "common/status.h"
+#include "nvm/pmem_region.h"
+
+namespace hyrise_nv::alloc {
+
+/// A formatted persistent heap: region + header + allocator, the unit the
+/// storage engine builds on. Create() formats a fresh region; Open()
+/// validates an existing one and runs allocator recovery (reclaiming
+/// pending allocation intents) before handing it out.
+class PHeap {
+ public:
+  static Result<std::unique_ptr<PHeap>> Create(
+      size_t size, const nvm::PmemRegionOptions& options);
+
+  static Result<std::unique_ptr<PHeap>> Open(
+      const nvm::PmemRegionOptions& options);
+
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(PHeap);
+
+  nvm::PmemRegion& region() { return *region_; }
+  PAllocator& allocator() { return *allocator_; }
+
+  /// Whether the previous session ended with CloseClean(). Captured at
+  /// open time, before this session marks the region dirty.
+  bool was_clean_shutdown() const { return was_clean_; }
+
+  Status SetRoot(std::string_view name, uint64_t offset) {
+    return alloc::SetRoot(*region_, name, offset);
+  }
+  Result<uint64_t> GetRoot(std::string_view name) const {
+    return alloc::GetRoot(*region_, name);
+  }
+
+  template <typename T>
+  T* Resolve(uint64_t offset) {
+    HYRISE_NV_DCHECK(offset != 0 && offset < region_->size(),
+                     "bad resolve offset");
+    return reinterpret_cast<T*>(region_->base() + offset);
+  }
+
+  /// Marks the clean-shutdown flag and syncs file-backed regions.
+  Status CloseClean();
+
+ private:
+  PHeap() = default;
+
+  std::unique_ptr<nvm::PmemRegion> region_;
+  std::unique_ptr<PAllocator> allocator_;
+  bool was_clean_ = false;
+};
+
+}  // namespace hyrise_nv::alloc
+
+#endif  // HYRISE_NV_ALLOC_PHEAP_H_

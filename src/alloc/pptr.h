@@ -1,0 +1,42 @@
+#ifndef HYRISE_NV_ALLOC_PPTR_H_
+#define HYRISE_NV_ALLOC_PPTR_H_
+
+#include <cstdint>
+
+#include "nvm/pmem_region.h"
+
+namespace hyrise_nv::alloc {
+
+/// Offset-based persistent pointer.
+///
+/// NVM-resident structures never store virtual addresses: a region may be
+/// mapped at a different address after restart. A PPtr stores the byte
+/// offset inside the region; offset 0 (the region header) doubles as null,
+/// since no allocation can ever start there.
+template <typename T>
+struct PPtr {
+  uint64_t offset = 0;
+
+  bool IsNull() const { return offset == 0; }
+
+  T* Resolve(nvm::PmemRegion& region) const {
+    return IsNull() ? nullptr
+                    : reinterpret_cast<T*>(region.base() + offset);
+  }
+  const T* Resolve(const nvm::PmemRegion& region) const {
+    return IsNull() ? nullptr
+                    : reinterpret_cast<const T*>(region.base() + offset);
+  }
+
+  static PPtr<T> FromPtr(const nvm::PmemRegion& region, const T* ptr) {
+    PPtr<T> p;
+    p.offset = ptr == nullptr ? 0 : region.OffsetOf(ptr);
+    return p;
+  }
+};
+
+static_assert(sizeof(PPtr<int>) == 8, "PPtr must be a bare offset");
+
+}  // namespace hyrise_nv::alloc
+
+#endif  // HYRISE_NV_ALLOC_PPTR_H_

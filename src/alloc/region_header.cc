@@ -1,0 +1,119 @@
+#include "alloc/region_header.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/macros.h"
+
+namespace hyrise_nv::alloc {
+
+namespace {
+
+uint32_t ComputePrologueCrc(const RegionHeader& header) {
+  // CRC over the immutable fields only (magic, version, size); mutable
+  // fields (roots, intents, clean flag) are individually persisted and
+  // self-describing. Fields are hashed one by one to avoid struct padding.
+  uint32_t crc = Crc32c(&header.magic, sizeof(header.magic));
+  crc = Crc32c(&header.format_version, sizeof(header.format_version), crc);
+  crc = Crc32c(&header.region_size, sizeof(header.region_size), crc);
+  return MaskCrc(crc);
+}
+
+}  // namespace
+
+Status FormatRegionHeader(nvm::PmemRegion& region) {
+  if (region.size() < sizeof(RegionHeader) + 4096) {
+    return Status::InvalidArgument("region too small for header");
+  }
+  auto* header = HeaderOf(region);
+  std::memset(header, 0, sizeof(RegionHeader));
+  header->magic = RegionHeader::kMagic;
+  header->format_version = RegionHeader::kFormatVersion;
+  header->region_size = region.size();
+  header->clean_shutdown = 0;
+  header->prologue_crc = ComputePrologueCrc(*header);
+  region.Persist(header, sizeof(RegionHeader));
+  return Status::OK();
+}
+
+Status ValidateRegionHeader(const nvm::PmemRegion& region) {
+  if (region.size() < sizeof(RegionHeader)) {
+    return Status::Corruption("region smaller than header");
+  }
+  const auto* header = HeaderOf(region);
+  if (header->magic != RegionHeader::kMagic) {
+    return Status::Corruption("bad region magic");
+  }
+  if (header->format_version != RegionHeader::kFormatVersion) {
+    return Status::Corruption("unsupported region format version " +
+                              std::to_string(header->format_version));
+  }
+  if (header->prologue_crc != ComputePrologueCrc(*header)) {
+    return Status::Corruption("region header CRC mismatch");
+  }
+  if (header->region_size != region.size()) {
+    return Status::Corruption("region size mismatch: header says " +
+                              std::to_string(header->region_size) +
+                              ", mapped " + std::to_string(region.size()));
+  }
+  return Status::OK();
+}
+
+Status SetRoot(nvm::PmemRegion& region, std::string_view name,
+               uint64_t offset) {
+  if (name.empty() || name.size() >= kRootNameLen) {
+    return Status::InvalidArgument("root name length out of range");
+  }
+  auto* header = HeaderOf(region);
+  RegionHeader::RootSlot* free_slot = nullptr;
+  for (auto& slot : header->roots) {
+    if (slot.name[0] == '\0') {
+      if (free_slot == nullptr) free_slot = &slot;
+      continue;
+    }
+    if (name == slot.name) {
+      // Existing root: the offset is updated with a single atomic persist,
+      // so a crash mid-update leaves either the old or the new value.
+      region.AtomicPersist64(&slot.offset, offset);
+      return Status::OK();
+    }
+  }
+  if (free_slot == nullptr) {
+    return Status::OutOfMemory("root table full");
+  }
+  // New root: write offset first, then the name. The slot only becomes
+  // discoverable once the (persisted) name is non-empty.
+  free_slot->offset = offset;
+  region.Persist(&free_slot->offset, sizeof(free_slot->offset));
+  std::memset(free_slot->name, 0, kRootNameLen);
+  std::memcpy(free_slot->name, name.data(), name.size());
+  region.Persist(free_slot->name, kRootNameLen);
+  return Status::OK();
+}
+
+Result<uint64_t> GetRoot(const nvm::PmemRegion& region,
+                         std::string_view name) {
+  const auto* header = HeaderOf(region);
+  for (const auto& slot : header->roots) {
+    if (slot.name[0] != '\0' && name == slot.name) {
+      return slot.offset;
+    }
+  }
+  return Status::NotFound("no root named '" + std::string(name) + "'");
+}
+
+void MarkDirty(nvm::PmemRegion& region) {
+  auto* header = HeaderOf(region);
+  region.AtomicPersist64(&header->clean_shutdown, 0);
+}
+
+void MarkClean(nvm::PmemRegion& region) {
+  auto* header = HeaderOf(region);
+  region.AtomicPersist64(&header->clean_shutdown, 1);
+}
+
+bool WasCleanShutdown(const nvm::PmemRegion& region) {
+  return HeaderOf(region)->clean_shutdown == 1;
+}
+
+}  // namespace hyrise_nv::alloc

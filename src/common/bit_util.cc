@@ -1,0 +1,54 @@
+#include "common/bit_util.h"
+
+#include "common/macros.h"
+
+namespace hyrise_nv {
+
+uint8_t BitsFor(uint64_t n) {
+  uint8_t bits = 1;
+  while (bits < 64 && (n >> bits) != 0) ++bits;
+  return bits;
+}
+
+namespace bitpack {
+
+size_t WordsFor(size_t count, uint8_t bits) {
+  return (count * bits + 63) / 64;
+}
+
+void Set(uint64_t* words, size_t index, uint8_t bits, uint64_t value) {
+  HYRISE_NV_DCHECK(bits >= 1 && bits <= 64, "bit width out of range");
+  HYRISE_NV_DCHECK(bits == 64 || value < (uint64_t{1} << bits),
+                   "value does not fit in bit width");
+  const size_t bit_pos = index * bits;
+  const size_t word = bit_pos / 64;
+  const size_t offset = bit_pos % 64;
+  const uint64_t mask = (bits == 64) ? ~uint64_t{0}
+                                     : ((uint64_t{1} << bits) - 1);
+  words[word] = (words[word] & ~(mask << offset)) | (value << offset);
+  const size_t spill = offset + bits;
+  if (spill > 64) {
+    const size_t hi_bits = spill - 64;
+    const uint64_t hi_mask = (uint64_t{1} << hi_bits) - 1;
+    words[word + 1] =
+        (words[word + 1] & ~hi_mask) | (value >> (bits - hi_bits));
+  }
+}
+
+uint64_t Get(const uint64_t* words, size_t index, uint8_t bits) {
+  HYRISE_NV_DCHECK(bits >= 1 && bits <= 64, "bit width out of range");
+  const size_t bit_pos = index * bits;
+  const size_t word = bit_pos / 64;
+  const size_t offset = bit_pos % 64;
+  const uint64_t mask = (bits == 64) ? ~uint64_t{0}
+                                     : ((uint64_t{1} << bits) - 1);
+  uint64_t value = words[word] >> offset;
+  const size_t spill = offset + bits;
+  if (spill > 64) {
+    value |= words[word + 1] << (64 - offset);
+  }
+  return value & mask;
+}
+
+}  // namespace bitpack
+}  // namespace hyrise_nv

@@ -1,0 +1,37 @@
+#ifndef HYRISE_NV_COMMON_BIT_UTIL_H_
+#define HYRISE_NV_COMMON_BIT_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hyrise_nv {
+
+/// Number of bits required to represent values in [0, n]; at least 1.
+/// BitsFor(0) == 1 so that an all-zero column still has addressable slots.
+uint8_t BitsFor(uint64_t n);
+
+/// Rounds `v` up to the next multiple of `align` (power of two).
+constexpr uint64_t AlignUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Fixed-width bit packing over a caller-provided uint64_t word array.
+/// Values are little-endian within and across words; a value may straddle a
+/// word boundary. These are free functions so both volatile (std::vector)
+/// and NVM-resident word buffers can use them.
+namespace bitpack {
+
+/// Number of 64-bit words needed to hold `count` values of `bits` width.
+size_t WordsFor(size_t count, uint8_t bits);
+
+/// Writes `value` (must fit in `bits`) at logical index `index`.
+void Set(uint64_t* words, size_t index, uint8_t bits, uint64_t value);
+
+/// Reads the value at logical index `index`.
+uint64_t Get(const uint64_t* words, size_t index, uint8_t bits);
+
+}  // namespace bitpack
+}  // namespace hyrise_nv
+
+#endif  // HYRISE_NV_COMMON_BIT_UTIL_H_

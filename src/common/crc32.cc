@@ -1,0 +1,65 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace hyrise_nv {
+
+namespace {
+
+// CRC-32C (Castagnoli), reflected polynomial 0x82F63B78.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+std::array<std::array<uint32_t, 256>, 4> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 4> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    tables[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tables[1][i] = (tables[0][i] >> 8) ^ tables[0][tables[0][i] & 0xFF];
+    tables[2][i] = (tables[1][i] >> 8) ^ tables[0][tables[1][i] & 0xFF];
+    tables[3][i] = (tables[2][i] >> 8) ^ tables[0][tables[2][i] & 0xFF];
+  }
+  return tables;
+}
+
+const std::array<std::array<uint32_t, 256>, 4>& Tables() {
+  static const auto& tables = *new auto(BuildTables());
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto& t = Tables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  // Slicing-by-4 main loop.
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFF] ^ t[2][(crc >> 8) & 0xFF] ^
+          t[1][(crc >> 16) & 0xFF] ^ t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xA282EAD8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace hyrise_nv

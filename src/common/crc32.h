@@ -1,0 +1,22 @@
+#ifndef HYRISE_NV_COMMON_CRC32_H_
+#define HYRISE_NV_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyrise_nv {
+
+/// Computes CRC-32C (Castagnoli polynomial) over `data[0..len)`, continuing
+/// from `seed` (pass 0 for a fresh checksum). Used to frame WAL records and
+/// to checksum NVM region headers and checkpoint blocks.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+/// Masked CRC as stored on disk/NVM. Masking (rotate + offset, as in
+/// LevelDB) avoids the degenerate case where a CRC of data that itself
+/// contains CRCs accidentally verifies.
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace hyrise_nv
+
+#endif  // HYRISE_NV_COMMON_CRC32_H_

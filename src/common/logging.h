@@ -1,0 +1,49 @@
+#ifndef HYRISE_NV_COMMON_LOGGING_H_
+#define HYRISE_NV_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hyrise_nv {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global log threshold. Messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+/// Thread-safe (a single formatted write per message).
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+namespace internal_logging {
+
+/// Stream-style collector used by the HYRISE_NV_LOG macro.
+class LogCapture {
+ public:
+  LogCapture(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogCapture() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogCapture& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hyrise_nv
+
+#define HYRISE_NV_LOG(level)                                       \
+  ::hyrise_nv::internal_logging::LogCapture(                       \
+      ::hyrise_nv::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // HYRISE_NV_COMMON_LOGGING_H_

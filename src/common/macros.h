@@ -1,0 +1,57 @@
+#ifndef HYRISE_NV_COMMON_MACROS_H_
+#define HYRISE_NV_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Deletes copy construction and copy assignment for `TypeName`.
+#define HYRISE_NV_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+/// Deletes all copy and move operations for `TypeName`.
+#define HYRISE_NV_DISALLOW_COPY_AND_MOVE(TypeName) \
+  HYRISE_NV_DISALLOW_COPY(TypeName);               \
+  TypeName(TypeName&&) = delete;                   \
+  TypeName& operator=(TypeName&&) = delete
+
+#define HYRISE_NV_LIKELY(x) __builtin_expect(!!(x), 1)
+#define HYRISE_NV_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+/// Unconditional invariant check. The engine never runs with these disabled:
+/// a violated invariant in a storage engine must stop the process before it
+/// persists corrupt state.
+#define HYRISE_NV_CHECK(cond, msg)                                           \
+  do {                                                                       \
+    if (HYRISE_NV_UNLIKELY(!(cond))) {                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s — %s\n", __FILE__,     \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only invariant check for hot paths.
+#ifdef NDEBUG
+#define HYRISE_NV_DCHECK(cond, msg) \
+  do {                              \
+  } while (0)
+#else
+#define HYRISE_NV_DCHECK(cond, msg) HYRISE_NV_CHECK(cond, msg)
+#endif
+
+/// Propagates a non-OK Status out of the current function.
+#define HYRISE_NV_RETURN_NOT_OK(expr)                 \
+  do {                                                \
+    ::hyrise_nv::Status _st = (expr);                 \
+    if (HYRISE_NV_UNLIKELY(!_st.ok())) return _st;    \
+  } while (0)
+
+/// Assigns the value of a Result<T> expression to `lhs`, or propagates its
+/// error Status.
+#define HYRISE_NV_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto _result_##__LINE__ = (rexpr);                       \
+  if (HYRISE_NV_UNLIKELY(!_result_##__LINE__.ok()))        \
+    return _result_##__LINE__.status();                    \
+  lhs = std::move(_result_##__LINE__).ValueUnsafe()
+
+#endif  // HYRISE_NV_COMMON_MACROS_H_

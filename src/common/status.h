@@ -1,0 +1,147 @@
+#ifndef HYRISE_NV_COMMON_STATUS_H_
+#define HYRISE_NV_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace hyrise_nv {
+
+/// Error categories used across the engine. Mirrors the RocksDB/Arrow
+/// convention: rich enough to branch on, cheap to pass by value.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kOutOfMemory = 6,
+  kTransactionConflict = 7,
+  kAborted = 8,
+  kNotSupported = 9,
+  kInternal = 10,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Corruption", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK, or a code plus a message.
+///
+/// The OK state carries no allocation, so returning `Status::OK()` from hot
+/// paths is free. Exceptions are not used anywhere in this codebase (Google
+/// style); all fallible public APIs return `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status TransactionConflict(std::string msg) {
+    return Status(StatusCode::kTransactionConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// Message text; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsConflict() const {
+    return code() == StatusCode::kTransactionConflict;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+/// Either a value of type T or an error Status. Modelled on arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit so `return Status::...;` works in functions returning
+  /// Result<T>. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    HYRISE_NV_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; the caller must have checked ok().
+  const T& ValueUnsafe() const& { return value_; }
+  T& ValueUnsafe() & { return value_; }
+  T&& ValueUnsafe() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace hyrise_nv
+
+#endif  // HYRISE_NV_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef HYRISE_NV_COMMON_STOPWATCH_H_
+#define HYRISE_NV_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hyrise_nv {
+
+/// Monotonic wall-clock stopwatch used by recovery phase timers and
+/// benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hyrise_nv
+
+#endif  // HYRISE_NV_COMMON_STOPWATCH_H_

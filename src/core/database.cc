@@ -1,0 +1,333 @@
+#include "core/database.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nvm/nvm_env.h"
+#include "storage/mvcc.h"
+
+namespace hyrise_nv::core {
+
+nvm::PmemRegionOptions Database::MakeRegionOptions() const {
+  nvm::PmemRegionOptions region_options;
+  if (options_.mode == DurabilityMode::kNvm) {
+    region_options.latency = options_.nvm_latency;
+    region_options.tracking = options_.tracking;
+    if (!options_.data_dir.empty()) {
+      region_options.file_path = options_.NvmImagePath();
+    }
+  } else {
+    // WAL / no-durability engines keep table structures in DRAM: an
+    // anonymous region with zero persist latency and no shadow. The
+    // persist calls still execute (same code path) but cost only the
+    // accounting, which models DRAM honestly.
+    region_options.latency = nvm::NvmLatencyModel::DramSpeed();
+    region_options.tracking = nvm::TrackingMode::kNone;
+  }
+  return region_options;
+}
+
+Result<std::unique_ptr<Database>> Database::CreateFresh(
+    const DatabaseOptions& options, bool open_existing_log) {
+  auto db = std::unique_ptr<Database>(new Database(options));
+  auto heap_result =
+      alloc::PHeap::Create(options.region_size, db->MakeRegionOptions());
+  if (!heap_result.ok()) return heap_result.status();
+  db->heap_ = std::move(heap_result).ValueUnsafe();
+
+  auto catalog_result = storage::Catalog::Format(*db->heap_);
+  if (!catalog_result.ok()) return catalog_result.status();
+  db->catalog_ = std::move(catalog_result).ValueUnsafe();
+
+  auto txn_result = txn::TxnManager::Format(*db->heap_);
+  if (!txn_result.ok()) return txn_result.status();
+  db->txn_manager_ = std::move(txn_result).ValueUnsafe();
+
+  if (options.uses_wal()) {
+    auto log_result =
+        open_existing_log
+            ? wal::LogManager::OpenExisting(options.MakeLogOptions())
+            : wal::LogManager::Create(options.MakeLogOptions());
+    if (!log_result.ok()) return log_result.status();
+    db->log_manager_ = std::move(log_result).ValueUnsafe();
+    db->txn_manager_->set_commit_hook(db->log_manager_.get());
+  }
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::Create(
+    const DatabaseOptions& options) {
+  if (options.uses_wal() && options.data_dir.empty()) {
+    return Status::InvalidArgument("WAL modes need a data_dir");
+  }
+  auto db_result = CreateFresh(options, /*open_existing_log=*/false);
+  if (!db_result.ok()) return db_result;
+  (*db_result)->recovery_.mode = options.mode;
+  (*db_result)->recovery_.recovered = false;
+  return db_result;
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  Stopwatch total;
+  if (options.mode == DurabilityMode::kNvm) {
+    if (options.data_dir.empty()) {
+      return Status::InvalidArgument(
+          "opening an NVM database needs a data_dir");
+    }
+    auto db = std::unique_ptr<Database>(new Database(options));
+    nvm::PmemRegionOptions region_options = db->MakeRegionOptions();
+    auto restart_result = recovery::InstantRestart(region_options);
+    if (!restart_result.ok()) return restart_result.status();
+    db->heap_ = std::move(restart_result->heap);
+    db->catalog_ = std::move(restart_result->catalog);
+    db->txn_manager_ = std::move(restart_result->txn_manager);
+    db->recovery_.mode = options.mode;
+    db->recovery_.recovered = true;
+    db->recovery_.nvm = restart_result->report;
+    HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
+    db->recovery_.total_seconds = total.ElapsedSeconds();
+    return db;
+  }
+
+  if (options.uses_wal()) {
+    auto db_result = CreateFresh(options, /*open_existing_log=*/true);
+    if (!db_result.ok()) return db_result;
+    auto& db = *db_result;
+    auto report_result = recovery::RecoverFromLog(
+        *db->heap_, *db->catalog_, *db->txn_manager_,
+        options.MakeLogOptions());
+    if (!report_result.ok()) return report_result.status();
+    db->log_manager_->ResetDictWatermarks(*db->catalog_);
+    db->recovery_.mode = options.mode;
+    db->recovery_.recovered = true;
+    db->recovery_.log = *report_result;
+    HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
+    db->recovery_.total_seconds = total.ElapsedSeconds();
+    return db_result;
+  }
+
+  return Status::InvalidArgument("mode has nothing to open");
+}
+
+Result<std::unique_ptr<Database>> Database::CrashAndRecover(
+    std::unique_ptr<Database> db) {
+  const DatabaseOptions options = db->options_;
+
+  if (options.mode == DurabilityMode::kNvm) {
+    HYRISE_NV_RETURN_NOT_OK(db->heap_->region().SimulateCrash());
+    // The timer starts after the simulated power failure: restoring the
+    // shadow image is the *crash*, not the recovery.
+    Stopwatch total;
+    auto recovered = std::unique_ptr<Database>(new Database(options));
+    auto restart_result =
+        recovery::InstantRestartFromHeap(std::move(db->heap_));
+    if (!restart_result.ok()) return restart_result.status();
+    db.reset();
+    recovered->heap_ = std::move(restart_result->heap);
+    recovered->catalog_ = std::move(restart_result->catalog);
+    recovered->txn_manager_ = std::move(restart_result->txn_manager);
+    recovered->recovery_.mode = options.mode;
+    recovered->recovery_.recovered = true;
+    recovered->recovery_.nvm = restart_result->report;
+    HYRISE_NV_RETURN_NOT_OK(recovered->AttachAllIndexSets());
+    recovered->recovery_.total_seconds = total.ElapsedSeconds();
+    return recovered;
+  }
+
+  if (options.uses_wal()) {
+    // Power failure: the unsynced log tail is gone, DRAM is gone.
+    HYRISE_NV_RETURN_NOT_OK(db->log_manager_->device().SimulateCrash());
+    db.reset();
+    return Open(options);
+  }
+
+  return Status::NotSupported("kNone mode loses everything in a crash");
+}
+
+Status Database::AttachAllIndexSets() {
+  index_sets_.clear();
+  for (const auto& table : catalog_->tables()) {
+    auto set = std::make_unique<index::IndexSet>(table.get());
+    HYRISE_NV_RETURN_NOT_OK(set->Attach());
+    index_sets_[table.get()] = std::move(set);
+  }
+  return Status::OK();
+}
+
+index::IndexSet* Database::indexes(storage::Table* table) const {
+  auto it = index_sets_.find(table);
+  return it == index_sets_.end() ? nullptr : it->second.get();
+}
+
+Result<storage::Table*> Database::CreateTable(const std::string& name,
+                                              const storage::Schema& schema) {
+  auto table_result = catalog_->CreateTable(name, schema);
+  if (!table_result.ok()) return table_result;
+  auto set = std::make_unique<index::IndexSet>(*table_result);
+  HYRISE_NV_RETURN_NOT_OK(set->Attach());
+  index_sets_[*table_result] = std::move(set);
+  if (log_manager_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(log_manager_->LogCreateTable(**table_result));
+  }
+  return table_result;
+}
+
+Status Database::CreateIndex(const std::string& table_name, size_t column,
+                             storage::PIndexKind kind) {
+  auto table_result = catalog_->GetTable(table_name);
+  if (!table_result.ok()) return table_result.status();
+  index::IndexSet* set = indexes(*table_result);
+  HYRISE_NV_CHECK(set != nullptr, "table without index set");
+  HYRISE_NV_RETURN_NOT_OK(set->CreateIndexOfKind(column, kind));
+  // Build the main side too if a main partition already exists.
+  if ((*table_result)->main_row_count() > 0) {
+    HYRISE_NV_RETURN_NOT_OK(
+        storage::BuildMainGroupKey(**table_result, column));
+    HYRISE_NV_RETURN_NOT_OK(set->Attach());
+  }
+  if (log_manager_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(log_manager_->LogCreateIndex(
+        (*table_result)->id(), static_cast<uint32_t>(column),
+        static_cast<uint32_t>(kind)));
+  }
+  return Status::OK();
+}
+
+Result<storage::RowLocation> Database::Insert(
+    txn::Transaction& tx, storage::Table* table,
+    const std::vector<storage::Value>& row) {
+  if (!tx.active()) {
+    return Status::InvalidArgument("transaction not active");
+  }
+  auto loc_result = table->AppendRow(row, tx.tid());
+  if (!loc_result.ok()) return loc_result;
+  tx.RecordInsert(table, *loc_result);
+  index::IndexSet* set = indexes(table);
+  if (set != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(set->OnInsert(row, loc_result->row));
+  }
+  if (log_manager_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(
+        log_manager_->LogInsert(*table, tx.tid(), row, *loc_result));
+  }
+  return loc_result;
+}
+
+Status Database::Delete(txn::Transaction& tx, storage::Table* table,
+                        storage::RowLocation loc) {
+  if (!tx.active()) {
+    return Status::InvalidArgument("transaction not active");
+  }
+  storage::MvccEntry* entry = table->mvcc(loc);
+  if (!storage::IsVisible(*entry, tx.snapshot(), tx.tid())) {
+    return Status::NotFound("row not visible to this transaction");
+  }
+  auto active = [this](storage::Tid t) { return txn_manager_->IsActive(t); };
+  HYRISE_NV_RETURN_NOT_OK(storage::ClaimForInvalidate(
+      heap_->region(), entry, tx.tid(), active));
+  if (entry->begin == storage::kCidInfinity) {
+    // Deleting our own uncommitted insert.
+    storage::MarkSelfDeleted(heap_->region(), entry);
+  }
+  tx.RecordInvalidate(table, loc);
+  if (log_manager_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(log_manager_->LogDelete(*table, tx.tid(), loc));
+  }
+  return Status::OK();
+}
+
+Result<storage::RowLocation> Database::Update(
+    txn::Transaction& tx, storage::Table* table, storage::RowLocation loc,
+    const std::vector<storage::Value>& row) {
+  HYRISE_NV_RETURN_NOT_OK(Delete(tx, table, loc));
+  return Insert(tx, table, row);
+}
+
+Status Database::InsertAutoCommit(storage::Table* table,
+                                  const std::vector<storage::Value>& row) {
+  auto tx_result = Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  auto insert_result = Insert(*tx_result, table, row);
+  if (!insert_result.ok()) {
+    (void)Abort(*tx_result);
+    return insert_result.status();
+  }
+  return Commit(*tx_result);
+}
+
+Result<std::vector<storage::RowLocation>> Database::ScanEqual(
+    storage::Table* table, size_t column, const storage::Value& value,
+    storage::Cid snapshot, storage::Tid tid) const {
+  std::vector<storage::RowLocation> rows;
+  index::IndexSet* set = indexes(table);
+  if (set != nullptr && set->HasIndex(column)) {
+    HYRISE_NV_RETURN_NOT_OK(set->ForEachEqualCandidate(
+        column, value, [&](storage::RowLocation loc) {
+          if (storage::IsVisible(*table->mvcc(loc), snapshot, tid)) {
+            rows.push_back(loc);
+          }
+        }));
+    return rows;
+  }
+
+  // Index-free scan: resolve the value to per-partition ids once, then
+  // compare encoded ids only.
+  const auto& main_col = table->main().column(column);
+  const storage::ValueId main_id = main_col.dictionary().Find(value);
+  if (main_id != storage::kInvalidValueId) {
+    const uint64_t main_rows = table->main_row_count();
+    for (uint64_t r = 0; r < main_rows; ++r) {
+      if (main_col.AttrAt(r) == main_id &&
+          storage::IsVisible(*table->main().mvcc(r), snapshot, tid)) {
+        rows.push_back({true, r});
+      }
+    }
+  }
+  const auto& delta_col = table->delta().column(column);
+  const storage::ValueId delta_id = delta_col.dictionary().Lookup(value);
+  if (delta_id != storage::kInvalidValueId) {
+    const uint64_t delta_rows = table->delta_row_count();
+    for (uint64_t r = 0; r < delta_rows; ++r) {
+      if (delta_col.AttrAt(r) == delta_id &&
+          storage::IsVisible(*table->delta().mvcc(r), snapshot, tid)) {
+        rows.push_back({false, r});
+      }
+    }
+  }
+  return rows;
+}
+
+Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
+  auto table_result = catalog_->GetTable(table_name);
+  if (!table_result.ok()) return table_result.status();
+  auto stats_result =
+      storage::MergeTable(**table_result, txn_manager_->watermark());
+  if (!stats_result.ok()) return stats_result;
+  // Rebind index handles to the new generation.
+  index::IndexSet* set = indexes(*table_result);
+  if (set != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(set->Attach());
+  }
+  // WAL modes must checkpoint now: logged row positions reference the
+  // pre-merge layout, so the replay base has to move past the merge.
+  if (log_manager_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(log_manager_->WriteCheckpointNow(
+        *catalog_, txn_manager_->commit_table()));
+  }
+  return stats_result;
+}
+
+Status Database::Checkpoint() {
+  if (log_manager_ == nullptr) return Status::OK();
+  return log_manager_->WriteCheckpointNow(*catalog_,
+                                          txn_manager_->commit_table());
+}
+
+Status Database::Close() {
+  if (log_manager_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(log_manager_->SyncNow());
+  }
+  return heap_->CloseClean();
+}
+
+}  // namespace hyrise_nv::core

@@ -1,0 +1,140 @@
+#ifndef HYRISE_NV_CORE_DATABASE_H_
+#define HYRISE_NV_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "index/index_set.h"
+#include "storage/catalog.h"
+#include "storage/merge.h"
+#include "txn/txn_manager.h"
+
+namespace hyrise_nv::core {
+
+/// The Hyrise-NV storage engine facade: tables, MVCC transactions,
+/// secondary indexes, merges, and the durability mode chosen in
+/// DatabaseOptions (instant-restart NVM vs. log-based baselines).
+///
+/// Thread safety: concurrent transactions from multiple threads are
+/// supported; DDL (CreateTable/CreateIndex) and Merge require quiescence
+/// (no concurrent writers).
+class Database {
+ public:
+  /// Creates a fresh database.
+  static Result<std::unique_ptr<Database>> Create(
+      const DatabaseOptions& options);
+
+  /// Opens an existing database, running the mode's recovery path.
+  /// Inspect `last_recovery_report()` for what recovery did and cost.
+  static Result<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& options);
+
+  /// Simulates a power failure and recovers: everything not durable under
+  /// the mode's rules is lost. Consumes the old handle, returns the
+  /// recovered one.
+  static Result<std::unique_ptr<Database>> CrashAndRecover(
+      std::unique_ptr<Database> db);
+
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(Database);
+
+  // --- DDL ---------------------------------------------------------------
+
+  Result<storage::Table*> CreateTable(const std::string& name,
+                                      const storage::Schema& schema);
+  Result<storage::Table*> GetTable(const std::string& name) const {
+    return catalog_->GetTable(name);
+  }
+  Status CreateIndex(const std::string& table_name, size_t column,
+                     storage::PIndexKind kind = storage::kIndexHash);
+
+  /// Ordered (skip-list) index: equality and range lookups.
+  Status CreateOrderedIndex(const std::string& table_name, size_t column) {
+    return CreateIndex(table_name, column, storage::kIndexSkipList);
+  }
+
+  // --- Transactions -------------------------------------------------------
+
+  Result<txn::Transaction> Begin() { return txn_manager_->Begin(); }
+  Status Commit(txn::Transaction& tx) { return txn_manager_->Commit(tx); }
+  Status Abort(txn::Transaction& tx) { return txn_manager_->Abort(tx); }
+
+  // --- DML (within a transaction) ------------------------------------------
+
+  /// Inserts a row; returns its location.
+  Result<storage::RowLocation> Insert(txn::Transaction& tx,
+                                      storage::Table* table,
+                                      const std::vector<storage::Value>& row);
+
+  /// Deletes a row that is visible to `tx`.
+  Status Delete(txn::Transaction& tx, storage::Table* table,
+                storage::RowLocation loc);
+
+  /// Update = delete old version + insert new one (insert-only MVCC).
+  Result<storage::RowLocation> Update(
+      txn::Transaction& tx, storage::Table* table, storage::RowLocation loc,
+      const std::vector<storage::Value>& row);
+
+  /// Convenience: runs a single-operation transaction.
+  Status InsertAutoCommit(storage::Table* table,
+                          const std::vector<storage::Value>& row);
+
+  // --- Queries (see also core/query.h) -------------------------------------
+
+  /// Rows of `table` where column == value, visible to (snapshot, tid).
+  /// Uses indexes when present. Pass an active transaction's snapshot/tid
+  /// or ReadSnapshot()/kTidNone for an ad-hoc read.
+  Result<std::vector<storage::RowLocation>> ScanEqual(
+      storage::Table* table, size_t column, const storage::Value& value,
+      storage::Cid snapshot, storage::Tid tid) const;
+
+  storage::Cid ReadSnapshot() const { return txn_manager_->ReadSnapshot(); }
+
+  // --- Maintenance ---------------------------------------------------------
+
+  /// Stop-the-world delta→main merge (requires no active transactions).
+  /// In WAL modes a checkpoint follows immediately, because logged row
+  /// positions reference the pre-merge layout.
+  Result<storage::MergeStats> Merge(const std::string& table_name);
+
+  /// Writes a checkpoint now (WAL modes; no-op for kNvm/kNone).
+  Status Checkpoint();
+
+  /// Clean shutdown: marks the region clean / syncs files.
+  Status Close();
+
+  // --- Introspection -------------------------------------------------------
+
+  const DatabaseOptions& options() const { return options_; }
+  const RecoveryReport& last_recovery_report() const { return recovery_; }
+  storage::Catalog& catalog() { return *catalog_; }
+  txn::TxnManager& txn_manager() { return *txn_manager_; }
+  alloc::PHeap& heap() { return *heap_; }
+  wal::LogManager* log_manager() { return log_manager_.get(); }
+  index::IndexSet* indexes(storage::Table* table) const;
+  nvm::NvmStats& nvm_stats() { return heap_->region().stats(); }
+
+ private:
+  explicit Database(DatabaseOptions options)
+      : options_(std::move(options)) {}
+
+  static Result<std::unique_ptr<Database>> CreateFresh(
+      const DatabaseOptions& options, bool open_existing_log);
+  Status AttachAllIndexSets();
+  nvm::PmemRegionOptions MakeRegionOptions() const;
+
+  DatabaseOptions options_;
+  RecoveryReport recovery_;
+  std::unique_ptr<alloc::PHeap> heap_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<txn::TxnManager> txn_manager_;
+  std::unique_ptr<wal::LogManager> log_manager_;
+  std::unordered_map<storage::Table*, std::unique_ptr<index::IndexSet>>
+      index_sets_;
+};
+
+}  // namespace hyrise_nv::core
+
+#endif  // HYRISE_NV_CORE_DATABASE_H_

@@ -1,0 +1,19 @@
+#include "core/options.h"
+
+namespace hyrise_nv::core {
+
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kNone:
+      return "none";
+    case DurabilityMode::kWalValue:
+      return "wal-value";
+    case DurabilityMode::kWalDict:
+      return "wal-dict";
+    case DurabilityMode::kNvm:
+      return "nvm";
+  }
+  return "unknown";
+}
+
+}  // namespace hyrise_nv::core

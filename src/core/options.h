@@ -1,0 +1,90 @@
+#ifndef HYRISE_NV_CORE_OPTIONS_H_
+#define HYRISE_NV_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "nvm/latency_model.h"
+#include "nvm/pmem_region.h"
+#include "recovery/log_recovery.h"
+#include "recovery/nvm_recovery.h"
+#include "wal/log_manager.h"
+
+namespace hyrise_nv::core {
+
+/// How the engine makes data durable.
+enum class DurabilityMode {
+  /// No durability (pure in-memory baseline; crashes lose everything).
+  kNone,
+  /// WAL with full-value insert records + checkpoints (classic baseline).
+  kWalValue,
+  /// WAL with dictionary-encoded insert records + checkpoints (Hyrise's
+  /// optimised logging; smaller log, dictionary replay at recovery).
+  kWalDict,
+  /// Hyrise-NV: all table/index/MVCC state on NVM; instant restart.
+  kNvm,
+};
+
+const char* DurabilityModeName(DurabilityMode mode);
+
+/// Engine configuration.
+struct DatabaseOptions {
+  DurabilityMode mode = DurabilityMode::kNvm;
+
+  /// Size of the persistent heap (all table data must fit).
+  size_t region_size = size_t{256} << 20;
+
+  /// Directory for the NVM image / WAL / checkpoint files. Empty means a
+  /// purely in-process setup: the NVM engine uses an anonymous region
+  /// with shadow tracking (crash simulation works, process restart does
+  /// not), and the WAL engines place their files in a temp directory.
+  std::string data_dir;
+
+  /// Injected NVM persist latency (kNvm mode only).
+  nvm::NvmLatencyModel nvm_latency;
+
+  /// Crash-fidelity tracking for the NVM region. kShadow enables
+  /// SimulateCrash at 2x memory; kNone is cheapest (benchmarks).
+  nvm::TrackingMode tracking = nvm::TrackingMode::kShadow;
+
+  /// Simulated SSD performance for WAL + checkpoints.
+  wal::BlockDeviceOptions device;
+
+  /// Group commit: sync the log every N commits (WAL modes).
+  uint32_t group_commit_every = 1;
+
+  bool uses_wal() const {
+    return mode == DurabilityMode::kWalValue ||
+           mode == DurabilityMode::kWalDict;
+  }
+
+  std::string NvmImagePath() const { return data_dir + "/nvm.img"; }
+  std::string LogPath() const { return data_dir + "/wal.log"; }
+  std::string CheckpointPath() const { return data_dir + "/checkpoint.bin"; }
+
+  wal::LogManagerOptions MakeLogOptions() const {
+    wal::LogManagerOptions opts;
+    opts.format = mode == DurabilityMode::kWalDict
+                      ? wal::LogFormat::kDictEncoded
+                      : wal::LogFormat::kValue;
+    opts.device = device;
+    opts.sync_every_n_commits = group_commit_every;
+    opts.log_path = LogPath();
+    opts.checkpoint_path = CheckpointPath();
+    return opts;
+  }
+};
+
+/// What recovery did when the database was opened (one branch is filled,
+/// by mode).
+struct RecoveryReport {
+  DurabilityMode mode = DurabilityMode::kNone;
+  bool recovered = false;  // false = fresh database
+  double total_seconds = 0;
+  recovery::LogRecoveryReport log;
+  recovery::NvmRecoveryReport nvm;
+};
+
+}  // namespace hyrise_nv::core
+
+#endif  // HYRISE_NV_CORE_OPTIONS_H_

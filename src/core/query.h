@@ -1,0 +1,43 @@
+#ifndef HYRISE_NV_CORE_QUERY_H_
+#define HYRISE_NV_CORE_QUERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/index_set.h"
+#include "storage/table.h"
+
+namespace hyrise_nv::core {
+
+/// Three-way comparison of two same-typed values.
+int CompareValues(const storage::Value& a, const storage::Value& b);
+
+/// Rows with lo <= column <= hi, visible to (snapshot, tid). Exploits the
+/// sorted main dictionary (range of value ids) and the group-key index
+/// when available; the delta side pre-computes a per-dictionary-id match
+/// mask, so rows are filtered on encoded ids only.
+Result<std::vector<storage::RowLocation>> ScanRange(
+    storage::Table* table, size_t column, const storage::Value& lo,
+    const storage::Value& hi, storage::Cid snapshot, storage::Tid tid,
+    const index::IndexSet* indexes = nullptr);
+
+/// Number of rows visible to (snapshot, tid).
+uint64_t CountRows(storage::Table* table, storage::Cid snapshot,
+                   storage::Tid tid);
+
+/// Sum of an int64 column over visible rows (dictionary-decoded once per
+/// distinct value).
+Result<int64_t> SumInt64(storage::Table* table, size_t column,
+                         storage::Cid snapshot, storage::Tid tid);
+
+/// Sum of a double column over visible rows.
+Result<double> SumDouble(storage::Table* table, size_t column,
+                         storage::Cid snapshot, storage::Tid tid);
+
+/// Materialises full rows for the given locations.
+std::vector<std::vector<storage::Value>> MaterializeRows(
+    storage::Table* table, const std::vector<storage::RowLocation>& locs);
+
+}  // namespace hyrise_nv::core
+
+#endif  // HYRISE_NV_CORE_QUERY_H_

@@ -1,0 +1,27 @@
+#include "index/group_key_index.h"
+
+namespace hyrise_nv::index {
+
+Status GroupKeyIndex::Validate(uint64_t dict_size,
+                               uint64_t row_count) const {
+  HYRISE_NV_RETURN_NOT_OK(offsets_.Validate());
+  HYRISE_NV_RETURN_NOT_OK(positions_.Validate());
+  if (!present()) return Status::OK();
+  if (offsets_.size() != dict_size + 1) {
+    return Status::Corruption("group-key offsets size mismatch");
+  }
+  if (positions_.size() != row_count) {
+    return Status::Corruption("group-key positions size mismatch");
+  }
+  if (offsets_.Get(0) != 0 || offsets_.Get(dict_size) != row_count) {
+    return Status::Corruption("group-key CSR boundaries corrupt");
+  }
+  for (uint64_t v = 0; v < dict_size; ++v) {
+    if (offsets_.Get(v) > offsets_.Get(v + 1)) {
+      return Status::Corruption("group-key offsets not monotone");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hyrise_nv::index

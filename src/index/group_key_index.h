@@ -1,0 +1,65 @@
+#ifndef HYRISE_NV_INDEX_GROUP_KEY_INDEX_H_
+#define HYRISE_NV_INDEX_GROUP_KEY_INDEX_H_
+
+#include <cstdint>
+
+#include "alloc/pvector.h"
+#include "common/status.h"
+#include "storage/layout.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::index {
+
+/// Read view over the group-key index of one main-partition column: a CSR
+/// of row positions grouped by value id (offsets[|dict|+1] + positions).
+/// Built during merge (storage/merge.cc), immutable per generation, and —
+/// being NVM-resident — available immediately after restart without any
+/// rebuild, which is a key ingredient of the paper's instant restart.
+class GroupKeyIndex {
+ public:
+  GroupKeyIndex() = default;
+  GroupKeyIndex(nvm::PmemRegion* region, alloc::PAllocator* alloc,
+                storage::PMainColumnMeta* meta)
+      : offsets_(region, alloc, &meta->gk_offsets),
+        positions_(region, alloc, &meta->gk_positions) {}
+
+  /// Whether the column has a built group-key index in this generation.
+  bool present() const { return offsets_.size() > 0; }
+
+  /// Validates CSR shape against the dictionary size and row count.
+  Status Validate(uint64_t dict_size, uint64_t row_count) const;
+
+  /// Calls `fn(row)` for every main row holding value id `id`.
+  template <typename Fn>
+  void ForEachRow(storage::ValueId id, Fn&& fn) const {
+    const uint64_t begin = offsets_.Get(id);
+    const uint64_t end = offsets_.Get(id + 1);
+    for (uint64_t i = begin; i < end; ++i) {
+      fn(positions_.Get(i));
+    }
+  }
+
+  /// Calls `fn(row)` for every main row with value id in [lo, hi).
+  template <typename Fn>
+  void ForEachRowInIdRange(storage::ValueId lo, storage::ValueId hi,
+                           Fn&& fn) const {
+    if (lo >= hi) return;
+    const uint64_t begin = offsets_.Get(lo);
+    const uint64_t end = offsets_.Get(hi);
+    for (uint64_t i = begin; i < end; ++i) {
+      fn(positions_.Get(i));
+    }
+  }
+
+  uint64_t RowCountFor(storage::ValueId id) const {
+    return offsets_.Get(id + 1) - offsets_.Get(id);
+  }
+
+ private:
+  alloc::PVector<uint64_t> offsets_;
+  alloc::PVector<uint64_t> positions_;
+};
+
+}  // namespace hyrise_nv::index
+
+#endif  // HYRISE_NV_INDEX_GROUP_KEY_INDEX_H_

@@ -1,0 +1,20 @@
+#include "nvm/latency_model.h"
+
+#include <chrono>
+
+namespace hyrise_nv::nvm {
+
+void SpinDelayNanos(uint64_t ns) {
+  if (ns == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Reduce pressure on the core's issue ports while spinning, the same
+    // way a hardware store stall would.
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace hyrise_nv::nvm

@@ -1,0 +1,66 @@
+#ifndef HYRISE_NV_NVM_LATENCY_MODEL_H_
+#define HYRISE_NV_NVM_LATENCY_MODEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace hyrise_nv::nvm {
+
+/// Injected latency for simulated NVM persist operations.
+///
+/// The paper evaluated Hyrise-NV on a DRAM-based NVM emulation platform that
+/// injects additional latency on the persistence path; this model does the
+/// same at the same architectural point. `flush_ns` is charged per flushed
+/// cache line (modelling CLWB draining to the memory controller),
+/// `fence_ns` per ordering fence (SFENCE + ADR drain), `per_byte_ns`
+/// optionally models bandwidth-limited media. All-zero means DRAM-speed
+/// persistence (accounting only).
+struct NvmLatencyModel {
+  uint32_t flush_ns = 0;
+  uint32_t fence_ns = 0;
+  double per_byte_ns = 0.0;
+
+  static NvmLatencyModel DramSpeed() { return {}; }
+
+  /// A profile resembling first-generation persistent memory: ~100 ns extra
+  /// per flushed line and a measurable fence drain.
+  static NvmLatencyModel DefaultNvm() { return {100, 50, 0.0}; }
+
+  /// Scales the default profile by `factor` (used by the latency
+  /// sensitivity sweep, E4).
+  static NvmLatencyModel Scaled(double factor) {
+    NvmLatencyModel m = DefaultNvm();
+    m.flush_ns = static_cast<uint32_t>(m.flush_ns * factor);
+    m.fence_ns = static_cast<uint32_t>(m.fence_ns * factor);
+    return m;
+  }
+
+  bool IsZero() const {
+    return flush_ns == 0 && fence_ns == 0 && per_byte_ns == 0.0;
+  }
+};
+
+/// Busy-waits for approximately `ns` nanoseconds. Spin-based so the delay is
+/// charged to the calling thread exactly like a stalled store would be.
+void SpinDelayNanos(uint64_t ns);
+
+/// Counters for persist-path activity. All counters are cumulative and
+/// thread-safe; benchmarks snapshot-and-diff them.
+struct NvmStats {
+  std::atomic<uint64_t> flush_lines{0};
+  std::atomic<uint64_t> fences{0};
+  std::atomic<uint64_t> persist_calls{0};
+  std::atomic<uint64_t> flushed_bytes{0};
+
+  void Reset() {
+    flush_lines = 0;
+    fences = 0;
+    persist_calls = 0;
+    flushed_bytes = 0;
+  }
+};
+
+}  // namespace hyrise_nv::nvm
+
+#endif  // HYRISE_NV_NVM_LATENCY_MODEL_H_

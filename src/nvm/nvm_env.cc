@@ -1,0 +1,42 @@
+#include "nvm/nvm_env.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace hyrise_nv::nvm {
+
+std::string TempPath(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir = tmpdir ? tmpdir : "/tmp";
+  return dir + "/" + prefix + "." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+void RemoveFileIfExists(const std::string& path) {
+  ::unlink(path.c_str());
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+uint64_t FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+double EnvScale(const char* name, double default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return default_value;
+  const double parsed = std::atof(value);
+  return parsed > 0 ? parsed : default_value;
+}
+
+}  // namespace hyrise_nv::nvm

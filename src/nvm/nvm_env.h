@@ -1,0 +1,32 @@
+#ifndef HYRISE_NV_NVM_NVM_ENV_H_
+#define HYRISE_NV_NVM_NVM_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hyrise_nv::nvm {
+
+/// Returns a fresh path under the system temp directory with the given
+/// prefix; the file does not exist yet. Used by tests, examples, and
+/// benchmarks that need a simulated NVM device file or WAL directory.
+std::string TempPath(const std::string& prefix);
+
+/// Removes a file if it exists (no error if it does not).
+void RemoveFileIfExists(const std::string& path);
+
+/// Whether `path` exists.
+bool FileExists(const std::string& path);
+
+/// Size of `path` in bytes, or 0 if it does not exist.
+uint64_t FileSize(const std::string& path);
+
+/// Reads an environment variable as a positive double with a default.
+/// `HYRISE_NV_SCALE` scales benchmark row counts so the same binaries run
+/// in CI seconds or as a full-size sweep.
+double EnvScale(const char* name, double default_value);
+
+}  // namespace hyrise_nv::nvm
+
+#endif  // HYRISE_NV_NVM_NVM_ENV_H_

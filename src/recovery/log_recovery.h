@@ -1,0 +1,44 @@
+#ifndef HYRISE_NV_RECOVERY_LOG_RECOVERY_H_
+#define HYRISE_NV_RECOVERY_LOG_RECOVERY_H_
+
+#include <memory>
+#include <string>
+
+#include "alloc/pheap.h"
+#include "storage/catalog.h"
+#include "txn/txn_manager.h"
+#include "wal/log_manager.h"
+
+namespace hyrise_nv::recovery {
+
+/// Phase timings + volumes of a log-based recovery. The three phases are
+/// exactly the costs instant restart avoids (experiment E5).
+struct LogRecoveryReport {
+  double checkpoint_load_seconds = 0;
+  double replay_seconds = 0;
+  double index_rebuild_seconds = 0;
+  double total_seconds = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t replayed_records = 0;
+  uint64_t log_bytes_scanned = 0;
+  uint64_t committed_txns = 0;
+};
+
+/// Rebuilds the database state from checkpoint + log into the (freshly
+/// formatted) heap:
+///  1. load the latest checkpoint, if any;
+///  2. two-pass log replay from the checkpoint's offset — pass one finds
+///     committed transactions, pass two re-applies *all* inserts (to keep
+///     row positions faithful) and stamps only the committed ones;
+///  3. rebuild every index (group-key CSR over main + hash over delta).
+///
+/// Cost is linear in data size: exactly the behaviour experiment E1
+/// measures against instant restart.
+Result<LogRecoveryReport> RecoverFromLog(alloc::PHeap& heap,
+                                         storage::Catalog& catalog,
+                                         txn::TxnManager& txn_manager,
+                                         const wal::LogManagerOptions& options);
+
+}  // namespace hyrise_nv::recovery
+
+#endif  // HYRISE_NV_RECOVERY_LOG_RECOVERY_H_

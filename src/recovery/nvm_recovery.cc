@@ -1,0 +1,64 @@
+#include "recovery/nvm_recovery.h"
+
+#include "common/stopwatch.h"
+
+namespace hyrise_nv::recovery {
+
+namespace {
+
+Result<NvmRestartResult> FinishRestart(NvmRestartResult result,
+                                       Stopwatch& total) {
+  Stopwatch phase;
+
+  // Phase 2: fixups — allocator intent recovery already ran inside
+  // PHeap::Open; complete in-flight commits here. Needs the catalog, so
+  // bind it first (cheap: offsets only, dictionaries later).
+  auto catalog_result = storage::Catalog::Attach(*result.heap);
+  if (!catalog_result.ok()) return catalog_result.status();
+  result.catalog = std::move(catalog_result).ValueUnsafe();
+
+  auto txn_result = txn::TxnManager::Attach(*result.heap);
+  if (!txn_result.ok()) return txn_result.status();
+  result.txn_manager = std::move(txn_result).ValueUnsafe();
+  HYRISE_NV_RETURN_NOT_OK(
+      result.txn_manager->RecoverInFlight(*result.catalog));
+  result.report.fixup_seconds = phase.ElapsedSeconds();
+
+  // Phase 3: volatile repair (torn inserts; dictionary dedup maps were
+  // rebuilt during catalog attach).
+  phase.Restart();
+  HYRISE_NV_RETURN_NOT_OK(result.catalog->RepairAfterCrash());
+  result.report.attach_seconds = phase.ElapsedSeconds();
+
+  result.report.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+Result<NvmRestartResult> InstantRestart(
+    const nvm::PmemRegionOptions& options) {
+  NvmRestartResult result;
+  Stopwatch total;
+  Stopwatch phase;
+  auto heap_result = alloc::PHeap::Open(options);
+  if (!heap_result.ok()) return heap_result.status();
+  result.heap = std::move(heap_result).ValueUnsafe();
+  result.report.map_seconds = phase.ElapsedSeconds();
+  result.report.was_clean_shutdown = result.heap->was_clean_shutdown();
+  return FinishRestart(std::move(result), total);
+}
+
+Result<NvmRestartResult> InstantRestartFromHeap(
+    std::unique_ptr<alloc::PHeap> heap) {
+  NvmRestartResult result;
+  Stopwatch total;
+  Stopwatch phase;
+  result.heap = std::move(heap);
+  HYRISE_NV_RETURN_NOT_OK(result.heap->allocator().Recover());
+  result.report.map_seconds = phase.ElapsedSeconds();
+  result.report.was_clean_shutdown = false;
+  return FinishRestart(std::move(result), total);
+}
+
+}  // namespace hyrise_nv::recovery

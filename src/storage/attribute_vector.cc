@@ -1,0 +1,39 @@
+#include "storage/attribute_vector.h"
+
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace hyrise_nv::storage {
+
+Status PackedAttributeVector::Validate() const {
+  HYRISE_NV_RETURN_NOT_OK(words_.Validate());
+  if (bits_ < 1 || bits_ > 32) {
+    return Status::Corruption("packed vector bit width out of range");
+  }
+  if (words_.size() < bitpack::WordsFor(row_count_, bits_)) {
+    return Status::Corruption("packed vector too short for row count");
+  }
+  return Status::OK();
+}
+
+ValueId PackedAttributeVector::Get(uint64_t row) const {
+  HYRISE_NV_DCHECK(row < row_count_, "row out of range");
+  return static_cast<ValueId>(bitpack::Get(words_.data(), row, bits_));
+}
+
+Status PackedAttributeVector::Build(alloc::PVector<uint64_t>& words,
+                                    uint8_t bits, const ValueId* ids,
+                                    uint64_t count) {
+  HYRISE_NV_CHECK(words.size() == 0, "Build requires an empty word vector");
+  const size_t num_words = bitpack::WordsFor(count, bits);
+  if (num_words == 0) return Status::OK();
+  std::vector<uint64_t> staging(num_words, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    bitpack::Set(staging.data(), i, bits, ids[i]);
+  }
+  return words.BulkAppend(staging.data(), staging.size());
+}
+
+}  // namespace hyrise_nv::storage

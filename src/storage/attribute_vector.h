@@ -1,0 +1,45 @@
+#ifndef HYRISE_NV_STORAGE_ATTRIBUTE_VECTOR_H_
+#define HYRISE_NV_STORAGE_ATTRIBUTE_VECTOR_H_
+
+#include <cstdint>
+
+#include "alloc/pvector.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::storage {
+
+/// Read view over a main partition's bit-packed attribute vector: one
+/// `bits`-wide value id per row, packed into persistent 64-bit words.
+/// Built once per merge generation, immutable afterwards.
+class PackedAttributeVector {
+ public:
+  PackedAttributeVector() = default;
+  PackedAttributeVector(nvm::PmemRegion* region, alloc::PAllocator* alloc,
+                        alloc::PVectorDesc* words_desc, uint64_t bits,
+                        uint64_t row_count)
+      : words_(region, alloc, words_desc),
+        bits_(static_cast<uint8_t>(bits)),
+        row_count_(row_count) {}
+
+  Status Validate() const;
+
+  ValueId Get(uint64_t row) const;
+
+  uint64_t row_count() const { return row_count_; }
+  uint8_t bits() const { return bits_; }
+
+  /// Packs `count` value ids into a freshly formatted word vector with the
+  /// given width. Merge-time builder: one bulk persist.
+  static Status Build(alloc::PVector<uint64_t>& words, uint8_t bits,
+                      const ValueId* ids, uint64_t count);
+
+ private:
+  alloc::PVector<uint64_t> words_;
+  uint8_t bits_ = 1;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace hyrise_nv::storage
+
+#endif  // HYRISE_NV_STORAGE_ATTRIBUTE_VECTOR_H_

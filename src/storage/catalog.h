@@ -1,0 +1,68 @@
+#ifndef HYRISE_NV_STORAGE_CATALOG_H_
+#define HYRISE_NV_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/pheap.h"
+#include "alloc/pvector.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hyrise_nv::storage {
+
+/// Root name under which the catalog is registered in the region header.
+inline constexpr const char* kCatalogRootName = "catalog";
+
+/// The persistent table directory. Owns the volatile Table handles bound
+/// to each persistent table.
+class Catalog {
+ public:
+  /// Formats a fresh catalog in the heap and registers its root.
+  static Result<std::unique_ptr<Catalog>> Format(alloc::PHeap& heap);
+
+  /// Binds to the existing catalog of an opened heap and attaches all
+  /// tables.
+  static Result<std::unique_ptr<Catalog>> Attach(alloc::PHeap& heap);
+
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(Catalog);
+
+  /// Creates a table. The table becomes durable (reachable) atomically
+  /// with its catalog entry.
+  Result<Table*> CreateTable(const std::string& name, const Schema& schema);
+
+  /// Recreates a table preserving its id (checkpoint load / log replay).
+  Result<Table*> RestoreTable(const std::string& name, const Schema& schema,
+                              uint64_t table_id);
+
+  /// Table lookup by id (NotFound if absent).
+  Result<Table*> GetTableById(uint64_t table_id) const;
+
+  /// Table lookup by name (NotFound if absent).
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// All attached tables, in creation order.
+  const std::vector<std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Post-crash repair for every table.
+  Status RepairAfterCrash();
+
+ private:
+  explicit Catalog(alloc::PHeap& heap) : heap_(&heap) {}
+
+  Status BindAndAttachTables();
+
+  alloc::PHeap* heap_;
+  PCatalogMeta* meta_ = nullptr;
+  alloc::PVector<uint64_t> table_offsets_;
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace hyrise_nv::storage
+
+#endif  // HYRISE_NV_STORAGE_CATALOG_H_

@@ -1,0 +1,212 @@
+#include "storage/dictionary.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace hyrise_nv::storage {
+
+uint64_t EncodeNumeric(const Value& value, DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return static_cast<uint64_t>(std::get<int64_t>(value));
+    case DataType::kDouble:
+      return std::bit_cast<uint64_t>(std::get<double>(value));
+    case DataType::kString:
+      break;
+  }
+  HYRISE_NV_CHECK(false, "EncodeNumeric on string column");
+  return 0;
+}
+
+Value DecodeNumeric(uint64_t bits, DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return Value(static_cast<int64_t>(bits));
+    case DataType::kDouble:
+      return Value(std::bit_cast<double>(bits));
+    case DataType::kString:
+      break;
+  }
+  HYRISE_NV_CHECK(false, "DecodeNumeric on string column");
+  return Value(int64_t{0});
+}
+
+int CompareNumericEncoded(DataType type, uint64_t a, uint64_t b) {
+  if (type == DataType::kInt64) {
+    const auto ia = static_cast<int64_t>(a);
+    const auto ib = static_cast<int64_t>(b);
+    return ia < ib ? -1 : (ia > ib ? 1 : 0);
+  }
+  const double da = std::bit_cast<double>(a);
+  const double db = std::bit_cast<double>(b);
+  return da < db ? -1 : (da > db ? 1 : 0);
+}
+
+std::string_view BlobRead(const alloc::PVector<char>& blob,
+                          uint64_t offset) {
+  HYRISE_NV_DCHECK(offset + 4 <= blob.size(), "blob offset out of range");
+  uint32_t len = 0;
+  std::memcpy(&len, blob.data() + offset, 4);
+  HYRISE_NV_DCHECK(offset + 4 + len <= blob.size(),
+                   "blob entry out of range");
+  return std::string_view(blob.data() + offset + 4, len);
+}
+
+Result<uint64_t> BlobAppend(alloc::PVector<char>& blob,
+                            std::string_view text) {
+  if (text.size() > UINT32_MAX) {
+    return Status::InvalidArgument("string too long");
+  }
+  const uint64_t offset = blob.size();
+  const uint32_t len = static_cast<uint32_t>(text.size());
+  std::vector<char> entry(4 + text.size());
+  std::memcpy(entry.data(), &len, 4);
+  std::memcpy(entry.data() + 4, text.data(), text.size());
+  HYRISE_NV_RETURN_NOT_OK(blob.BulkAppend(entry.data(), entry.size()));
+  return offset;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaDictionary
+
+DeltaDictionary::DeltaDictionary(DataType type, nvm::PmemRegion* region,
+                                 alloc::PAllocator* alloc,
+                                 PDeltaColumnMeta* meta)
+    : type_(type),
+      values_(region, alloc, &meta->dict_values),
+      blob_(region, alloc, &meta->dict_blob) {}
+
+void DeltaDictionary::Format(nvm::PmemRegion& region,
+                             PDeltaColumnMeta* meta) {
+  alloc::PVector<uint64_t>::Format(region, &meta->dict_values);
+  alloc::PVector<char>::Format(region, &meta->dict_blob);
+  alloc::PVector<uint32_t>::Format(region, &meta->attr);
+}
+
+Status DeltaDictionary::Attach() {
+  HYRISE_NV_RETURN_NOT_OK(values_.Validate());
+  HYRISE_NV_RETURN_NOT_OK(blob_.Validate());
+  numeric_map_.clear();
+  string_map_.clear();
+  for (uint64_t id = 0; id < values_.size(); ++id) {
+    if (type_ == DataType::kString) {
+      const uint64_t off = values_.Get(id);
+      if (off + 4 > blob_.size()) {
+        return Status::Corruption("delta dictionary blob offset corrupt");
+      }
+      string_map_.emplace(std::string(BlobRead(blob_, off)),
+                          static_cast<ValueId>(id));
+    } else {
+      numeric_map_.emplace(values_.Get(id), static_cast<ValueId>(id));
+    }
+  }
+  return Status::OK();
+}
+
+Result<ValueId> DeltaDictionary::GetOrInsert(const Value& value) {
+  if (values_.size() >= kInvalidValueId) {
+    return Status::OutOfMemory("dictionary full");
+  }
+  if (type_ == DataType::kString) {
+    const auto& text = std::get<std::string>(value);
+    auto it = string_map_.find(text);
+    if (it != string_map_.end()) return it->second;
+    HYRISE_NV_ASSIGN_OR_RETURN(const uint64_t off, BlobAppend(blob_, text));
+    const auto id = static_cast<ValueId>(values_.size());
+    HYRISE_NV_RETURN_NOT_OK(values_.Append(off));
+    string_map_.emplace(text, id);
+    return id;
+  }
+  const uint64_t bits = EncodeNumeric(value, type_);
+  auto it = numeric_map_.find(bits);
+  if (it != numeric_map_.end()) return it->second;
+  const auto id = static_cast<ValueId>(values_.size());
+  HYRISE_NV_RETURN_NOT_OK(values_.Append(bits));
+  numeric_map_.emplace(bits, id);
+  return id;
+}
+
+ValueId DeltaDictionary::Lookup(const Value& value) const {
+  if (type_ == DataType::kString) {
+    auto it = string_map_.find(std::get<std::string>(value));
+    return it == string_map_.end() ? kInvalidValueId : it->second;
+  }
+  auto it = numeric_map_.find(EncodeNumeric(value, type_));
+  return it == numeric_map_.end() ? kInvalidValueId : it->second;
+}
+
+Value DeltaDictionary::GetValue(ValueId id) const {
+  HYRISE_NV_DCHECK(id < values_.size(), "value id out of range");
+  if (type_ == DataType::kString) {
+    return Value(std::string(BlobRead(blob_, values_.Get(id))));
+  }
+  return DecodeNumeric(values_.Get(id), type_);
+}
+
+// ---------------------------------------------------------------------------
+// MainDictionary
+
+MainDictionary::MainDictionary(DataType type, nvm::PmemRegion* region,
+                               alloc::PAllocator* alloc,
+                               PMainColumnMeta* meta)
+    : type_(type),
+      values_(region, alloc, &meta->dict_values),
+      blob_(region, alloc, &meta->dict_blob) {}
+
+Status MainDictionary::Validate() const {
+  HYRISE_NV_RETURN_NOT_OK(values_.Validate());
+  return blob_.Validate();
+}
+
+Value MainDictionary::GetValue(ValueId id) const {
+  HYRISE_NV_DCHECK(id < values_.size(), "value id out of range");
+  if (type_ == DataType::kString) {
+    return Value(std::string(BlobRead(blob_, values_.Get(id))));
+  }
+  return DecodeNumeric(values_.Get(id), type_);
+}
+
+int MainDictionary::CompareEntry(ValueId id, const Value& value) const {
+  if (type_ == DataType::kString) {
+    const std::string_view entry = BlobRead(blob_, values_.Get(id));
+    return entry.compare(std::get<std::string>(value));
+  }
+  return CompareNumericEncoded(type_, values_.Get(id),
+                               EncodeNumeric(value, type_));
+}
+
+ValueId MainDictionary::LowerBound(const Value& value) const {
+  uint64_t lo = 0, hi = values_.size();
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (CompareEntry(static_cast<ValueId>(mid), value) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<ValueId>(lo);
+}
+
+ValueId MainDictionary::UpperBound(const Value& value) const {
+  uint64_t lo = 0, hi = values_.size();
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (CompareEntry(static_cast<ValueId>(mid), value) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<ValueId>(lo);
+}
+
+ValueId MainDictionary::Find(const Value& value) const {
+  const ValueId id = LowerBound(value);
+  if (id < values_.size() && CompareEntry(id, value) == 0) return id;
+  return kInvalidValueId;
+}
+
+}  // namespace hyrise_nv::storage

@@ -1,0 +1,107 @@
+#ifndef HYRISE_NV_STORAGE_DICTIONARY_H_
+#define HYRISE_NV_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "alloc/pvector.h"
+#include "common/status.h"
+#include "storage/layout.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::storage {
+
+/// Bit-encoding of numeric values into the uint64 dictionary slots.
+uint64_t EncodeNumeric(const Value& value, DataType type);
+Value DecodeNumeric(uint64_t bits, DataType type);
+
+/// Three-way comparison of two encoded numeric values of `type`.
+int CompareNumericEncoded(DataType type, uint64_t a, uint64_t b);
+
+/// Reads the length-prefixed string at `offset` in a blob vector.
+std::string_view BlobRead(const alloc::PVector<char>& blob, uint64_t offset);
+
+/// Appends a length-prefixed string to a blob vector; returns its offset.
+Result<uint64_t> BlobAppend(alloc::PVector<char>& blob,
+                            std::string_view text);
+
+/// The delta partition's unsorted, append-only dictionary for one column.
+///
+/// Persistent state: the value vector (numeric bits, or blob offsets for
+/// strings) and the string blob. The value→id dedup map is volatile and
+/// rebuilt from the persistent vectors on restart (cost proportional to
+/// the delta, not the database — see DESIGN.md §4.3).
+class DeltaDictionary {
+ public:
+  DeltaDictionary() = default;
+  DeltaDictionary(DataType type, nvm::PmemRegion* region,
+                  alloc::PAllocator* alloc, PDeltaColumnMeta* meta);
+
+  /// Formats empty persistent vectors for a fresh column.
+  static void Format(nvm::PmemRegion& region, PDeltaColumnMeta* meta);
+
+  /// Validates persistent state and rebuilds the volatile dedup map.
+  Status Attach();
+
+  /// Returns the id of `value`, inserting it if new. The insert persists
+  /// the dictionary entry before returning.
+  Result<ValueId> GetOrInsert(const Value& value);
+
+  /// Id of `value` if present, else kInvalidValueId.
+  ValueId Lookup(const Value& value) const;
+
+  Value GetValue(ValueId id) const;
+
+  uint64_t size() const { return values_.size(); }
+  DataType type() const { return type_; }
+
+ private:
+  DataType type_ = DataType::kInt64;
+  alloc::PVector<uint64_t> values_;
+  alloc::PVector<char> blob_;
+  std::unordered_map<uint64_t, ValueId> numeric_map_;
+  std::unordered_map<std::string, ValueId> string_map_;
+};
+
+/// Read-only view of a main partition's sorted dictionary. Value ids are
+/// positions in sorted order, which makes range predicates id-comparable.
+class MainDictionary {
+ public:
+  MainDictionary() = default;
+  MainDictionary(DataType type, nvm::PmemRegion* region,
+                 alloc::PAllocator* alloc, PMainColumnMeta* meta);
+
+  Status Validate() const;
+
+  Value GetValue(ValueId id) const;
+
+  /// Exact lookup by binary search; kInvalidValueId if absent.
+  ValueId Find(const Value& value) const;
+
+  /// First id whose value is >= `value` (== size() if none).
+  ValueId LowerBound(const Value& value) const;
+  /// First id whose value is > `value` (== size() if none).
+  ValueId UpperBound(const Value& value) const;
+
+  uint64_t size() const { return values_.size(); }
+  DataType type() const { return type_; }
+
+  /// Mutable accessors used only by the merge builder.
+  alloc::PVector<uint64_t>& values() { return values_; }
+  alloc::PVector<char>& blob() { return blob_; }
+  const alloc::PVector<char>& blob() const { return blob_; }
+
+ private:
+  // Compares dictionary entry `id` against `value`; <0, 0, >0.
+  int CompareEntry(ValueId id, const Value& value) const;
+
+  DataType type_ = DataType::kInt64;
+  alloc::PVector<uint64_t> values_;
+  alloc::PVector<char> blob_;
+};
+
+}  // namespace hyrise_nv::storage
+
+#endif  // HYRISE_NV_STORAGE_DICTIONARY_H_

@@ -1,0 +1,55 @@
+#include "storage/main_partition.h"
+
+namespace hyrise_nv::storage {
+
+MainColumn::MainColumn(DataType type, nvm::PmemRegion* region,
+                       alloc::PAllocator* alloc, PMainColumnMeta* meta,
+                       uint64_t row_count)
+    : dict_(type, region, alloc, meta),
+      attr_(region, alloc, &meta->attr_words, meta->bits, row_count) {}
+
+void MainColumn::Format(nvm::PmemRegion& region, PMainColumnMeta* meta) {
+  alloc::PVector<uint64_t>::Format(region, &meta->dict_values);
+  alloc::PVector<char>::Format(region, &meta->dict_blob);
+  alloc::PVector<uint64_t>::Format(region, &meta->attr_words);
+  alloc::PVector<uint64_t>::Format(region, &meta->gk_offsets);
+  alloc::PVector<uint64_t>::Format(region, &meta->gk_positions);
+  meta->bits = 1;
+  region.Persist(&meta->bits, sizeof(meta->bits));
+}
+
+Status MainColumn::Validate() const {
+  HYRISE_NV_RETURN_NOT_OK(dict_.Validate());
+  return attr_.Validate();
+}
+
+void MainPartition::Format(nvm::PmemRegion& region, PTableGroup* group,
+                           uint64_t num_columns) {
+  group->main_row_count = 0;
+  region.Persist(&group->main_row_count, sizeof(group->main_row_count));
+  alloc::PVector<MvccEntry>::Format(region, &group->main_mvcc);
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    MainColumn::Format(region, group->main_col(c));
+  }
+}
+
+Status MainPartition::Attach(const Schema& schema, nvm::PmemRegion* region,
+                             alloc::PAllocator* alloc, PTableGroup* group) {
+  const uint64_t ncols = schema.num_columns();
+  row_count_ = group->main_row_count;
+  mvcc_ = alloc::PVector<MvccEntry>(region, alloc, &group->main_mvcc);
+  HYRISE_NV_RETURN_NOT_OK(mvcc_.Validate());
+  if (mvcc_.size() != row_count_) {
+    return Status::Corruption("main MVCC vector size mismatch");
+  }
+  columns_.clear();
+  columns_.reserve(ncols);
+  for (uint64_t c = 0; c < ncols; ++c) {
+    columns_.emplace_back(schema.column(c).type, region, alloc,
+                          group->main_col(c), row_count_);
+    HYRISE_NV_RETURN_NOT_OK(columns_.back().Validate());
+  }
+  return Status::OK();
+}
+
+}  // namespace hyrise_nv::storage

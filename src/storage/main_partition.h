@@ -1,0 +1,81 @@
+#ifndef HYRISE_NV_STORAGE_MAIN_PARTITION_H_
+#define HYRISE_NV_STORAGE_MAIN_PARTITION_H_
+
+#include <vector>
+
+#include "alloc/pvector.h"
+#include "common/status.h"
+#include "storage/attribute_vector.h"
+#include "storage/dictionary.h"
+#include "storage/layout.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::storage {
+
+/// One column of the immutable main partition: sorted dictionary plus
+/// bit-packed attribute vector. Rebuilt wholesale by merge.
+class MainColumn {
+ public:
+  MainColumn() = default;
+  MainColumn(DataType type, nvm::PmemRegion* region,
+             alloc::PAllocator* alloc, PMainColumnMeta* meta,
+             uint64_t row_count);
+
+  static void Format(nvm::PmemRegion& region, PMainColumnMeta* meta);
+
+  Status Validate() const;
+
+  Value GetValue(uint64_t row) const {
+    return dict_.GetValue(attr_.Get(row));
+  }
+  ValueId AttrAt(uint64_t row) const { return attr_.Get(row); }
+
+  const MainDictionary& dictionary() const { return dict_; }
+  const PackedAttributeVector& attr() const { return attr_; }
+
+ private:
+  MainDictionary dict_;
+  PackedAttributeVector attr_;
+};
+
+/// The main partition of a table: immutable columns + MVCC vector for the
+/// main rows. Deletes of main rows mutate only the MVCC entries; the
+/// value data never changes between merges.
+class MainPartition {
+ public:
+  MainPartition() = default;
+
+  /// Formats empty main structures (a fresh table has zero main rows).
+  static void Format(nvm::PmemRegion& region, PTableGroup* group,
+                     uint64_t num_columns);
+
+  Status Attach(const Schema& schema, nvm::PmemRegion* region,
+                alloc::PAllocator* alloc, PTableGroup* group);
+
+  uint64_t row_count() const { return row_count_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  MainColumn& column(size_t i) { return columns_[i]; }
+  const MainColumn& column(size_t i) const { return columns_[i]; }
+
+  MvccEntry* mvcc(uint64_t row) {
+    HYRISE_NV_DCHECK(row < row_count_, "main row out of range");
+    return mvcc_.data() + row;
+  }
+  const MvccEntry* mvcc(uint64_t row) const {
+    HYRISE_NV_DCHECK(row < row_count_, "main row out of range");
+    return mvcc_.data() + row;
+  }
+
+  alloc::PVector<MvccEntry>& mvcc_vector() { return mvcc_; }
+
+ private:
+  std::vector<MainColumn> columns_;
+  alloc::PVector<MvccEntry> mvcc_;
+  uint64_t row_count_ = 0;
+};
+
+}  // namespace hyrise_nv::storage
+
+#endif  // HYRISE_NV_STORAGE_MAIN_PARTITION_H_

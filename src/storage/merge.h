@@ -1,0 +1,43 @@
+#ifndef HYRISE_NV_STORAGE_MERGE_H_
+#define HYRISE_NV_STORAGE_MERGE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace hyrise_nv::storage {
+
+/// Outcome of one delta→main merge.
+struct MergeStats {
+  uint64_t main_rows_before = 0;
+  uint64_t delta_rows_before = 0;
+  uint64_t rows_after = 0;      // surviving rows in the new main
+  uint64_t dropped_rows = 0;    // deleted / aborted versions retired
+  double seconds = 0;
+};
+
+/// Merges the delta partition into a new main generation.
+///
+/// Preconditions: no active transactions (stop-the-world merge; the
+/// engine's merge scheduler guarantees this by taking the global write
+/// latch). `snapshot` must be the current commit watermark.
+///
+/// The new generation — merged sorted dictionaries, re-packed attribute
+/// vectors, fresh MVCC entries, rebuilt group-key indexes, empty delta —
+/// is built in fresh allocations and published with one atomic persisted
+/// pointer swap, so a crash at any point leaves either the old or the new
+/// generation fully intact. Rows whose delete committed at or before
+/// `snapshot`, and insert versions that never committed (aborted or
+/// crashed transactions), are retired.
+Result<MergeStats> MergeTable(Table& table, Cid snapshot);
+
+/// Builds the group-key CSR for `column` of the *current* main partition
+/// from its attribute vector. Used by log recovery (index rebuild phase)
+/// and when an index is created on a table that already has a main. The
+/// column's group-key vectors must be empty.
+Status BuildMainGroupKey(Table& table, uint64_t column);
+
+}  // namespace hyrise_nv::storage
+
+#endif  // HYRISE_NV_STORAGE_MERGE_H_

@@ -1,0 +1,122 @@
+#include "storage/schema.h"
+
+#include <cstring>
+#include <unordered_set>
+
+namespace hyrise_nv::storage {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+bool ValueMatchesType(const Value& value, DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return std::holds_alternative<int64_t>(value);
+    case DataType::kDouble:
+      return std::holds_alternative<double>(value);
+    case DataType::kString:
+      return std::holds_alternative<std::string>(value);
+  }
+  return false;
+}
+
+Result<Schema> Schema::Make(std::vector<ColumnDef> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("empty column name");
+    }
+    if (!names.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + col.name);
+    }
+    switch (col.type) {
+      case DataType::kInt64:
+      case DataType::kDouble:
+      case DataType::kString:
+        break;
+      default:
+        return Status::InvalidArgument("invalid data type for column " +
+                                       col.name);
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status Schema::CheckRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!ValueMatchesType(row[i], columns_[i].type)) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     columns_[i].name);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> Schema::Serialize() const {
+  std::vector<uint8_t> out;
+  auto put_u32 = [&out](uint32_t v) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    out.insert(out.end(), p, p + 4);
+  };
+  put_u32(static_cast<uint32_t>(columns_.size()));
+  for (const auto& col : columns_) {
+    put_u32(static_cast<uint32_t>(col.type));
+    put_u32(static_cast<uint32_t>(col.name.size()));
+    out.insert(out.end(), col.name.begin(), col.name.end());
+  }
+  return out;
+}
+
+Result<Schema> Schema::Deserialize(const uint8_t* data, size_t len) {
+  size_t pos = 0;
+  auto get_u32 = [&](uint32_t* v) -> bool {
+    if (pos + 4 > len) return false;
+    std::memcpy(v, data + pos, 4);
+    pos += 4;
+    return true;
+  };
+  uint32_t ncols = 0;
+  if (!get_u32(&ncols)) {
+    return Status::Corruption("schema blob truncated (column count)");
+  }
+  std::vector<ColumnDef> columns;
+  columns.reserve(ncols);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    uint32_t type = 0, name_len = 0;
+    if (!get_u32(&type) || !get_u32(&name_len) || pos + name_len > len) {
+      return Status::Corruption("schema blob truncated (column " +
+                                std::to_string(i) + ")");
+    }
+    columns.push_back(ColumnDef{
+        std::string(reinterpret_cast<const char*>(data + pos), name_len),
+        static_cast<DataType>(type)});
+    pos += name_len;
+  }
+  return Schema::Make(std::move(columns));
+}
+
+}  // namespace hyrise_nv::storage

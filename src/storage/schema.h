@@ -1,0 +1,53 @@
+#ifndef HYRISE_NV_STORAGE_SCHEMA_H_
+#define HYRISE_NV_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::storage {
+
+/// A column definition: name + data type.
+struct ColumnDef {
+  std::string name;
+  DataType type;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+/// An ordered list of column definitions. Immutable once a table is
+/// created; serialised into the NVM catalog and into checkpoints.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  static Result<Schema> Make(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Validates that `row` has one correctly-typed value per column.
+  Status CheckRow(const std::vector<Value>& row) const;
+
+  /// Binary serialisation (length-prefixed names). Deterministic.
+  std::vector<uint8_t> Serialize() const;
+  static Result<Schema> Deserialize(const uint8_t* data, size_t len);
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace hyrise_nv::storage
+
+#endif  // HYRISE_NV_STORAGE_SCHEMA_H_

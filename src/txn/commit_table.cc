@@ -1,0 +1,144 @@
+#include "txn/commit_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hyrise_nv::txn {
+
+Result<std::unique_ptr<CommitTable>> CommitTable::Format(
+    alloc::PHeap& heap) {
+  alloc::IntentHandle intent;
+  auto off_result =
+      heap.allocator().AllocWithIntent(sizeof(PTxnStateBlock), &intent);
+  if (!off_result.ok()) return off_result.status();
+  auto* block = heap.Resolve<PTxnStateBlock>(*off_result);
+  std::memset(block, 0, sizeof(PTxnStateBlock));
+  block->commit_watermark = 0;
+  block->tid_block = 1;  // TID 0 is kTidNone
+  block->cid_block = 1;  // CID 0 means "before everything"
+  heap.region().Persist(block, sizeof(PTxnStateBlock));
+  HYRISE_NV_RETURN_NOT_OK(heap.SetRoot(kTxnStateRootName, *off_result));
+  heap.allocator().CommitIntent(intent);
+
+  auto table = std::unique_ptr<CommitTable>(new CommitTable(heap));
+  table->block_ = block;
+  return table;
+}
+
+Result<std::unique_ptr<CommitTable>> CommitTable::Attach(
+    alloc::PHeap& heap) {
+  auto root_result = heap.GetRoot(kTxnStateRootName);
+  if (!root_result.ok()) return root_result.status();
+  auto table = std::unique_ptr<CommitTable>(new CommitTable(heap));
+  table->block_ = heap.Resolve<PTxnStateBlock>(*root_result);
+  if (table->block_->tid_block == 0 || table->block_->cid_block == 0) {
+    return Status::Corruption("transaction state block corrupt");
+  }
+  return table;
+}
+
+void CommitTable::AdvanceWatermark(storage::Cid cid) {
+  HYRISE_NV_DCHECK(cid >= block_->commit_watermark,
+                   "watermark must be monotone");
+  heap_->region().AtomicPersist64(&block_->commit_watermark, cid);
+}
+
+Result<storage::Tid> CommitTable::ClaimTidBlock() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const storage::Tid first = block_->tid_block;
+  if (first + kTidBlockSize < first) {
+    return Status::OutOfMemory("TID space exhausted");
+  }
+  heap_->region().AtomicPersist64(&block_->tid_block,
+                                  first + kTidBlockSize);
+  return first;
+}
+
+Result<storage::Cid> CommitTable::ClaimCidBlock() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const storage::Cid first = block_->cid_block;
+  if (first + kTidBlockSize < first) {
+    return Status::OutOfMemory("CID space exhausted");
+  }
+  heap_->region().AtomicPersist64(&block_->cid_block,
+                                  first + kTidBlockSize);
+  return first;
+}
+
+Result<PCommitSlot*> CommitTable::OpenCommit(
+    storage::Cid cid, const std::vector<TouchEntry>& touches) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  PCommitSlot* slot = nullptr;
+  for (auto& s : block_->slots) {
+    if (s.state == PCommitSlot::kFree) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    return Status::OutOfMemory("all commit slots busy");
+  }
+
+  // Grow the slot's touch buffer if this commit needs more room. The
+  // slot is kFree here, so the buffer swap is not recovery-visible; the
+  // intent covers the new buffer until the slot references it.
+  if (touches.size() > slot->touch_capacity) {
+    const uint64_t new_capacity =
+        std::max<uint64_t>(touches.size() * 2, 64);
+    alloc::IntentHandle intent;
+    auto off_result = heap_->allocator().AllocWithIntent(
+        new_capacity * sizeof(TouchEntry), &intent);
+    if (!off_result.ok()) return off_result.status();
+    const uint64_t old_off = slot->touch_off;
+    slot->touch_off = *off_result;
+    slot->touch_capacity = new_capacity;
+    heap_->region().Persist(slot, sizeof(PCommitSlot));
+    heap_->allocator().CommitIntent(intent);
+    if (old_off != 0) {
+      (void)heap_->allocator().Free(old_off);
+    }
+  }
+
+  // Persist the touch list, then the slot header, then flip the state.
+  if (!touches.empty()) {
+    std::memcpy(heap_->region().base() + slot->touch_off, touches.data(),
+                touches.size() * sizeof(TouchEntry));
+    heap_->region().Persist(heap_->region().base() + slot->touch_off,
+                            touches.size() * sizeof(TouchEntry));
+  }
+  slot->cid = cid;
+  slot->touch_count = touches.size();
+  heap_->region().Persist(slot, sizeof(PCommitSlot));
+  heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kCommitting);
+  return slot;
+}
+
+void CommitTable::CloseCommit(PCommitSlot* slot) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kFree);
+}
+
+Result<std::vector<CommitTable::InFlight>> CommitTable::FindInFlight() {
+  std::vector<InFlight> result;
+  for (auto& slot : block_->slots) {
+    if (slot.state != PCommitSlot::kCommitting) continue;
+    InFlight in_flight;
+    in_flight.slot = &slot;
+    in_flight.cid = slot.cid;
+    if (slot.touch_count > 0) {
+      if (slot.touch_off == 0 ||
+          slot.touch_off + slot.touch_count * sizeof(TouchEntry) >
+              heap_->region().size()) {
+        return Status::Corruption("commit slot touch list out of range");
+      }
+      in_flight.touches.resize(slot.touch_count);
+      std::memcpy(in_flight.touches.data(),
+                  heap_->region().base() + slot.touch_off,
+                  slot.touch_count * sizeof(TouchEntry));
+    }
+    result.push_back(std::move(in_flight));
+  }
+  return result;
+}
+
+}  // namespace hyrise_nv::txn

@@ -1,0 +1,132 @@
+#ifndef HYRISE_NV_TXN_COMMIT_TABLE_H_
+#define HYRISE_NV_TXN_COMMIT_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "alloc/pheap.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::txn {
+
+/// Region root name of the persistent transaction state.
+inline constexpr const char* kTxnStateRootName = "txn_state";
+
+/// Number of commit slots (bounds concurrently *committing* transactions;
+/// active transactions are unbounded).
+constexpr uint64_t kCommitSlots = 64;
+
+/// TIDs are claimed in persisted blocks of this size, so after a restart
+/// the next block is untouched territory — no TID is ever reused and no
+/// scan is needed. (One ingredient of O(1) recovery.)
+constexpr uint64_t kTidBlockSize = 4096;
+
+/// One persisted row touch of a committing transaction. Recovery rolls a
+/// crashed commit *forward* from these (idempotent re-stamping).
+struct TouchEntry {
+  static constexpr uint64_t kInMainBit = uint64_t{1} << 63;
+  static constexpr uint64_t kInvalidateBit = uint64_t{1} << 62;
+
+  uint64_t table_id;
+  uint64_t row_and_flags;
+
+  static TouchEntry Make(uint64_t table_id, storage::RowLocation loc,
+                         bool invalidate) {
+    TouchEntry e;
+    e.table_id = table_id;
+    e.row_and_flags = loc.row | (loc.in_main ? kInMainBit : 0) |
+                      (invalidate ? kInvalidateBit : 0);
+    return e;
+  }
+  storage::RowLocation location() const {
+    return {(row_and_flags & kInMainBit) != 0,
+            row_and_flags & ~(kInMainBit | kInvalidateBit)};
+  }
+  bool invalidate() const { return (row_and_flags & kInvalidateBit) != 0; }
+};
+
+/// One on-NVM commit slot. `state` flips to kCommitting only after cid
+/// and the touch list are durable; recovery completes any slot found in
+/// that state. The touch buffer is owned by the slot and reused across
+/// commits (grown on demand), so the commit path allocates nothing.
+struct PCommitSlot {
+  static constexpr uint64_t kFree = 0;
+  static constexpr uint64_t kCommitting = 1;
+
+  uint64_t state;
+  uint64_t cid;
+  uint64_t touch_off;       // payload offset of the TouchEntry buffer
+  uint64_t touch_count;     // entries of the current commit
+  uint64_t touch_capacity;  // buffer capacity in entries
+};
+
+/// The on-NVM transaction state block (root "txn_state").
+struct PTxnStateBlock {
+  uint64_t commit_watermark;  // highest fully committed CID
+  uint64_t tid_block;         // first TID of the next unclaimed block
+  uint64_t cid_block;         // first CID of the next unclaimed block
+  PCommitSlot slots[kCommitSlots];
+};
+
+/// Volatile handle over PTxnStateBlock: watermark, TID/CID block
+/// allocation, commit slots, and enumeration of in-flight commits for
+/// recovery.
+class CommitTable {
+ public:
+  /// Allocates and formats the state block; registers the root.
+  static Result<std::unique_ptr<CommitTable>> Format(alloc::PHeap& heap);
+
+  /// Binds to an existing state block.
+  static Result<std::unique_ptr<CommitTable>> Attach(alloc::PHeap& heap);
+
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(CommitTable);
+
+  storage::Cid watermark() const { return block_->commit_watermark; }
+
+  /// Publishes `cid` as fully committed (single atomic persist).
+  void AdvanceWatermark(storage::Cid cid);
+
+  /// Claims a fresh block of TIDs; returns its first TID. Persisted, so
+  /// the block is never handed out again, even across crashes.
+  Result<storage::Tid> ClaimTidBlock();
+
+  /// Claims a fresh block of CIDs (same non-reuse guarantee). Commit CIDs
+  /// are drawn from claimed blocks so stamps written by a crashed commit
+  /// can never collide with CIDs issued after restart.
+  Result<storage::Cid> ClaimCidBlock();
+
+  /// Finds a free commit slot, writes cid + touch list reference, and
+  /// flips it to kCommitting (in that persist order).
+  Result<PCommitSlot*> OpenCommit(storage::Cid cid,
+                                  const std::vector<TouchEntry>& touches);
+
+  /// Releases the slot (after stamping + watermark advance) and frees its
+  /// touch array.
+  void CloseCommit(PCommitSlot* slot);
+
+  /// In-flight commit found on NVM after a crash.
+  struct InFlight {
+    PCommitSlot* slot;
+    storage::Cid cid;
+    std::vector<TouchEntry> touches;
+  };
+
+  /// All slots in kCommitting state (recovery input).
+  Result<std::vector<InFlight>> FindInFlight();
+
+  PTxnStateBlock* block() { return block_; }
+
+ private:
+  explicit CommitTable(alloc::PHeap& heap) : heap_(&heap) {}
+
+  alloc::PHeap* heap_;
+  PTxnStateBlock* block_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace hyrise_nv::txn
+
+#endif  // HYRISE_NV_TXN_COMMIT_TABLE_H_

@@ -1,0 +1,60 @@
+#ifndef HYRISE_NV_TXN_TRANSACTION_H_
+#define HYRISE_NV_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::txn {
+
+/// One row touched by a transaction.
+struct Write {
+  storage::Table* table;
+  storage::RowLocation loc;
+  bool invalidate;  // false = inserted version, true = invalidated version
+};
+
+enum class TxnState { kActive, kCommitted, kAborted };
+
+/// Volatile per-transaction context. All durable effects live in the
+/// tables' MVCC entries and the commit table; the context only tracks the
+/// write set for commit stamping / abort rollback.
+class Transaction {
+ public:
+  Transaction() = default;
+  Transaction(storage::Tid tid, storage::Cid snapshot)
+      : tid_(tid), snapshot_(snapshot) {}
+
+  storage::Tid tid() const { return tid_; }
+  storage::Cid snapshot() const { return snapshot_; }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kActive; }
+
+  const std::vector<Write>& writes() const { return writes_; }
+  bool read_only() const { return writes_.empty(); }
+
+  void RecordInsert(storage::Table* table, storage::RowLocation loc) {
+    writes_.push_back(Write{table, loc, false});
+  }
+  void RecordInvalidate(storage::Table* table, storage::RowLocation loc) {
+    writes_.push_back(Write{table, loc, true});
+  }
+
+  /// Set by the transaction manager on commit/abort.
+  void set_state(TxnState state) { state_ = state; }
+  void set_commit_cid(storage::Cid cid) { commit_cid_ = cid; }
+  storage::Cid commit_cid() const { return commit_cid_; }
+
+ private:
+  storage::Tid tid_ = storage::kTidNone;
+  storage::Cid snapshot_ = 0;
+  storage::Cid commit_cid_ = 0;
+  TxnState state_ = TxnState::kActive;
+  std::vector<Write> writes_;
+};
+
+}  // namespace hyrise_nv::txn
+
+#endif  // HYRISE_NV_TXN_TRANSACTION_H_

@@ -1,0 +1,201 @@
+#include "txn/txn_manager.h"
+
+#include "common/logging.h"
+#include "storage/mvcc.h"
+
+namespace hyrise_nv::txn {
+
+TxnManager::TxnManager(alloc::PHeap& heap,
+                       std::unique_ptr<CommitTable> commit_table)
+    : heap_(&heap), commit_table_(std::move(commit_table)) {}
+
+Result<std::unique_ptr<TxnManager>> TxnManager::Format(alloc::PHeap& heap) {
+  auto table_result = CommitTable::Format(heap);
+  if (!table_result.ok()) return table_result.status();
+  return std::make_unique<TxnManager>(heap,
+                                      std::move(table_result).ValueUnsafe());
+}
+
+Result<std::unique_ptr<TxnManager>> TxnManager::Attach(alloc::PHeap& heap) {
+  auto table_result = CommitTable::Attach(heap);
+  if (!table_result.ok()) return table_result.status();
+  return std::make_unique<TxnManager>(heap,
+                                      std::move(table_result).ValueUnsafe());
+}
+
+Result<Transaction> TxnManager::Begin() {
+  storage::Tid tid;
+  {
+    std::lock_guard<std::mutex> guard(alloc_mutex_);
+    if (next_tid_ == tid_block_end_) {
+      auto block_result = commit_table_->ClaimTidBlock();
+      if (!block_result.ok()) return block_result.status();
+      next_tid_ = *block_result;
+      tid_block_end_ = next_tid_ + kTidBlockSize;
+    }
+    tid = next_tid_++;
+  }
+  {
+    std::lock_guard<std::mutex> guard(active_mutex_);
+    active_tids_.insert(tid);
+  }
+  return Transaction(tid, commit_table_->watermark());
+}
+
+bool TxnManager::IsActive(storage::Tid tid) const {
+  std::lock_guard<std::mutex> guard(active_mutex_);
+  return active_tids_.count(tid) > 0;
+}
+
+void TxnManager::StampWrites(const std::vector<Write>& writes,
+                             storage::Cid cid) {
+  // CLWB batching: flush every stamped entry, then a single fence. The
+  // watermark advance (the caller's next persist) is what publishes the
+  // commit, so intra-batch ordering is irrelevant — only
+  // "all stamps before watermark" matters, which the fence guarantees.
+  auto& region = heap_->region();
+  for (const Write& write : writes) {
+    storage::MvccEntry* entry = write.table->mvcc(write.loc);
+    if (write.invalidate) {
+      __atomic_store_n(&entry->end, cid, __ATOMIC_RELEASE);
+    } else {
+      __atomic_store_n(&entry->begin, cid, __ATOMIC_RELEASE);
+    }
+    __atomic_store_n(&entry->tid, storage::kTidNone, __ATOMIC_RELEASE);
+    region.Flush(entry, sizeof(*entry));
+  }
+  region.Fence();
+}
+
+Status TxnManager::Commit(Transaction& tx) {
+  if (!tx.active()) {
+    return Status::InvalidArgument("commit of non-active transaction");
+  }
+  if (tx.read_only()) {
+    tx.set_state(TxnState::kCommitted);
+    std::lock_guard<std::mutex> guard(active_mutex_);
+    active_tids_.erase(tx.tid());
+    return Status::OK();
+  }
+
+  std::lock_guard<std::mutex> commit_guard(commit_mutex_);
+
+  storage::Cid cid;
+  {
+    std::lock_guard<std::mutex> guard(alloc_mutex_);
+    if (next_cid_ == cid_block_end_) {
+      auto block_result = commit_table_->ClaimCidBlock();
+      if (!block_result.ok()) return block_result.status();
+      next_cid_ = *block_result;
+      cid_block_end_ = next_cid_ + kTidBlockSize;
+    }
+    cid = next_cid_++;
+  }
+
+  // Persist the touch list + commit intent (roll-forward information).
+  std::vector<TouchEntry> touches;
+  touches.reserve(tx.writes().size());
+  for (const Write& write : tx.writes()) {
+    touches.push_back(TouchEntry::Make(write.table->id(), write.loc,
+                                       write.invalidate));
+  }
+  auto slot_result = commit_table_->OpenCommit(cid, touches);
+  if (!slot_result.ok()) return slot_result.status();
+  PCommitSlot* slot = *slot_result;
+
+  // Secondary durability hook (WAL engines write + sync their commit
+  // record here, before any stamp becomes visible).
+  if (hook_ != nullptr) {
+    Status hook_status = hook_->OnCommit(cid, tx);
+    if (!hook_status.ok()) {
+      commit_table_->CloseCommit(slot);
+      return hook_status;
+    }
+  }
+
+  // Stamp all rows, then publish the CID. From here the commit is
+  // irrevocable; a crash rolls it forward.
+  StampWrites(tx.writes(), cid);
+  commit_table_->AdvanceWatermark(cid);
+  commit_table_->CloseCommit(slot);
+
+  tx.set_commit_cid(cid);
+  tx.set_state(TxnState::kCommitted);
+  {
+    std::lock_guard<std::mutex> guard(active_mutex_);
+    active_tids_.erase(tx.tid());
+  }
+  return Status::OK();
+}
+
+Status TxnManager::Abort(Transaction& tx) {
+  if (!tx.active()) {
+    return Status::InvalidArgument("abort of non-active transaction");
+  }
+  auto& region = heap_->region();
+  for (const Write& write : tx.writes()) {
+    storage::MvccEntry* entry = write.table->mvcc(write.loc);
+    if (write.invalidate) {
+      // Release the delete claim; any self-delete marker on an own insert
+      // stays (the insert itself is dropped below).
+      if (entry->begin != storage::kCidInfinity) {
+        storage::ReleaseClaim(region, entry, tx.tid());
+      }
+    } else {
+      // Own insert: stays begin = ∞ forever (invisible garbage retired at
+      // merge); release the tid so nothing mistakes it for in-flight.
+      region.AtomicPersist64(&entry->tid, storage::kTidNone);
+    }
+  }
+  if (hook_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(hook_->OnAbort(tx));
+  }
+  tx.set_state(TxnState::kAborted);
+  std::lock_guard<std::mutex> guard(active_mutex_);
+  active_tids_.erase(tx.tid());
+  return Status::OK();
+}
+
+Status TxnManager::RecoverInFlight(storage::Catalog& catalog) {
+  auto in_flight_result = commit_table_->FindInFlight();
+  if (!in_flight_result.ok()) return in_flight_result.status();
+  auto& region = heap_->region();
+  for (auto& commit : *in_flight_result) {
+    HYRISE_NV_LOG(kInfo) << "rolling forward in-flight commit cid="
+                         << commit.cid << " with "
+                         << commit.touches.size() << " touches";
+    for (const TouchEntry& touch : commit.touches) {
+      storage::Table* table = nullptr;
+      for (const auto& t : catalog.tables()) {
+        if (t->id() == touch.table_id) {
+          table = t.get();
+          break;
+        }
+      }
+      if (table == nullptr) {
+        return Status::Corruption("in-flight commit references table id " +
+                                  std::to_string(touch.table_id));
+      }
+      const storage::RowLocation loc = touch.location();
+      const uint64_t rows = loc.in_main ? table->main_row_count()
+                                        : table->delta_row_count();
+      if (loc.row >= rows) {
+        return Status::Corruption("in-flight commit references bad row");
+      }
+      storage::MvccEntry* entry = table->mvcc(loc);
+      if (touch.invalidate()) {
+        region.AtomicPersist64(&entry->end, commit.cid);
+      } else {
+        region.AtomicPersist64(&entry->begin, commit.cid);
+      }
+      region.AtomicPersist64(&entry->tid, storage::kTidNone);
+    }
+    if (commit.cid > commit_table_->watermark()) {
+      commit_table_->AdvanceWatermark(commit.cid);
+    }
+    commit_table_->CloseCommit(commit.slot);
+  }
+  return Status::OK();
+}
+
+}  // namespace hyrise_nv::txn

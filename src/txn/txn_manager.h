@@ -1,0 +1,97 @@
+#ifndef HYRISE_NV_TXN_TXN_MANAGER_H_
+#define HYRISE_NV_TXN_TXN_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+#include "storage/catalog.h"
+#include "txn/commit_table.h"
+#include "txn/transaction.h"
+
+namespace hyrise_nv::txn {
+
+/// Hook invoked inside the commit/abort paths. The WAL engine implements
+/// it to write (and group-sync) commit records; the NVM engine runs
+/// without one — durability comes from the commit table itself.
+class CommitHook {
+ public:
+  virtual ~CommitHook() = default;
+  /// Called before rows are stamped; must make the commit durable in the
+  /// hook's own medium (e.g. WAL record + sync).
+  virtual Status OnCommit(storage::Cid cid, const Transaction& tx) = 0;
+  /// Called after an abort rolled back volatile claims.
+  virtual Status OnAbort(const Transaction& tx) = 0;
+};
+
+/// MVCC transaction manager implementing the paper's NVM commit protocol
+/// (DESIGN.md §4.4):
+///
+///   1. writes leave rows claimed (tid) and unstamped (begin = ∞);
+///   2. Commit persists the touch list, flips a commit slot to
+///      kCommitting, stamps every touched row with the commit CID, and
+///      finally advances the persisted watermark;
+///   3. a crash at any point either rolls the commit forward (slot was
+///      committing → recovery re-stamps, idempotently) or leaves the
+///      transaction invisible (no slot → claims are stale, stolen later).
+///
+/// TIDs and CIDs are drawn from persisted blocks so they are never reused
+/// across restarts without scanning anything.
+class TxnManager {
+ public:
+  TxnManager(alloc::PHeap& heap, std::unique_ptr<CommitTable> commit_table);
+
+  static Result<std::unique_ptr<TxnManager>> Format(alloc::PHeap& heap);
+  static Result<std::unique_ptr<TxnManager>> Attach(alloc::PHeap& heap);
+
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(TxnManager);
+
+  /// Starts a transaction with a snapshot of the current watermark.
+  Result<Transaction> Begin();
+
+  /// Commits: assigns a CID, persists the commit, stamps rows, advances
+  /// the watermark. Invokes `hook` (if set) before stamping.
+  Status Commit(Transaction& tx);
+
+  /// Aborts: releases claims, tombstones own inserts.
+  Status Abort(Transaction& tx);
+
+  /// Whether `tid` belongs to a currently active transaction.
+  bool IsActive(storage::Tid tid) const;
+
+  storage::Cid watermark() const { return commit_table_->watermark(); }
+
+  /// A snapshot for ad-hoc reads outside a transaction.
+  storage::Cid ReadSnapshot() const { return commit_table_->watermark(); }
+
+  void set_commit_hook(CommitHook* hook) { hook_ = hook; }
+
+  /// Recovery: completes all in-flight commits found on NVM. `catalog`
+  /// resolves table ids. O(in-flight work), independent of data size.
+  Status RecoverInFlight(storage::Catalog& catalog);
+
+  CommitTable& commit_table() { return *commit_table_; }
+
+ private:
+  // Stamps all writes of a commit with `cid` and clears claims.
+  void StampWrites(const std::vector<Write>& writes, storage::Cid cid);
+
+  alloc::PHeap* heap_;
+  std::unique_ptr<CommitTable> commit_table_;
+  CommitHook* hook_ = nullptr;
+
+  mutable std::mutex active_mutex_;
+  std::unordered_set<storage::Tid> active_tids_;
+
+  std::mutex alloc_mutex_;
+  storage::Tid next_tid_ = 0;
+  storage::Tid tid_block_end_ = 0;
+  storage::Cid next_cid_ = 0;
+  storage::Cid cid_block_end_ = 0;
+
+  std::mutex commit_mutex_;  // serialises the commit critical section
+};
+
+}  // namespace hyrise_nv::txn
+
+#endif  // HYRISE_NV_TXN_TXN_MANAGER_H_

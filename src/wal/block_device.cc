@@ -1,0 +1,132 @@
+#include "wal/block_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "nvm/latency_model.h"
+
+namespace hyrise_nv::wal {
+
+Result<std::unique_ptr<BlockDevice>> BlockDevice::Create(
+    const std::string& path, const BlockDeviceOptions& options) {
+  auto device =
+      std::unique_ptr<BlockDevice>(new BlockDevice(path, options));
+  HYRISE_NV_RETURN_NOT_OK(device->Init(/*create=*/true));
+  return device;
+}
+
+Result<std::unique_ptr<BlockDevice>> BlockDevice::Open(
+    const std::string& path, const BlockDeviceOptions& options) {
+  auto device =
+      std::unique_ptr<BlockDevice>(new BlockDevice(path, options));
+  HYRISE_NV_RETURN_NOT_OK(device->Init(/*create=*/false));
+  return device;
+}
+
+Status BlockDevice::Init(bool create) {
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT | O_TRUNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot open device file " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    return Status::IOError("lseek failed");
+  }
+  size_ = static_cast<uint64_t>(end);
+  durable_size_ = size_;  // pre-existing contents count as durable
+  return Status::OK();
+}
+
+BlockDevice::~BlockDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BlockDevice::ThrottleBandwidth(double mbps, size_t bytes) {
+  if (mbps <= 0) return;
+  const double seconds =
+      static_cast<double>(bytes) / (mbps * 1024.0 * 1024.0);
+  throttled_seconds_ += seconds;
+  nvm::SpinDelayNanos(static_cast<uint64_t>(seconds * 1e9));
+}
+
+Result<uint64_t> BlockDevice::Append(const void* data, size_t len) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const uint64_t offset = size_;
+  size_t done = 0;
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd_, p + done, len - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      return Status::IOError("pwrite failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  ThrottleBandwidth(options_.write_mbps, len);
+  size_ += len;
+  return offset;
+}
+
+Status BlockDevice::Sync() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync failed");
+  }
+  if (options_.sync_latency_us != 0) {
+    nvm::SpinDelayNanos(uint64_t{options_.sync_latency_us} * 1000);
+    throttled_seconds_ += options_.sync_latency_us / 1e6;
+  }
+  durable_size_ = size_;
+  return Status::OK();
+}
+
+Status BlockDevice::Read(uint64_t offset, void* out, size_t len) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (offset + len > size_) {
+    return Status::InvalidArgument("read beyond device end");
+  }
+  size_t done = 0;
+  auto* p = static_cast<uint8_t*>(out);
+  while (done < len) {
+    const ssize_t n = ::pread(fd_, p + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      return Status::IOError("pread failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("unexpected EOF");
+    }
+    done += static_cast<size_t>(n);
+  }
+  ThrottleBandwidth(options_.read_mbps, len);
+  return Status::OK();
+}
+
+Status BlockDevice::SimulateCrash() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (::ftruncate(fd_, static_cast<off_t>(durable_size_)) != 0) {
+    return Status::IOError("crash truncate failed");
+  }
+  size_ = durable_size_;
+  return Status::OK();
+}
+
+Status BlockDevice::Truncate(uint64_t len) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (::ftruncate(fd_, static_cast<off_t>(len)) != 0) {
+    return Status::IOError("truncate failed");
+  }
+  size_ = len;
+  if (durable_size_ > len) durable_size_ = len;
+  return Status::OK();
+}
+
+}  // namespace hyrise_nv::wal

@@ -1,0 +1,80 @@
+#ifndef HYRISE_NV_WAL_BLOCK_DEVICE_H_
+#define HYRISE_NV_WAL_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace hyrise_nv::wal {
+
+/// Performance model of the simulated SSD/HDD used by the log-based
+/// baseline (DESIGN.md §2). Zero values mean "unthrottled".
+struct BlockDeviceOptions {
+  double write_mbps = 0;      // sequential write bandwidth cap
+  double read_mbps = 0;       // sequential read bandwidth cap
+  uint32_t sync_latency_us = 0;  // per-fsync latency
+};
+
+/// An append-only block device backed by a real file, with crash
+/// semantics: data is only durable up to the last Sync. SimulateCrash
+/// discards the unsynced tail — the WAL-engine analogue of the NVM
+/// region's shadow tracking.
+class BlockDevice {
+ public:
+  /// Creates (truncates) the file.
+  static Result<std::unique_ptr<BlockDevice>> Create(
+      const std::string& path, const BlockDeviceOptions& options);
+
+  /// Opens an existing file; everything in it counts as durable.
+  static Result<std::unique_ptr<BlockDevice>> Open(
+      const std::string& path, const BlockDeviceOptions& options);
+
+  ~BlockDevice();
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(BlockDevice);
+
+  /// Appends at the end; returns the record's start offset.
+  Result<uint64_t> Append(const void* data, size_t len);
+
+  /// Makes all appended data durable.
+  Status Sync();
+
+  /// Reads exactly `len` bytes at `offset`.
+  Status Read(uint64_t offset, void* out, size_t len);
+
+  uint64_t size() const { return size_; }
+  uint64_t durable_size() const { return durable_size_; }
+
+  /// Drops the unsynced tail, as a power failure would.
+  Status SimulateCrash();
+
+  /// Truncates to `len` (used when retiring old log segments).
+  Status Truncate(uint64_t len);
+
+  const std::string& path() const { return path_; }
+
+  /// Cumulative injected throttle time, for benchmark reporting.
+  double throttled_seconds() const { return throttled_seconds_; }
+
+ private:
+  BlockDevice(std::string path, const BlockDeviceOptions& options)
+      : path_(std::move(path)), options_(options) {}
+
+  Status Init(bool create);
+  void ThrottleBandwidth(double mbps, size_t bytes);
+
+  std::string path_;
+  BlockDeviceOptions options_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  uint64_t durable_size_ = 0;
+  double throttled_seconds_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace hyrise_nv::wal
+
+#endif  // HYRISE_NV_WAL_BLOCK_DEVICE_H_

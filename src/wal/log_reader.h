@@ -1,0 +1,31 @@
+#ifndef HYRISE_NV_WAL_LOG_READER_H_
+#define HYRISE_NV_WAL_LOG_READER_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "wal/block_device.h"
+#include "wal/log_record.h"
+
+namespace hyrise_nv::wal {
+
+/// Sequential log scan used by recovery.
+class LogReader {
+ public:
+  explicit LogReader(BlockDevice* device) : device_(device) {}
+
+  /// Reads the log from `start_offset` to the end, invoking `fn` per
+  /// record. A torn tail (partial final record, from a crash between
+  /// flush and sync) terminates the scan cleanly; any corruption before
+  /// the tail is an error. Returns the number of records visited.
+  Result<uint64_t> ForEach(
+      uint64_t start_offset,
+      const std::function<Status(const LogRecord&)>& fn);
+
+ private:
+  BlockDevice* device_;
+};
+
+}  // namespace hyrise_nv::wal
+
+#endif  // HYRISE_NV_WAL_LOG_READER_H_

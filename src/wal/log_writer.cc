@@ -1,0 +1,43 @@
+#include "wal/log_writer.h"
+
+namespace hyrise_nv::wal {
+
+Status LogWriter::Append(const LogRecord& record) {
+  const std::vector<uint8_t> framed = EncodeRecord(record);
+  std::lock_guard<std::mutex> guard(mutex_);
+  buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+  return Status::OK();
+}
+
+Status LogWriter::Flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (buffer_.empty()) return Status::OK();
+  auto append_result = device_->Append(buffer_.data(), buffer_.size());
+  if (!append_result.ok()) return append_result.status();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status LogWriter::Commit(const LogRecord& commit_record) {
+  HYRISE_NV_RETURN_NOT_OK(Append(commit_record));
+  HYRISE_NV_RETURN_NOT_OK(Flush());
+  std::lock_guard<std::mutex> guard(mutex_);
+  ++total_commits_;
+  if (++unsynced_commits_ >= sync_every_) {
+    HYRISE_NV_RETURN_NOT_OK(device_->Sync());
+    synced_commits_ = total_commits_;
+    unsynced_commits_ = 0;
+  }
+  return Status::OK();
+}
+
+Status LogWriter::SyncNow() {
+  HYRISE_NV_RETURN_NOT_OK(Flush());
+  std::lock_guard<std::mutex> guard(mutex_);
+  HYRISE_NV_RETURN_NOT_OK(device_->Sync());
+  synced_commits_ = total_commits_;
+  unsynced_commits_ = 0;
+  return Status::OK();
+}
+
+}  // namespace hyrise_nv::wal

@@ -1,0 +1,57 @@
+#ifndef HYRISE_NV_WAL_LOG_WRITER_H_
+#define HYRISE_NV_WAL_LOG_WRITER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/block_device.h"
+#include "wal/log_record.h"
+
+namespace hyrise_nv::wal {
+
+/// Buffered WAL appender with group commit.
+///
+/// Records accumulate in a volatile buffer; Commit() flushes and — every
+/// `sync_every_n_commits`-th commit — syncs the device. With N == 1 every
+/// commit is synchronously durable; with N > 1 the writer models group
+/// commit: the last < N commits may be lost in a crash, but the log never
+/// tears mid-record (framed CRCs make a torn tail detectable).
+class LogWriter {
+ public:
+  LogWriter(BlockDevice* device, uint32_t sync_every_n_commits)
+      : device_(device),
+        sync_every_(sync_every_n_commits == 0 ? 1 : sync_every_n_commits) {}
+
+  /// Buffers a non-commit record.
+  Status Append(const LogRecord& record);
+
+  /// Buffers the commit record, flushes, and applies the sync policy.
+  Status Commit(const LogRecord& commit_record);
+
+  /// Writes the buffer to the device (no sync).
+  Status Flush();
+
+  /// Flush + sync, regardless of the group-commit counter.
+  Status SyncNow();
+
+  /// Total bytes appended so far (including still-buffered ones).
+  uint64_t lsn() const { return device_->size() + buffer_.size(); }
+
+  uint64_t synced_commits() const { return synced_commits_; }
+  uint64_t total_commits() const { return total_commits_; }
+
+ private:
+  BlockDevice* device_;
+  uint32_t sync_every_;
+  uint32_t unsynced_commits_ = 0;
+  uint64_t total_commits_ = 0;
+  uint64_t synced_commits_ = 0;
+  std::vector<uint8_t> buffer_;
+  std::mutex mutex_;
+};
+
+}  // namespace hyrise_nv::wal
+
+#endif  // HYRISE_NV_WAL_LOG_WRITER_H_

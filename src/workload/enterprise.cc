@@ -1,0 +1,69 @@
+#include "workload/enterprise.h"
+
+#include "common/random.h"
+
+namespace hyrise_nv::workload {
+
+using storage::DataType;
+using storage::Value;
+
+uint64_t EnterpriseRowBytes(const EnterpriseConfig& config) {
+  return config.int_columns * 8 + config.double_columns * 8 +
+         config.string_columns * config.string_length;
+}
+
+Result<storage::Table*> LoadEnterpriseTable(
+    core::Database* db, const std::string& name, uint64_t rows,
+    const EnterpriseConfig& config) {
+  std::vector<storage::ColumnDef> columns;
+  for (uint32_t i = 0; i < config.int_columns; ++i) {
+    columns.push_back({"i" + std::to_string(i), DataType::kInt64});
+  }
+  for (uint32_t i = 0; i < config.double_columns; ++i) {
+    columns.push_back({"d" + std::to_string(i), DataType::kDouble});
+  }
+  for (uint32_t i = 0; i < config.string_columns; ++i) {
+    columns.push_back({"s" + std::to_string(i), DataType::kString});
+  }
+  auto schema_result = storage::Schema::Make(std::move(columns));
+  if (!schema_result.ok()) return schema_result.status();
+  auto table_result = db->CreateTable(name, *schema_result);
+  if (!table_result.ok()) return table_result;
+  storage::Table* table = *table_result;
+
+  Rng rng(config.seed);
+  // Pre-generate the per-column value pools so dictionary cardinality is
+  // controlled and string generation is off the insert path.
+  std::vector<std::string> string_pool(
+      std::min<uint64_t>(config.cardinality, 100000));
+  for (auto& s : string_pool) s = rng.NextString(config.string_length);
+
+  auto tx_result = db->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  for (uint64_t r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(table->schema().num_columns());
+    for (uint32_t i = 0; i < config.int_columns; ++i) {
+      row.emplace_back(
+          static_cast<int64_t>(rng.Uniform(config.cardinality)));
+    }
+    for (uint32_t i = 0; i < config.double_columns; ++i) {
+      row.emplace_back(
+          static_cast<double>(rng.Uniform(config.cardinality)) * 0.25);
+    }
+    for (uint32_t i = 0; i < config.string_columns; ++i) {
+      row.emplace_back(string_pool[rng.Uniform(string_pool.size())]);
+    }
+    auto insert_result = db->Insert(*tx_result, table, row);
+    if (!insert_result.ok()) return insert_result.status();
+    if ((r + 1) % config.batch_rows == 0) {
+      HYRISE_NV_RETURN_NOT_OK(db->Commit(*tx_result));
+      tx_result = db->Begin();
+      if (!tx_result.ok()) return tx_result.status();
+    }
+  }
+  HYRISE_NV_RETURN_NOT_OK(db->Commit(*tx_result));
+  return table;
+}
+
+}  // namespace hyrise_nv::workload

@@ -1,0 +1,39 @@
+#ifndef HYRISE_NV_WORKLOAD_ENTERPRISE_H_
+#define HYRISE_NV_WORKLOAD_ENTERPRISE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+
+namespace hyrise_nv::workload {
+
+/// Generator for a wide "enterprise" table, standing in for the paper's
+/// 92.2 GB production dataset (DESIGN.md §2). Columns mix low- and
+/// high-cardinality ints, doubles, and strings so that dictionary
+/// compression behaves realistically. Used by the recovery-scaling
+/// experiments (E1, E2, E5).
+struct EnterpriseConfig {
+  uint32_t int_columns = 4;
+  uint32_t double_columns = 2;
+  uint32_t string_columns = 2;
+  uint32_t string_length = 20;
+  /// Distinct values per column (dictionary cardinality driver).
+  uint64_t cardinality = 1000;
+  uint64_t seed = 7;
+  /// Commit batch size while loading.
+  uint64_t batch_rows = 1024;
+};
+
+/// Creates the table and loads `rows` committed rows. Returns the table.
+Result<storage::Table*> LoadEnterpriseTable(core::Database* db,
+                                            const std::string& name,
+                                            uint64_t rows,
+                                            const EnterpriseConfig& config);
+
+/// Approximate logical bytes of one generated row (for dataset sizing).
+uint64_t EnterpriseRowBytes(const EnterpriseConfig& config);
+
+}  // namespace hyrise_nv::workload
+
+#endif  // HYRISE_NV_WORKLOAD_ENTERPRISE_H_

@@ -1,0 +1,404 @@
+#include "workload/tpcc.h"
+
+#include "common/stopwatch.h"
+#include "core/query.h"
+
+namespace hyrise_nv::workload {
+
+using storage::DataType;
+using storage::RowLocation;
+using storage::Value;
+
+namespace {
+
+Status CommitBatch(core::Database* db, txn::Transaction* tx,
+                   uint64_t* in_batch) {
+  if (++*in_batch >= 512) {
+    HYRISE_NV_RETURN_NOT_OK(db->Commit(*tx));
+    auto fresh = db->Begin();
+    if (!fresh.ok()) return fresh.status();
+    *tx = *fresh;
+    *in_batch = 0;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TpccRunner::Load() {
+  auto make = [this](const char* name,
+                     std::vector<storage::ColumnDef> cols)
+      -> Result<storage::Table*> {
+    auto schema_result = storage::Schema::Make(std::move(cols));
+    if (!schema_result.ok()) return schema_result.status();
+    return db_->CreateTable(name, *schema_result);
+  };
+
+  auto w = make("warehouse", {{"w_id", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"ytd", DataType::kDouble}});
+  if (!w.ok()) return w.status();
+  warehouse_ = *w;
+  auto d = make("district", {{"d_key", DataType::kInt64},
+                             {"next_o_id", DataType::kInt64},
+                             {"ytd", DataType::kDouble}});
+  if (!d.ok()) return d.status();
+  district_ = *d;
+  auto c = make("customer", {{"c_key", DataType::kInt64},
+                             {"name", DataType::kString},
+                             {"balance", DataType::kDouble}});
+  if (!c.ok()) return c.status();
+  customer_ = *c;
+  auto i = make("item", {{"i_id", DataType::kInt64},
+                         {"name", DataType::kString},
+                         {"price", DataType::kDouble}});
+  if (!i.ok()) return i.status();
+  item_ = *i;
+  auto s = make("stock", {{"s_key", DataType::kInt64},
+                          {"quantity", DataType::kInt64}});
+  if (!s.ok()) return s.status();
+  stock_ = *s;
+  auto o = make("orders", {{"o_key", DataType::kInt64},
+                           {"c_key", DataType::kInt64},
+                           {"entry", DataType::kInt64}});
+  if (!o.ok()) return o.status();
+  orders_ = *o;
+  auto no = make("new_order", {{"o_key", DataType::kInt64},
+                               {"d_key", DataType::kInt64}});
+  if (!no.ok()) return no.status();
+  new_order_ = *no;
+  auto ol = make("order_line", {{"ol_key", DataType::kInt64},
+                                {"i_id", DataType::kInt64},
+                                {"quantity", DataType::kInt64},
+                                {"amount", DataType::kDouble}});
+  if (!ol.ok()) return ol.status();
+  order_line_ = *ol;
+  auto h = make("history", {{"h_id", DataType::kInt64},
+                            {"c_key", DataType::kInt64},
+                            {"amount", DataType::kDouble}});
+  if (!h.ok()) return h.status();
+  history_ = *h;
+
+  HYRISE_NV_RETURN_NOT_OK(db_->CreateIndex("warehouse", 0));
+  HYRISE_NV_RETURN_NOT_OK(db_->CreateIndex("district", 0));
+  HYRISE_NV_RETURN_NOT_OK(db_->CreateIndex("customer", 0));
+  HYRISE_NV_RETURN_NOT_OK(db_->CreateIndex("item", 0));
+  HYRISE_NV_RETURN_NOT_OK(db_->CreateIndex("stock", 0));
+  HYRISE_NV_RETURN_NOT_OK(db_->CreateIndex("orders", 1));  // by customer
+  // Ordered index: Delivery pops the oldest pending order per district.
+  HYRISE_NV_RETURN_NOT_OK(db_->CreateOrderedIndex("new_order", 0));
+
+  // Population.
+  auto tx_result = db_->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  txn::Transaction tx = *tx_result;
+  uint64_t in_batch = 0;
+  auto insert = [&](storage::Table* table,
+                    std::vector<Value> row) -> Status {
+    auto result = db_->Insert(tx, table, row);
+    if (!result.ok()) return result.status();
+    return CommitBatch(db_, &tx, &in_batch);
+  };
+
+  for (uint32_t wid = 0; wid < config_.warehouses; ++wid) {
+    HYRISE_NV_RETURN_NOT_OK(insert(
+        warehouse_, {Value(static_cast<int64_t>(wid)),
+                     Value("warehouse-" + std::to_string(wid)),
+                     Value(0.0)}));
+    for (uint32_t did = 0; did < config_.districts_per_warehouse; ++did) {
+      HYRISE_NV_RETURN_NOT_OK(insert(
+          district_,
+          {Value(DistrictKey(wid, did)), Value(int64_t{1}), Value(0.0)}));
+      for (uint32_t cid = 0; cid < config_.customers_per_district; ++cid) {
+        HYRISE_NV_RETURN_NOT_OK(insert(
+            customer_, {Value(CustomerKey(wid, did, cid)),
+                        Value("customer-" + std::to_string(cid)),
+                        Value(100.0)}));
+      }
+    }
+  }
+  for (uint32_t iid = 0; iid < config_.items; ++iid) {
+    HYRISE_NV_RETURN_NOT_OK(
+        insert(item_, {Value(static_cast<int64_t>(iid)),
+                       Value("item-" + std::to_string(iid)),
+                       Value(1.0 + (iid % 100) * 0.5)}));
+    for (uint32_t wid = 0; wid < config_.warehouses; ++wid) {
+      HYRISE_NV_RETURN_NOT_OK(insert(
+          stock_, {Value(StockKey(iid, wid)), Value(int64_t{10000})}));
+    }
+  }
+  return db_->Commit(tx);
+}
+
+Result<RowLocation> TpccRunner::PointLookup(txn::Transaction& tx,
+                                            storage::Table* table,
+                                            int64_t key) {
+  auto rows =
+      db_->ScanEqual(table, 0, Value(key), tx.snapshot(), tx.tid());
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) {
+    return Status::NotFound("no visible row for key " +
+                            std::to_string(key));
+  }
+  return rows->front();
+}
+
+Status TpccRunner::RunNewOrder(TpccStats* stats) {
+  const uint32_t wid = static_cast<uint32_t>(
+      rng_.Uniform(config_.warehouses));
+  const uint32_t did = static_cast<uint32_t>(
+      rng_.Uniform(config_.districts_per_warehouse));
+  const uint32_t cid = static_cast<uint32_t>(
+      rng_.Uniform(config_.customers_per_district));
+  const uint32_t ol_count = 5 + static_cast<uint32_t>(rng_.Uniform(11));
+
+  auto tx_result = db_->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  txn::Transaction tx = *tx_result;
+
+  auto run = [&]() -> Status {
+    // District: fetch and bump next_o_id.
+    auto district_loc =
+        PointLookup(tx, district_, DistrictKey(wid, did));
+    if (!district_loc.ok()) return district_loc.status();
+    const auto district_row = district_->GetRow(*district_loc);
+    const int64_t o_id = std::get<int64_t>(district_row[1]);
+    auto district_update = db_->Update(
+        tx, district_, *district_loc,
+        {district_row[0], Value(o_id + 1), district_row[2]});
+    if (!district_update.ok()) return district_update.status();
+
+    // Order lines: read item price, decrement stock, insert line.
+    const int64_t o_key = OrderKey(wid, did, o_id);
+    double total = 0;
+    for (uint32_t line = 0; line < ol_count; ++line) {
+      const uint32_t iid =
+          static_cast<uint32_t>(rng_.Uniform(config_.items));
+      auto item_loc = PointLookup(tx, item_, iid);
+      if (!item_loc.ok()) return item_loc.status();
+      const double price =
+          std::get<double>(item_->GetValue(*item_loc, 2));
+      const int64_t quantity = 1 + static_cast<int64_t>(rng_.Uniform(10));
+
+      auto stock_loc = PointLookup(tx, stock_, StockKey(iid, wid));
+      if (!stock_loc.ok()) return stock_loc.status();
+      const int64_t stock_qty =
+          std::get<int64_t>(stock_->GetValue(*stock_loc, 1));
+      int64_t new_qty = stock_qty - quantity;
+      if (new_qty < 10) new_qty += 91;  // TPC-C restock rule
+      auto stock_update =
+          db_->Update(tx, stock_, *stock_loc,
+                      {Value(StockKey(iid, wid)), Value(new_qty)});
+      if (!stock_update.ok()) return stock_update.status();
+
+      const double amount = price * static_cast<double>(quantity);
+      total += amount;
+      auto line_insert = db_->Insert(
+          tx, order_line_,
+          {Value(o_key * 16 + line), Value(static_cast<int64_t>(iid)),
+           Value(quantity), Value(amount)});
+      if (!line_insert.ok()) return line_insert.status();
+    }
+    (void)total;
+
+    auto order_insert = db_->Insert(
+        tx, orders_, {Value(o_key), Value(CustomerKey(wid, did, cid)),
+                      Value(static_cast<int64_t>(stats->transactions()))});
+    if (!order_insert.ok()) return order_insert.status();
+    auto pending_insert = db_->Insert(
+        tx, new_order_, {Value(o_key), Value(DistrictKey(wid, did))});
+    return pending_insert.status();
+  };
+
+  Status status = run();
+  if (status.ok()) {
+    HYRISE_NV_RETURN_NOT_OK(db_->Commit(tx));
+    ++stats->new_orders;
+    return Status::OK();
+  }
+  HYRISE_NV_RETURN_NOT_OK(db_->Abort(tx));
+  if (status.IsConflict() || status.IsNotFound()) {
+    ++stats->aborts;
+    return Status::OK();
+  }
+  return status;
+}
+
+Status TpccRunner::RunPayment(TpccStats* stats) {
+  const uint32_t wid = static_cast<uint32_t>(
+      rng_.Uniform(config_.warehouses));
+  const uint32_t did = static_cast<uint32_t>(
+      rng_.Uniform(config_.districts_per_warehouse));
+  const uint32_t cid = static_cast<uint32_t>(
+      rng_.Uniform(config_.customers_per_district));
+  const double amount = 1.0 + static_cast<double>(rng_.Uniform(5000)) / 100;
+
+  auto tx_result = db_->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  txn::Transaction tx = *tx_result;
+
+  auto run = [&]() -> Status {
+    auto warehouse_loc = PointLookup(tx, warehouse_, wid);
+    if (!warehouse_loc.ok()) return warehouse_loc.status();
+    auto warehouse_row = warehouse_->GetRow(*warehouse_loc);
+    auto warehouse_update = db_->Update(
+        tx, warehouse_, *warehouse_loc,
+        {warehouse_row[0], warehouse_row[1],
+         Value(std::get<double>(warehouse_row[2]) + amount)});
+    if (!warehouse_update.ok()) return warehouse_update.status();
+
+    auto district_loc =
+        PointLookup(tx, district_, DistrictKey(wid, did));
+    if (!district_loc.ok()) return district_loc.status();
+    auto district_row = district_->GetRow(*district_loc);
+    auto district_update = db_->Update(
+        tx, district_, *district_loc,
+        {district_row[0], district_row[1],
+         Value(std::get<double>(district_row[2]) + amount)});
+    if (!district_update.ok()) return district_update.status();
+
+    auto customer_loc =
+        PointLookup(tx, customer_, CustomerKey(wid, did, cid));
+    if (!customer_loc.ok()) return customer_loc.status();
+    auto customer_row = customer_->GetRow(*customer_loc);
+    auto customer_update = db_->Update(
+        tx, customer_, *customer_loc,
+        {customer_row[0], customer_row[1],
+         Value(std::get<double>(customer_row[2]) - amount)});
+    if (!customer_update.ok()) return customer_update.status();
+
+    auto history_insert = db_->Insert(
+        tx, history_,
+        {Value(next_history_id_++), Value(CustomerKey(wid, did, cid)),
+         Value(amount)});
+    return history_insert.status();
+  };
+
+  Status status = run();
+  if (status.ok()) {
+    HYRISE_NV_RETURN_NOT_OK(db_->Commit(tx));
+    ++stats->payments;
+    return Status::OK();
+  }
+  HYRISE_NV_RETURN_NOT_OK(db_->Abort(tx));
+  if (status.IsConflict() || status.IsNotFound()) {
+    ++stats->aborts;
+    return Status::OK();
+  }
+  return status;
+}
+
+Status TpccRunner::RunOrderStatus(TpccStats* stats) {
+  const uint32_t wid = static_cast<uint32_t>(
+      rng_.Uniform(config_.warehouses));
+  const uint32_t did = static_cast<uint32_t>(
+      rng_.Uniform(config_.districts_per_warehouse));
+  const uint32_t cid = static_cast<uint32_t>(
+      rng_.Uniform(config_.customers_per_district));
+
+  auto tx_result = db_->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  txn::Transaction tx = *tx_result;
+
+  auto customer_loc =
+      PointLookup(tx, customer_, CustomerKey(wid, did, cid));
+  if (customer_loc.ok()) {
+    // Orders of this customer via the secondary index on c_key.
+    auto orders = db_->ScanEqual(orders_, 1,
+                                 Value(CustomerKey(wid, did, cid)),
+                                 tx.snapshot(), tx.tid());
+    if (!orders.ok()) {
+      (void)db_->Abort(tx);
+      return orders.status();
+    }
+  }
+  HYRISE_NV_RETURN_NOT_OK(db_->Commit(tx));
+  ++stats->order_statuses;
+  return Status::OK();
+}
+
+Status TpccRunner::RunDelivery(TpccStats* stats) {
+  const uint32_t wid = static_cast<uint32_t>(
+      rng_.Uniform(config_.warehouses));
+  const uint32_t did = static_cast<uint32_t>(
+      rng_.Uniform(config_.districts_per_warehouse));
+
+  auto tx_result = db_->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  txn::Transaction tx = *tx_result;
+
+  // Oldest pending order of the district, through the ordered index.
+  auto pending = core::ScanRange(
+      new_order_, 0, Value(OrderKey(wid, did, 0)),
+      Value(OrderKey(wid, did, 999999999)), tx.snapshot(), tx.tid(),
+      db_->indexes(new_order_));
+  Status status = pending.status();
+  if (status.ok() && !pending->empty()) {
+    // The skip-list walk returns key order; front() is the oldest.
+    status = db_->Delete(tx, new_order_, pending->front());
+  }
+  if (status.ok()) {
+    HYRISE_NV_RETURN_NOT_OK(db_->Commit(tx));
+    ++stats->deliveries;
+    return Status::OK();
+  }
+  HYRISE_NV_RETURN_NOT_OK(db_->Abort(tx));
+  if (status.IsConflict() || status.IsNotFound()) {
+    ++stats->aborts;
+    return Status::OK();
+  }
+  return status;
+}
+
+Status TpccRunner::RunStockLevel(TpccStats* stats) {
+  const uint32_t wid = static_cast<uint32_t>(
+      rng_.Uniform(config_.warehouses));
+  auto tx_result = db_->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  txn::Transaction tx = *tx_result;
+
+  // Count recently used items whose stock fell below a threshold.
+  uint64_t low = 0;
+  for (int probe = 0; probe < 20; ++probe) {
+    const uint32_t iid =
+        static_cast<uint32_t>(rng_.Uniform(config_.items));
+    auto stock_loc = PointLookup(tx, stock_, StockKey(iid, wid));
+    if (!stock_loc.ok()) continue;
+    if (std::get<int64_t>(stock_->GetValue(*stock_loc, 1)) < 1000) {
+      ++low;
+    }
+  }
+  (void)low;
+  HYRISE_NV_RETURN_NOT_OK(db_->Commit(tx));
+  ++stats->stock_levels;
+  return Status::OK();
+}
+
+Result<TpccStats> TpccRunner::Run(uint64_t num_transactions) {
+  if (warehouse_ == nullptr) {
+    return Status::InvalidArgument("Load() first");
+  }
+  TpccStats stats;
+  Stopwatch timer;
+  for (uint64_t t = 0; t < num_transactions; ++t) {
+    const double dice = rng_.NextDouble();
+    Status status;
+    double threshold = config_.new_order_fraction;
+    if (dice < threshold) {
+      status = RunNewOrder(&stats);
+    } else if (dice < (threshold += config_.payment_fraction)) {
+      status = RunPayment(&stats);
+    } else if (dice < (threshold += config_.delivery_fraction)) {
+      status = RunDelivery(&stats);
+    } else if (dice < (threshold += config_.stock_level_fraction)) {
+      status = RunStockLevel(&stats);
+    } else {
+      status = RunOrderStatus(&stats);
+    }
+    if (!status.ok()) return status;
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace hyrise_nv::workload

@@ -1,0 +1,104 @@
+#ifndef HYRISE_NV_WORKLOAD_TPCC_H_
+#define HYRISE_NV_WORKLOAD_TPCC_H_
+
+#include <cstdint>
+
+#include "core/database.h"
+#include "common/random.h"
+
+namespace hyrise_nv::workload {
+
+/// Scaled-down TPC-C-style order-processing workload: warehouses,
+/// districts, customers, items, stock, orders, order lines, history, with
+/// NewOrder / Payment / OrderStatus transactions. This is the OLTP mix
+/// for the throughput experiments (E3). Composite keys are packed into
+/// single int64 columns so the engine's single-column hash indexes serve
+/// the point lookups.
+struct TpccConfig {
+  uint32_t warehouses = 2;
+  uint32_t districts_per_warehouse = 10;
+  uint32_t customers_per_district = 30;
+  uint32_t items = 1000;
+  uint64_t seed = 11;
+  /// Transaction mix, TPC-C-like (remainder is read-only OrderStatus):
+  /// NewOrder + Payment dominate; Delivery retires pending orders through
+  /// the ordered index; StockLevel is a read-only stock scan.
+  double new_order_fraction = 0.44;
+  double payment_fraction = 0.42;
+  double delivery_fraction = 0.05;
+  double stock_level_fraction = 0.05;
+};
+
+struct TpccStats {
+  uint64_t new_orders = 0;
+  uint64_t payments = 0;
+  uint64_t order_statuses = 0;
+  uint64_t deliveries = 0;
+  uint64_t stock_levels = 0;
+  uint64_t aborts = 0;
+  double seconds = 0;
+  uint64_t transactions() const {
+    return new_orders + payments + order_statuses + deliveries +
+           stock_levels;
+  }
+  double TxnPerSecond() const {
+    return seconds > 0 ? transactions() / seconds : 0;
+  }
+};
+
+class TpccRunner {
+ public:
+  TpccRunner(core::Database* db, TpccConfig config)
+      : db_(db), config_(config), rng_(config.seed) {}
+
+  /// Creates and populates all tables + indexes.
+  Status Load();
+
+  /// Runs `num_transactions` transactions of the configured mix.
+  Result<TpccStats> Run(uint64_t num_transactions);
+
+  // Packed-key helpers (exposed for tests).
+  int64_t DistrictKey(uint32_t w, uint32_t d) const {
+    return static_cast<int64_t>(w) * 100 + d;
+  }
+  int64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) const {
+    return (static_cast<int64_t>(w) * 100 + d) * 100000 + c;
+  }
+  int64_t StockKey(uint32_t item, uint32_t w) const {
+    return static_cast<int64_t>(item) * 1000 + w;
+  }
+  int64_t OrderKey(uint32_t w, uint32_t d, int64_t o_id) const {
+    return (static_cast<int64_t>(w) * 100 + d) * 1000000000 + o_id;
+  }
+
+ private:
+  Status RunNewOrder(TpccStats* stats);
+  Status RunPayment(TpccStats* stats);
+  Status RunOrderStatus(TpccStats* stats);
+  Status RunDelivery(TpccStats* stats);
+  Status RunStockLevel(TpccStats* stats);
+
+  // Returns the single visible row for key in `table`'s column 0, or
+  // NotFound.
+  Result<storage::RowLocation> PointLookup(txn::Transaction& tx,
+                                           storage::Table* table,
+                                           int64_t key);
+
+  core::Database* db_;
+  TpccConfig config_;
+  Rng rng_;
+  storage::Table* warehouse_ = nullptr;
+  storage::Table* district_ = nullptr;
+  storage::Table* customer_ = nullptr;
+  storage::Table* item_ = nullptr;
+  storage::Table* stock_ = nullptr;
+  storage::Table* orders_ = nullptr;
+  storage::Table* new_order_ = nullptr;
+  storage::Table* order_line_ = nullptr;
+  storage::Table* history_ = nullptr;
+  int64_t next_history_id_ = 0;
+};
+
+}  // namespace hyrise_nv::workload
+
+#endif  // HYRISE_NV_WORKLOAD_TPCC_H_

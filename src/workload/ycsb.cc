@@ -1,0 +1,106 @@
+#include "workload/ycsb.h"
+
+#include "common/stopwatch.h"
+#include "core/query.h"
+
+namespace hyrise_nv::workload {
+
+using storage::DataType;
+using storage::Value;
+
+Status YcsbRunner::Load() {
+  auto schema_result = storage::Schema::Make(
+      {{"key", DataType::kInt64}, {"field", DataType::kString}});
+  if (!schema_result.ok()) return schema_result.status();
+  auto table_result = db_->CreateTable("ycsb", *schema_result);
+  if (!table_result.ok()) return table_result.status();
+  table_ = *table_result;
+  if (config_.use_index) {
+    HYRISE_NV_RETURN_NOT_OK(db_->CreateIndex("ycsb", 0));
+  }
+
+  Rng rng(config_.seed);
+  auto tx_result = db_->Begin();
+  if (!tx_result.ok()) return tx_result.status();
+  for (uint64_t k = 0; k < config_.initial_rows; ++k) {
+    auto insert_result = db_->Insert(
+        *tx_result, table_,
+        {Value(static_cast<int64_t>(k)),
+         Value(rng.NextString(config_.value_length))});
+    if (!insert_result.ok()) return insert_result.status();
+    // Commit in batches to bound the touch list size.
+    if ((k + 1) % 1024 == 0) {
+      HYRISE_NV_RETURN_NOT_OK(db_->Commit(*tx_result));
+      tx_result = db_->Begin();
+      if (!tx_result.ok()) return tx_result.status();
+    }
+  }
+  HYRISE_NV_RETURN_NOT_OK(db_->Commit(*tx_result));
+  next_key_ = config_.initial_rows;
+  return Status::OK();
+}
+
+Result<YcsbStats> YcsbRunner::Run(uint64_t num_transactions) {
+  if (table_ == nullptr) {
+    return Status::InvalidArgument("Load() first");
+  }
+  YcsbStats stats;
+  Rng rng(config_.seed + 1);
+  ZipfGenerator keys(config_.initial_rows, config_.zipf_theta,
+                     config_.seed + 2);
+  Stopwatch timer;
+  for (uint64_t t = 0; t < num_transactions; ++t) {
+    auto tx_result = db_->Begin();
+    if (!tx_result.ok()) return tx_result.status();
+    auto& tx = *tx_result;
+    const double dice = rng.NextDouble();
+    Status op_status = Status::OK();
+    if (dice < config_.read_fraction) {
+      // Point read.
+      const int64_t key = static_cast<int64_t>(keys.Next());
+      auto rows = db_->ScanEqual(table_, 0, Value(key), tx.snapshot(),
+                                 tx.tid());
+      if (!rows.ok()) {
+        op_status = rows.status();
+      } else {
+        ++stats.reads;
+      }
+    } else if (dice < config_.read_fraction + config_.update_fraction) {
+      // Update: replace the field of one visible version of the key.
+      const int64_t key = static_cast<int64_t>(keys.Next());
+      auto rows = db_->ScanEqual(table_, 0, Value(key), tx.snapshot(),
+                                 tx.tid());
+      if (!rows.ok()) {
+        op_status = rows.status();
+      } else if (!rows->empty()) {
+        auto update_result = db_->Update(
+            tx, table_, rows->front(),
+            {Value(key), Value(rng.NextString(config_.value_length))});
+        op_status = update_result.status();
+        if (op_status.ok()) ++stats.updates;
+      }
+    } else {
+      const int64_t key = static_cast<int64_t>(next_key_++);
+      auto insert_result = db_->Insert(
+          tx, table_,
+          {Value(key), Value(rng.NextString(config_.value_length))});
+      op_status = insert_result.status();
+      if (op_status.ok()) ++stats.inserts;
+    }
+
+    if (op_status.ok()) {
+      HYRISE_NV_RETURN_NOT_OK(db_->Commit(tx));
+      ++stats.transactions;
+    } else if (op_status.IsConflict()) {
+      HYRISE_NV_RETURN_NOT_OK(db_->Abort(tx));
+      ++stats.aborts;
+    } else {
+      (void)db_->Abort(tx);
+      return op_status;
+    }
+  }
+  stats.seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace hyrise_nv::workload

@@ -1,0 +1,61 @@
+#ifndef HYRISE_NV_WORKLOAD_YCSB_H_
+#define HYRISE_NV_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "workload/zipf.h"
+
+namespace hyrise_nv::workload {
+
+/// YCSB-style key-value workload over one table (key int64, field
+/// string), with a configurable read/update/insert mix and zipfian key
+/// skew. Used by the latency-sensitivity experiment (E4) and as a generic
+/// OLTP driver.
+struct YcsbConfig {
+  uint64_t initial_rows = 10000;
+  uint32_t value_length = 64;
+  double read_fraction = 0.5;
+  double update_fraction = 0.4;  // rest are inserts
+  double zipf_theta = 0.8;
+  uint64_t seed = 42;
+  bool use_index = true;
+};
+
+struct YcsbStats {
+  uint64_t transactions = 0;
+  uint64_t reads = 0;
+  uint64_t updates = 0;
+  uint64_t inserts = 0;
+  uint64_t aborts = 0;
+  double seconds = 0;
+  double TxnPerSecond() const {
+    return seconds > 0 ? transactions / seconds : 0;
+  }
+};
+
+/// Drives a YCSB-style workload against a Database.
+class YcsbRunner {
+ public:
+  YcsbRunner(core::Database* db, YcsbConfig config)
+      : db_(db), config_(config) {}
+
+  /// Creates the table (+ index) and loads `initial_rows` committed rows.
+  Status Load();
+
+  /// Runs `num_transactions` single-operation transactions.
+  Result<YcsbStats> Run(uint64_t num_transactions);
+
+  storage::Table* table() const { return table_; }
+
+ private:
+  core::Database* db_;
+  YcsbConfig config_;
+  storage::Table* table_ = nullptr;
+  uint64_t next_key_ = 0;
+};
+
+}  // namespace hyrise_nv::workload
+
+#endif  // HYRISE_NV_WORKLOAD_YCSB_H_

@@ -1,0 +1,39 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace hyrise_nv::workload {
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  HYRISE_NV_CHECK(n > 0, "zipf needs n > 0");
+  HYRISE_NV_CHECK(theta > 0 && theta < 1, "zipf theta must be in (0,1)");
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t key = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return key >= n_ ? n_ - 1 : key;
+}
+
+}  // namespace hyrise_nv::workload

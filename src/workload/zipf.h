@@ -1,0 +1,46 @@
+#ifndef HYRISE_NV_WORKLOAD_ZIPF_H_
+#define HYRISE_NV_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace hyrise_nv::workload {
+
+/// Zipfian-distributed key generator over [0, n), YCSB-style (Gray et al.
+/// rejection-free method with precomputed zeta). theta in (0, 1);
+/// theta ≈ 0.99 matches the YCSB default skew.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next key in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+/// Uniform key generator with the same interface.
+class UniformGenerator {
+ public:
+  UniformGenerator(uint64_t n, uint64_t seed) : n_(n), rng_(seed) {}
+  uint64_t Next() { return rng_.Uniform(n_); }
+
+ private:
+  uint64_t n_;
+  Rng rng_;
+};
+
+}  // namespace hyrise_nv::workload
+
+#endif  // HYRISE_NV_WORKLOAD_ZIPF_H_

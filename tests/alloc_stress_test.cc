@@ -1,0 +1,112 @@
+// Randomized allocator stress: interleaved allocations and frees across
+// size classes, with crashes injected at arbitrary fences. Invariants:
+// all live payloads stay intact, freed blocks are reusable, recovery
+// never corrupts the free lists, and the allocator keeps functioning.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "alloc/pheap.h"
+#include "common/random.h"
+
+namespace hyrise_nv::alloc {
+namespace {
+
+struct LiveBlock {
+  uint64_t offset;
+  uint64_t size;
+  uint64_t pattern;
+};
+
+void FillPattern(nvm::PmemRegion& region, const LiveBlock& block) {
+  auto* p = reinterpret_cast<uint64_t*>(region.base() + block.offset);
+  for (uint64_t i = 0; i < block.size / 8; ++i) {
+    p[i] = block.pattern + i;
+  }
+  region.Persist(p, block.size);
+}
+
+bool CheckPattern(nvm::PmemRegion& region, const LiveBlock& block) {
+  const auto* p =
+      reinterpret_cast<const uint64_t*>(region.base() + block.offset);
+  for (uint64_t i = 0; i < block.size / 8; ++i) {
+    if (p[i] != block.pattern + i) return false;
+  }
+  return true;
+}
+
+class AllocStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocStressTest, RandomAllocFreeWithCrashes) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  nvm::PmemRegionOptions opts;
+  opts.tracking = nvm::TrackingMode::kShadow;
+  auto heap_result = PHeap::Create(16 << 20, opts);
+  ASSERT_TRUE(heap_result.ok());
+  auto heap = std::move(heap_result).ValueUnsafe();
+
+  std::map<uint64_t, LiveBlock> live;
+  for (int round = 0; round < 6; ++round) {
+    // A burst of random operations.
+    for (int op = 0; op < 150; ++op) {
+      if (live.empty() || rng.Bernoulli(0.6)) {
+        const uint64_t size = 8u << rng.Uniform(8);  // 8..1024 bytes
+        auto offset_result = heap->allocator().Alloc(size);
+        ASSERT_TRUE(offset_result.ok())
+            << offset_result.status().ToString();
+        LiveBlock block{*offset_result, size, rng.Next()};
+        // No two live blocks may overlap.
+        auto next = live.lower_bound(block.offset);
+        if (next != live.end()) {
+          ASSERT_GE(next->first, block.offset + block.size)
+              << "seed " << seed << ": overlap with next block";
+        }
+        if (next != live.begin()) {
+          auto prev = std::prev(next);
+          ASSERT_LE(prev->second.offset + prev->second.size, block.offset)
+              << "seed " << seed << ": overlap with previous block";
+        }
+        FillPattern(heap->region(), block);
+        live.emplace(block.offset, block);
+      } else {
+        auto it = live.begin();
+        std::advance(it, rng.Uniform(live.size()));
+        ASSERT_TRUE(heap->allocator().Free(it->second.offset).ok());
+        live.erase(it);
+      }
+    }
+
+    // Crash at a random fence inside the next burst-equivalent, recover,
+    // and verify every live payload survived.
+    heap->region().FreezeShadowAfterFences(1 + rng.Uniform(50));
+    for (int op = 0; op < 20; ++op) {
+      // Post-freeze churn whose effects must vanish.
+      auto offset_result = heap->allocator().Alloc(64);
+      ASSERT_TRUE(offset_result.ok());
+      (void)heap->allocator().Free(*offset_result);
+    }
+    ASSERT_TRUE(heap->region().SimulateCrash().ok());
+    PAllocator recovered(heap->region());
+    ASSERT_TRUE(recovered.Recover().ok()) << "seed " << seed;
+    for (const auto& [offset, block] : live) {
+      ASSERT_TRUE(CheckPattern(heap->region(), block))
+          << "seed " << seed << " round " << round
+          << ": payload corrupted at offset " << offset;
+      auto size_result = recovered.AllocSize(offset);
+      ASSERT_TRUE(size_result.ok());
+      ASSERT_GE(*size_result, block.size);
+    }
+    // The allocator must keep functioning after recovery.
+    auto probe = recovered.Alloc(128);
+    ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+    ASSERT_TRUE(recovered.Free(*probe).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocStressTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace hyrise_nv::alloc

@@ -1,0 +1,103 @@
+#include "common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace hyrise_nv {
+namespace {
+
+TEST(BitsForTest, SmallValues) {
+  EXPECT_EQ(BitsFor(0), 1);
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 2);
+  EXPECT_EQ(BitsFor(3), 2);
+  EXPECT_EQ(BitsFor(4), 3);
+  EXPECT_EQ(BitsFor(255), 8);
+  EXPECT_EQ(BitsFor(256), 9);
+}
+
+TEST(BitsForTest, LargeValues) {
+  EXPECT_EQ(BitsFor((uint64_t{1} << 32) - 1), 32);
+  EXPECT_EQ(BitsFor(uint64_t{1} << 32), 33);
+  EXPECT_EQ(BitsFor(~uint64_t{0}), 64);
+}
+
+TEST(AlignUpTest, Basics) {
+  EXPECT_EQ(AlignUp(0, 64), 0u);
+  EXPECT_EQ(AlignUp(1, 64), 64u);
+  EXPECT_EQ(AlignUp(64, 64), 64u);
+  EXPECT_EQ(AlignUp(65, 64), 128u);
+  EXPECT_EQ(AlignUp(7, 8), 8u);
+}
+
+TEST(BitpackTest, RoundTripVariousWidths) {
+  for (uint8_t bits = 1; bits <= 64; ++bits) {
+    const size_t count = 100;
+    std::vector<uint64_t> words(bitpack::WordsFor(count, bits), 0);
+    const uint64_t mask =
+        bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    Rng rng(bits);
+    std::vector<uint64_t> expected(count);
+    for (size_t i = 0; i < count; ++i) {
+      expected[i] = rng.Next() & mask;
+      bitpack::Set(words.data(), i, bits, expected[i]);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(bitpack::Get(words.data(), i, bits), expected[i])
+          << "bits=" << int(bits) << " i=" << i;
+    }
+  }
+}
+
+TEST(BitpackTest, OverwriteDoesNotDisturbNeighbours) {
+  const uint8_t bits = 7;  // deliberately straddles word boundaries
+  const size_t count = 64;
+  std::vector<uint64_t> words(bitpack::WordsFor(count, bits), 0);
+  for (size_t i = 0; i < count; ++i) {
+    bitpack::Set(words.data(), i, bits, i + 1);
+  }
+  bitpack::Set(words.data(), 10, bits, 0x55);
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t want = (i == 10) ? 0x55 : i + 1;
+    EXPECT_EQ(bitpack::Get(words.data(), i, bits), want) << i;
+  }
+}
+
+TEST(BitpackTest, WordsForEdges) {
+  EXPECT_EQ(bitpack::WordsFor(0, 13), 0u);
+  EXPECT_EQ(bitpack::WordsFor(1, 1), 1u);
+  EXPECT_EQ(bitpack::WordsFor(64, 1), 1u);
+  EXPECT_EQ(bitpack::WordsFor(65, 1), 2u);
+  EXPECT_EQ(bitpack::WordsFor(1, 64), 1u);
+  EXPECT_EQ(bitpack::WordsFor(2, 64), 2u);
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hyrise_nv

@@ -1,0 +1,50 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hyrise_nv {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Standard CRC-32C check value for "123456789".
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32c(check.data(), check.size()), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsSeed) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32c(nullptr, 0, 0xDEADBEEF), 0xDEADBEEFu);
+}
+
+TEST(Crc32cTest, Incremental) {
+  const std::string a = "hello, ";
+  const std::string b = "world";
+  const std::string ab = a + b;
+  const uint32_t whole = Crc32c(ab.data(), ab.size());
+  const uint32_t part = Crc32c(b.data(), b.size(),
+                               Crc32c(a.data(), a.size()));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  std::string data(100, 'x');
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); i += 13) {
+    std::string mutated = data;
+    mutated[i] ^= 1;
+    EXPECT_NE(Crc32c(mutated.data(), mutated.size()), base)
+        << "flip at byte " << i << " not detected";
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  for (uint32_t crc : {0u, 1u, 0xFFFFFFFFu, 0x12345678u, 0xE3069283u}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+    EXPECT_NE(MaskCrc(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace hyrise_nv

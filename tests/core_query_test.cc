@@ -1,0 +1,159 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace hyrise_nv::core {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions options;
+    options.mode = DurabilityMode::kNvm;
+    options.region_size = 64 << 20;
+    options.tracking = nvm::TrackingMode::kNone;
+    db_ = std::move(Database::Create(options)).ValueUnsafe();
+    auto schema = *storage::Schema::Make({{"i", DataType::kInt64},
+                                          {"d", DataType::kDouble},
+                                          {"s", DataType::kString}});
+    table_ = *db_->CreateTable("t", schema);
+  }
+
+  void Insert(int64_t i, double d, const std::string& s) {
+    ASSERT_TRUE(
+        db_->InsertAutoCommit(table_, {Value(i), Value(d), Value(s)}).ok());
+  }
+
+  storage::Cid Snap() { return db_->ReadSnapshot(); }
+
+  std::unique_ptr<Database> db_;
+  storage::Table* table_ = nullptr;
+};
+
+TEST_F(QueryTest, CompareValuesAllTypes) {
+  EXPECT_LT(CompareValues(Value(int64_t{-5}), Value(int64_t{3})), 0);
+  EXPECT_GT(CompareValues(Value(int64_t{7}), Value(int64_t{-7})), 0);
+  EXPECT_EQ(CompareValues(Value(int64_t{4}), Value(int64_t{4})), 0);
+  EXPECT_LT(CompareValues(Value(1.5), Value(2.5)), 0);
+  EXPECT_LT(CompareValues(Value(std::string("a")), Value(std::string("b"))),
+            0);
+  EXPECT_EQ(
+      CompareValues(Value(std::string("x")), Value(std::string("x"))), 0);
+}
+
+TEST_F(QueryTest, ScanRangeEmptyTable) {
+  auto rows = ScanRange(table_, 0, Value(int64_t{0}), Value(int64_t{10}),
+                        Snap(), storage::kTidNone);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(QueryTest, ScanRangeInvertedBoundsEmpty) {
+  Insert(5, 1.0, "x");
+  auto rows = ScanRange(table_, 0, Value(int64_t{10}), Value(int64_t{0}),
+                        Snap(), storage::kTidNone);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(QueryTest, ScanRangeBadColumnRejected) {
+  auto rows = ScanRange(table_, 99, Value(int64_t{0}), Value(int64_t{1}),
+                        Snap(), storage::kTidNone);
+  EXPECT_FALSE(rows.ok());
+}
+
+TEST_F(QueryTest, ScanRangeOnDoubles) {
+  for (int i = 0; i < 10; ++i) Insert(i, i * 0.5, "v");
+  auto rows = ScanRange(table_, 1, Value(1.0), Value(3.0), Snap(),
+                        storage::kTidNone);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);  // 1.0, 1.5, 2.0, 2.5, 3.0
+}
+
+TEST_F(QueryTest, ScanRangeOnStrings) {
+  for (const char* s : {"apple", "banana", "cherry", "date", "elder"}) {
+    Insert(0, 0.0, s);
+  }
+  auto rows = ScanRange(table_, 2, Value(std::string("b")),
+                        Value(std::string("d")), Snap(),
+                        storage::kTidNone);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);  // banana, cherry
+}
+
+TEST_F(QueryTest, SumsRespectVisibility) {
+  Insert(10, 1.5, "a");
+  Insert(20, 2.5, "b");
+  // One uncommitted insert must not count.
+  auto tx = *db_->Begin();
+  ASSERT_TRUE(db_->Insert(*&tx, table_,
+                          {Value(int64_t{1000}), Value(99.0),
+                           Value(std::string("ghost"))})
+                  .ok());
+  auto sum_i = SumInt64(table_, 0, Snap(), storage::kTidNone);
+  ASSERT_TRUE(sum_i.ok());
+  EXPECT_EQ(*sum_i, 30);
+  auto sum_d = SumDouble(table_, 1, Snap(), storage::kTidNone);
+  ASSERT_TRUE(sum_d.ok());
+  EXPECT_EQ(*sum_d, 4.0);
+  // The owner sees its own insert.
+  auto own = SumInt64(table_, 0, tx.snapshot(), tx.tid());
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(*own, 1030);
+  ASSERT_TRUE(db_->Abort(tx).ok());
+}
+
+TEST_F(QueryTest, SumTypeMismatchRejected) {
+  EXPECT_FALSE(SumInt64(table_, 1, Snap(), storage::kTidNone).ok());
+  EXPECT_FALSE(SumDouble(table_, 0, Snap(), storage::kTidNone).ok());
+  EXPECT_FALSE(SumInt64(table_, 2, Snap(), storage::kTidNone).ok());
+}
+
+TEST_F(QueryTest, MaterializeRows) {
+  Insert(1, 1.0, "one");
+  Insert(2, 2.0, "two");
+  auto locs = db_->ScanEqual(table_, 0, Value(int64_t{2}), Snap(),
+                             storage::kTidNone);
+  ASSERT_TRUE(locs.ok());
+  const auto rows = MaterializeRows(table_, *locs);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(rows[0][2]), "two");
+}
+
+TEST_F(QueryTest, ScanRangeSpansMainAndDeltaAfterMerge) {
+  for (int i = 0; i < 10; ++i) Insert(i, 0.0, "m");
+  ASSERT_TRUE(db_->Merge("t").ok());
+  for (int i = 10; i < 20; ++i) Insert(i, 0.0, "d");
+  auto rows = ScanRange(table_, 0, Value(int64_t{5}), Value(int64_t{14}),
+                        Snap(), storage::kTidNone);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  uint64_t in_main = 0;
+  for (const auto& loc : *rows) in_main += loc.in_main ? 1 : 0;
+  EXPECT_EQ(in_main, 5u);
+}
+
+TEST_F(QueryTest, ScanEqualSeesOwnUncommittedWrites) {
+  Insert(1, 1.0, "committed");
+  auto tx = *db_->Begin();
+  ASSERT_TRUE(db_->Insert(tx, table_, {Value(int64_t{1}), Value(2.0),
+                                       Value(std::string("mine"))})
+                  .ok());
+  auto rows =
+      db_->ScanEqual(table_, 0, Value(int64_t{1}), tx.snapshot(), tx.tid());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+  auto global = db_->ScanEqual(table_, 0, Value(int64_t{1}), Snap(),
+                               storage::kTidNone);
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global->size(), 1u);
+  ASSERT_TRUE(db_->Abort(tx).ok());
+}
+
+}  // namespace
+}  // namespace hyrise_nv::core

@@ -1,0 +1,203 @@
+// Parameterised property sweeps across element sizes, latency profiles,
+// and MVCC visibility states — broad, mechanical coverage of invariants
+// that the scenario tests exercise only pointwise.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "alloc/pheap.h"
+#include "alloc/pvector.h"
+#include "common/random.h"
+#include "nvm/nvm_env.h"
+#include "storage/mvcc.h"
+
+namespace hyrise_nv {
+namespace {
+
+// --- PVector element-size sweep -------------------------------------------
+
+template <size_t N>
+struct Blob {
+  uint8_t bytes[N];
+};
+
+template <typename T>
+class PVectorTypedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::PmemRegionOptions opts;
+    opts.tracking = nvm::TrackingMode::kShadow;
+    auto heap_result = alloc::PHeap::Create(16 << 20, opts);
+    ASSERT_TRUE(heap_result.ok());
+    heap_ = std::move(heap_result).ValueUnsafe();
+    auto desc_off = heap_->allocator().Alloc(sizeof(alloc::PVectorDesc));
+    ASSERT_TRUE(desc_off.ok());
+    desc_ = heap_->Resolve<alloc::PVectorDesc>(*desc_off);
+    alloc::PVector<T>::Format(heap_->region(), desc_);
+    vec_ = alloc::PVector<T>(&heap_->region(), &heap_->allocator(), desc_);
+  }
+
+  static T MakeElement(uint64_t i) {
+    T value{};
+    auto* bytes = reinterpret_cast<uint8_t*>(&value);
+    Rng rng(i);
+    for (size_t b = 0; b < sizeof(T); ++b) {
+      bytes[b] = static_cast<uint8_t>(rng.Next());
+    }
+    return value;
+  }
+
+  static bool Equal(const T& a, const T& b) {
+    return std::memcmp(&a, &b, sizeof(T)) == 0;
+  }
+
+  std::unique_ptr<alloc::PHeap> heap_;
+  alloc::PVectorDesc* desc_ = nullptr;
+  alloc::PVector<T> vec_;
+};
+
+using ElementTypes =
+    ::testing::Types<uint8_t, uint32_t, uint64_t, Blob<3>, Blob<24>,
+                     Blob<100>, storage::MvccEntry>;
+TYPED_TEST_SUITE(PVectorTypedTest, ElementTypes);
+
+TYPED_TEST(PVectorTypedTest, AppendGrowCrashRoundTrip) {
+  constexpr uint64_t kCount = 700;  // crosses several growth boundaries
+  for (uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(this->vec_.Append(this->MakeElement(i)).ok());
+  }
+  ASSERT_TRUE(this->heap_->region().SimulateCrash().ok());
+  ASSERT_TRUE(this->vec_.Validate().ok());
+  ASSERT_EQ(this->vec_.size(), kCount);
+  for (uint64_t i = 0; i < kCount; i += 13) {
+    EXPECT_TRUE(this->Equal(this->vec_.Get(i), this->MakeElement(i)))
+        << "element " << i << " (size " << sizeof(TypeParam) << ")";
+  }
+}
+
+TYPED_TEST(PVectorTypedTest, BulkAppendMatchesScalarAppend) {
+  std::vector<TypeParam> elements;
+  for (uint64_t i = 0; i < 200; ++i) {
+    elements.push_back(this->MakeElement(i + 1000));
+  }
+  ASSERT_TRUE(
+      this->vec_.BulkAppend(elements.data(), elements.size()).ok());
+  ASSERT_EQ(this->vec_.size(), elements.size());
+  for (uint64_t i = 0; i < elements.size(); i += 7) {
+    EXPECT_TRUE(this->Equal(this->vec_.Get(i), elements[i]));
+  }
+}
+
+// --- Latency model sweep ---------------------------------------------------
+
+class LatencySweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(LatencySweepTest, PersistChargesAtLeastModelledDelay) {
+  const auto [flush_ns, fence_ns] = GetParam();
+  nvm::PmemRegionOptions opts;
+  opts.tracking = nvm::TrackingMode::kNone;
+  opts.latency = nvm::NvmLatencyModel{flush_ns, fence_ns, 0.0};
+  auto region = std::move(nvm::PmemRegion::Create(1 << 16, opts))
+                    .ValueUnsafe();
+  constexpr int kOps = 50;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    region->base()[i * 64] = static_cast<uint8_t>(i);
+    region->Persist(region->base() + i * 64, 1);
+  }
+  const auto elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  const int64_t modelled =
+      int64_t{kOps} * (int64_t{flush_ns} + int64_t{fence_ns});
+  EXPECT_GE(elapsed_ns, modelled * 9 / 10)
+      << "flush=" << flush_ns << " fence=" << fence_ns;
+  EXPECT_EQ(region->stats().flush_lines.load(), uint64_t{kOps});
+  EXPECT_EQ(region->stats().fences.load(), uint64_t{kOps});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, LatencySweepTest,
+    ::testing::Values(std::make_tuple(0u, 0u), std::make_tuple(1000u, 0u),
+                      std::make_tuple(0u, 1000u),
+                      std::make_tuple(2000u, 1000u)));
+
+// --- MVCC visibility truth table -------------------------------------------
+
+struct VisibilityCase {
+  storage::Cid begin, end;
+  storage::Tid tid;
+  storage::Cid snapshot;
+  storage::Tid reader;
+  bool visible;
+};
+
+class VisibilityTest : public ::testing::TestWithParam<VisibilityCase> {};
+
+TEST_P(VisibilityTest, TruthTable) {
+  const auto& c = GetParam();
+  storage::MvccEntry entry{c.begin, c.end, c.tid};
+  EXPECT_EQ(storage::IsVisible(entry, c.snapshot, c.reader), c.visible);
+}
+
+constexpr storage::Cid kInf = storage::kCidInfinity;
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VisibilityTest,
+    ::testing::Values(
+        // Committed, never deleted.
+        VisibilityCase{10, kInf, 0, 10, 0, true},
+        VisibilityCase{10, kInf, 0, 9, 0, false},
+        // Committed, deleted later.
+        VisibilityCase{10, 20, 0, 19, 0, true},
+        VisibilityCase{10, 20, 0, 20, 0, false},
+        VisibilityCase{10, 20, 0, 100, 0, false},
+        // Uncommitted insert: owner only, unless self-deleted.
+        VisibilityCase{kInf, kInf, 7, 100, 7, true},
+        VisibilityCase{kInf, kInf, 7, 100, 8, false},
+        VisibilityCase{kInf, kInf, 7, 100, 0, false},
+        VisibilityCase{kInf, 0, 7, 100, 7, false},
+        // Committed row claimed for delete: invisible to the claimer.
+        VisibilityCase{10, kInf, 7, 100, 7, false},
+        VisibilityCase{10, kInf, 7, 100, 8, true},
+        VisibilityCase{10, kInf, 7, 100, 0, true},
+        // Stale claim from a dead transaction does not hide the row.
+        VisibilityCase{10, kInf, 99999, 100, 0, true},
+        // Boundary: begin == snapshot is visible (inclusive).
+        VisibilityCase{50, kInf, 0, 50, 0, true},
+        // end == begin (insert+delete in one txn): never visible.
+        VisibilityCase{50, 50, 0, 50, 0, false},
+        VisibilityCase{50, 50, 0, 51, 0, false}));
+
+// --- Env helpers -------------------------------------------------------------
+
+TEST(NvmEnvTest, TempPathsUnique) {
+  const std::string a = nvm::TempPath("x");
+  const std::string b = nvm::TempPath("x");
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(nvm::FileExists(a));
+}
+
+TEST(NvmEnvTest, FileHelpers) {
+  const std::string path = nvm::TempPath("env_test");
+  EXPECT_EQ(nvm::FileSize(path), 0u);
+  FILE* f = fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("12345", f);
+  fclose(f);
+  EXPECT_TRUE(nvm::FileExists(path));
+  EXPECT_EQ(nvm::FileSize(path), 5u);
+  nvm::RemoveFileIfExists(path);
+  EXPECT_FALSE(nvm::FileExists(path));
+  nvm::RemoveFileIfExists(path);  // idempotent
+}
+
+TEST(NvmEnvTest, EnvScaleDefaults) {
+  EXPECT_EQ(nvm::EnvScale("HYRISE_NV_DOES_NOT_EXIST", 2.5), 2.5);
+}
+
+}  // namespace
+}  // namespace hyrise_nv

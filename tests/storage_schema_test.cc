@@ -1,0 +1,94 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hyrise_nv::storage {
+namespace {
+
+Schema TestSchema() {
+  auto result = Schema::Make({{"id", DataType::kInt64},
+                              {"price", DataType::kDouble},
+                              {"name", DataType::kString}});
+  EXPECT_TRUE(result.ok());
+  return *result;
+}
+
+TEST(SchemaTest, MakeValid) {
+  const Schema schema = TestSchema();
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.column(0).name, "id");
+  EXPECT_EQ(schema.column(2).type, DataType::kString);
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_FALSE(Schema::Make({}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto result = Schema::Make(
+      {{"a", DataType::kInt64}, {"a", DataType::kDouble}});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Make({{"", DataType::kInt64}}).ok());
+}
+
+TEST(SchemaTest, RejectsBadType) {
+  EXPECT_FALSE(Schema::Make({{"x", static_cast<DataType>(99)}}).ok());
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  const Schema schema = TestSchema();
+  auto idx = schema.ColumnIndex("price");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(schema.ColumnIndex("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, CheckRowValidatesArityAndTypes) {
+  const Schema schema = TestSchema();
+  EXPECT_TRUE(schema
+                  .CheckRow({Value(int64_t{1}), Value(2.5),
+                             Value(std::string("x"))})
+                  .ok());
+  EXPECT_FALSE(schema.CheckRow({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(schema
+                   .CheckRow({Value(2.5), Value(int64_t{1}),
+                              Value(std::string("x"))})
+                   .ok());
+}
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  const Schema schema = TestSchema();
+  const auto bytes = schema.Serialize();
+  auto back = Schema::Deserialize(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, schema);
+}
+
+TEST(SchemaTest, DeserializeTruncatedFails) {
+  const auto bytes = TestSchema().Serialize();
+  for (size_t cut : {size_t{0}, size_t{2}, bytes.size() - 1}) {
+    auto result = Schema::Deserialize(bytes.data(), cut);
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(SchemaTest, ValueMatchesType) {
+  EXPECT_TRUE(ValueMatchesType(Value(int64_t{5}), DataType::kInt64));
+  EXPECT_TRUE(ValueMatchesType(Value(5.0), DataType::kDouble));
+  EXPECT_TRUE(
+      ValueMatchesType(Value(std::string("s")), DataType::kString));
+  EXPECT_FALSE(ValueMatchesType(Value(int64_t{5}), DataType::kDouble));
+  EXPECT_FALSE(ValueMatchesType(Value(5.0), DataType::kString));
+}
+
+TEST(SchemaTest, DataTypeNames) {
+  EXPECT_STREQ(DataTypeName(DataType::kInt64), "int64");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "double");
+  EXPECT_STREQ(DataTypeName(DataType::kString), "string");
+}
+
+}  // namespace
+}  // namespace hyrise_nv::storage

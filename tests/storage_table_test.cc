@@ -1,0 +1,209 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/merge.h"
+
+namespace hyrise_nv::storage {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({{"id", DataType::kInt64},
+                        {"amount", DataType::kDouble},
+                        {"note", DataType::kString}});
+}
+
+std::vector<Value> Row(int64_t id, double amount, std::string note) {
+  return {Value(id), Value(amount), Value(std::move(note))};
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::PmemRegionOptions opts;
+    opts.tracking = nvm::TrackingMode::kShadow;
+    auto heap_result = alloc::PHeap::Create(16 << 20, opts);
+    ASSERT_TRUE(heap_result.ok());
+    heap_ = std::move(heap_result).ValueUnsafe();
+    auto catalog_result = Catalog::Format(*heap_);
+    ASSERT_TRUE(catalog_result.ok());
+    catalog_ = std::move(catalog_result).ValueUnsafe();
+    auto table_result = catalog_->CreateTable("orders", TestSchema());
+    ASSERT_TRUE(table_result.ok()) << table_result.status().ToString();
+    table_ = *table_result;
+  }
+
+  // Inserts a committed row directly (storage-level: stamp begin = cid).
+  RowLocation InsertCommitted(int64_t id, double amount,
+                              const std::string& note, Cid cid) {
+    auto loc = table_->AppendRow(Row(id, amount, note), /*tid=*/77);
+    EXPECT_TRUE(loc.ok()) << loc.status().ToString();
+    MvccEntry* entry = table_->mvcc(*loc);
+    heap_->region().AtomicPersist64(&entry->begin, cid);
+    heap_->region().AtomicPersist64(&entry->tid, kTidNone);
+    return *loc;
+  }
+
+  std::unique_ptr<alloc::PHeap> heap_;
+  std::unique_ptr<Catalog> catalog_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(TableTest, FreshTableIsEmpty) {
+  EXPECT_EQ(table_->main_row_count(), 0u);
+  EXPECT_EQ(table_->delta_row_count(), 0u);
+  EXPECT_EQ(table_->CountVisible(100, kTidNone), 0u);
+  EXPECT_EQ(table_->name(), "orders");
+  EXPECT_EQ(table_->schema().num_columns(), 3u);
+}
+
+TEST_F(TableTest, AppendRowValidatesSchema) {
+  EXPECT_FALSE(table_->AppendRow({Value(int64_t{1})}, 1).ok());
+  EXPECT_FALSE(
+      table_->AppendRow({Value(1.0), Value(1.0), Value(1.0)}, 1).ok());
+}
+
+TEST_F(TableTest, UncommittedRowVisibleOnlyToOwner) {
+  auto loc = table_->AppendRow(Row(1, 9.5, "a"), /*tid=*/42);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(table_->CountVisible(/*snapshot=*/100, /*tid=*/42), 1u);
+  EXPECT_EQ(table_->CountVisible(100, /*tid=*/43), 0u);
+  EXPECT_EQ(table_->CountVisible(100, kTidNone), 0u);
+}
+
+TEST_F(TableTest, CommittedRowVisibleFromItsCid) {
+  InsertCommitted(1, 9.5, "a", /*cid=*/10);
+  EXPECT_EQ(table_->CountVisible(9, kTidNone), 0u);
+  EXPECT_EQ(table_->CountVisible(10, kTidNone), 1u);
+  EXPECT_EQ(table_->CountVisible(11, kTidNone), 1u);
+}
+
+TEST_F(TableTest, GetValueAndGetRowRoundTrip) {
+  const RowLocation loc = InsertCommitted(7, 1.25, "hello", 5);
+  EXPECT_EQ(std::get<int64_t>(table_->GetValue(loc, 0)), 7);
+  EXPECT_EQ(std::get<double>(table_->GetValue(loc, 1)), 1.25);
+  EXPECT_EQ(std::get<std::string>(table_->GetValue(loc, 2)), "hello");
+  const auto row = table_->GetRow(loc);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(row[0]), 7);
+}
+
+TEST_F(TableTest, DeletedRowInvisibleAfterEndCid) {
+  const RowLocation loc = InsertCommitted(1, 1.0, "x", 5);
+  MvccEntry* entry = table_->mvcc(loc);
+  heap_->region().AtomicPersist64(&entry->end, 8);
+  EXPECT_EQ(table_->CountVisible(7, kTidNone), 1u);
+  EXPECT_EQ(table_->CountVisible(8, kTidNone), 0u);
+}
+
+TEST_F(TableTest, VisibilityRules) {
+  // Foreign uncommitted insert invisible.
+  MvccEntry e{kCidInfinity, kCidInfinity, 9};
+  EXPECT_FALSE(IsVisible(e, 100, 8));
+  EXPECT_TRUE(IsVisible(e, 100, 9));
+  // Self-deleted own insert invisible even to owner.
+  e.end = 0;
+  EXPECT_FALSE(IsVisible(e, 100, 9));
+  // Committed row claimed by me for delete: invisible to me, visible to
+  // others.
+  MvccEntry claimed{5, kCidInfinity, 9};
+  EXPECT_FALSE(IsVisible(claimed, 100, 9));
+  EXPECT_TRUE(IsVisible(claimed, 100, 8));
+  EXPECT_TRUE(IsVisible(claimed, 100, kTidNone));
+}
+
+TEST_F(TableTest, ClaimForInvalidateConflictRules) {
+  const RowLocation loc = InsertCommitted(1, 1.0, "x", 5);
+  MvccEntry* entry = table_->mvcc(loc);
+  auto active = [](Tid t) { return t == 100; };
+
+  // Claim by live txn 100.
+  EXPECT_TRUE(ClaimForInvalidate(heap_->region(), entry, 100, active).ok());
+  // Re-claim by same txn: idempotent.
+  EXPECT_TRUE(ClaimForInvalidate(heap_->region(), entry, 100, active).ok());
+  // Another txn conflicts while 100 is active.
+  EXPECT_TRUE(ClaimForInvalidate(heap_->region(), entry, 200, active)
+                  .IsConflict());
+  // Once 100 is no longer active (crashed/finished), the claim is stolen.
+  auto none_active = [](Tid) { return false; };
+  EXPECT_TRUE(
+      ClaimForInvalidate(heap_->region(), entry, 200, none_active).ok());
+  EXPECT_EQ(entry->tid, 200u);
+}
+
+TEST_F(TableTest, ReleaseClaimClearsTid) {
+  const RowLocation loc = InsertCommitted(1, 1.0, "x", 5);
+  MvccEntry* entry = table_->mvcc(loc);
+  auto none = [](Tid) { return false; };
+  ASSERT_TRUE(ClaimForInvalidate(heap_->region(), entry, 100, none).ok());
+  ReleaseClaim(heap_->region(), entry, 100);
+  EXPECT_EQ(entry->tid, kTidNone);
+}
+
+TEST_F(TableTest, CommittedRowsSurviveCrashAndReattach) {
+  for (int i = 0; i < 50; ++i) {
+    InsertCommitted(i, i * 0.5, "row" + std::to_string(i), 10);
+  }
+  ASSERT_TRUE(heap_->region().SimulateCrash().ok());
+
+  auto catalog_result = Catalog::Attach(*heap_);
+  ASSERT_TRUE(catalog_result.ok()) << catalog_result.status().ToString();
+  auto table_result = (*catalog_result)->GetTable("orders");
+  ASSERT_TRUE(table_result.ok());
+  Table* table = *table_result;
+  ASSERT_TRUE(table->RepairAfterCrash().ok());
+  EXPECT_EQ(table->CountVisible(10, kTidNone), 50u);
+  const auto row = table->GetRow(RowLocation{false, 49});
+  EXPECT_EQ(std::get<std::string>(row[2]), "row49");
+}
+
+TEST_F(TableTest, TornInsertRepairedAfterCrash) {
+  InsertCommitted(1, 1.0, "a", 5);
+  // Simulate a torn insert: append column values without the MVCC entry.
+  for (size_t c = 0; c < 3; ++c) {
+    ASSERT_TRUE(
+        table_->delta().column(c).AppendValue(Row(2, 2.0, "b")[c]).ok());
+  }
+  ASSERT_TRUE(heap_->region().SimulateCrash().ok());
+
+  auto catalog_result = Catalog::Attach(*heap_);
+  ASSERT_TRUE(catalog_result.ok());
+  auto table_result = (*catalog_result)->GetTable("orders");
+  ASSERT_TRUE(table_result.ok());
+  Table* table = *table_result;
+  ASSERT_TRUE(table->RepairAfterCrash().ok());
+  EXPECT_EQ(table->delta_row_count(), 1u);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(table->delta().column(c).attr_size(), 1u);
+  }
+  // The table remains fully usable.
+  auto loc = table->AppendRow(Row(3, 3.0, "c"), 50);
+  EXPECT_TRUE(loc.ok());
+}
+
+TEST_F(TableTest, CatalogRejectsDuplicateTable) {
+  auto result = catalog_->CreateTable("orders", TestSchema());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TableTest, CatalogMultipleTables) {
+  auto t2 = catalog_->CreateTable("customers", TestSchema());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(catalog_->num_tables(), 2u);
+  EXPECT_TRUE(catalog_->GetTable("customers").ok());
+  EXPECT_TRUE(catalog_->GetTable("void").status().IsNotFound());
+  EXPECT_NE((*catalog_->GetTable("orders"))->id(),
+            (*catalog_->GetTable("customers"))->id());
+}
+
+TEST_F(TableTest, CatalogSurvivesCrash) {
+  ASSERT_TRUE(catalog_->CreateTable("t2", TestSchema()).ok());
+  ASSERT_TRUE(heap_->region().SimulateCrash().ok());
+  auto catalog_result = Catalog::Attach(*heap_);
+  ASSERT_TRUE(catalog_result.ok());
+  EXPECT_EQ((*catalog_result)->num_tables(), 2u);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::storage

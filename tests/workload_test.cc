@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/query.h"
+#include "workload/enterprise.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+#include "workload/zipf.h"
+
+namespace hyrise_nv::workload {
+namespace {
+
+core::DatabaseOptions InMemoryOptions() {
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = 128 << 20;
+  options.tracking = nvm::TrackingMode::kNone;
+  return options;
+}
+
+TEST(ZipfTest, KeysInRangeAndSkewed) {
+  ZipfGenerator zipf(1000, 0.9, 123);
+  std::map<uint64_t, uint64_t> histogram;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = zipf.Next();
+    ASSERT_LT(key, 1000u);
+    histogram[key]++;
+  }
+  // Key 0 must be by far the most frequent under strong skew.
+  uint64_t max_count = 0;
+  for (const auto& [key, count] : histogram) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_EQ(histogram[0], max_count);
+  EXPECT_GT(histogram[0], 20000u / 100) << "head key should be hot";
+}
+
+TEST(ZipfTest, DeterministicBySeed) {
+  ZipfGenerator a(100, 0.8, 7), b(100, 0.8, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(YcsbTest, LoadAndRun) {
+  auto db_result = core::Database::Create(InMemoryOptions());
+  ASSERT_TRUE(db_result.ok());
+  auto& db = *db_result;
+  YcsbConfig config;
+  config.initial_rows = 500;
+  YcsbRunner runner(db.get(), config);
+  ASSERT_TRUE(runner.Load().ok());
+  EXPECT_EQ(core::CountRows(runner.table(), db->ReadSnapshot(),
+                            storage::kTidNone),
+            500u);
+  auto stats = runner.Run(300);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->transactions + stats->aborts, 300u);
+  EXPECT_GT(stats->reads + stats->updates + stats->inserts, 0u);
+  // Row count grew by exactly the successful inserts.
+  EXPECT_EQ(core::CountRows(runner.table(), db->ReadSnapshot(),
+                            storage::kTidNone),
+            500u + stats->inserts);
+}
+
+TEST(TpccTest, LoadPopulatesAllTables) {
+  auto db_result = core::Database::Create(InMemoryOptions());
+  ASSERT_TRUE(db_result.ok());
+  auto& db = *db_result;
+  TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 5;
+  config.items = 20;
+  TpccRunner runner(db.get(), config);
+  ASSERT_TRUE(runner.Load().ok());
+
+  const auto count = [&](const char* name) {
+    return core::CountRows(*db->GetTable(name), db->ReadSnapshot(),
+                           storage::kTidNone);
+  };
+  EXPECT_EQ(count("warehouse"), 1u);
+  EXPECT_EQ(count("district"), 2u);
+  EXPECT_EQ(count("customer"), 10u);
+  EXPECT_EQ(count("item"), 20u);
+  EXPECT_EQ(count("stock"), 20u);
+  EXPECT_EQ(count("orders"), 0u);
+}
+
+TEST(TpccTest, TransactionsPreserveInvariants) {
+  auto db_result = core::Database::Create(InMemoryOptions());
+  ASSERT_TRUE(db_result.ok());
+  auto& db = *db_result;
+  TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 5;
+  config.items = 50;
+  TpccRunner runner(db.get(), config);
+  ASSERT_TRUE(runner.Load().ok());
+
+  auto stats = runner.Run(200);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->transactions() + stats->aborts, 200u);
+  EXPECT_GT(stats->new_orders, 0u);
+  EXPECT_GT(stats->payments, 0u);
+
+  // Invariant: every committed NewOrder inserted exactly one order row.
+  const uint64_t orders = core::CountRows(
+      *db->GetTable("orders"), db->ReadSnapshot(), storage::kTidNone);
+  EXPECT_EQ(orders, stats->new_orders);
+  // Invariant: pending orders = created - delivered.
+  const uint64_t pending = core::CountRows(
+      *db->GetTable("new_order"), db->ReadSnapshot(), storage::kTidNone);
+  EXPECT_EQ(pending, stats->new_orders - stats->deliveries);
+  // Invariant: district/customer/stock row counts unchanged (updates are
+  // version replacements, not additions).
+  EXPECT_EQ(core::CountRows(*db->GetTable("district"), db->ReadSnapshot(),
+                            storage::kTidNone),
+            2u);
+  EXPECT_EQ(core::CountRows(*db->GetTable("stock"), db->ReadSnapshot(),
+                            storage::kTidNone),
+            50u);
+  // Invariant: warehouse YTD equals the sum of payment amounts minus
+  // customer balance deltas — check ytd > 0 when payments happened.
+  if (stats->payments > 0) {
+    auto ytd = core::SumDouble(*db->GetTable("warehouse"), 2,
+                               db->ReadSnapshot(), storage::kTidNone);
+    ASSERT_TRUE(ytd.ok());
+    EXPECT_GT(*ytd, 0.0);
+  }
+}
+
+TEST(TpccTest, DistrictOrderIdsMonotone) {
+  auto db_result = core::Database::Create(InMemoryOptions());
+  ASSERT_TRUE(db_result.ok());
+  auto& db = *db_result;
+  TpccConfig config;
+  config.warehouses = 1;
+  config.districts_per_warehouse = 1;
+  config.customers_per_district = 3;
+  config.items = 20;
+  config.payment_fraction = 0;  // only NewOrder + OrderStatus
+  config.new_order_fraction = 1.0;
+  TpccRunner runner(db.get(), config);
+  ASSERT_TRUE(runner.Load().ok());
+  auto stats = runner.Run(50);
+  ASSERT_TRUE(stats.ok());
+  // next_o_id must equal 1 + committed new orders.
+  auto rows = db->ScanEqual(*db->GetTable("district"), 0,
+                            storage::Value(runner.DistrictKey(0, 0)),
+                            db->ReadSnapshot(), storage::kTidNone);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const int64_t next_o_id = std::get<int64_t>(
+      (*db->GetTable("district"))->GetValue(rows->front(), 1));
+  EXPECT_EQ(next_o_id, static_cast<int64_t>(1 + stats->new_orders));
+}
+
+TEST(EnterpriseTest, LoadsRequestedRows) {
+  auto db_result = core::Database::Create(InMemoryOptions());
+  ASSERT_TRUE(db_result.ok());
+  auto& db = *db_result;
+  EnterpriseConfig config;
+  config.cardinality = 50;
+  auto table_result =
+      LoadEnterpriseTable(db.get(), "enterprise", 2000, config);
+  ASSERT_TRUE(table_result.ok()) << table_result.status().ToString();
+  EXPECT_EQ(core::CountRows(*table_result, db->ReadSnapshot(),
+                            storage::kTidNone),
+            2000u);
+  // Dictionary cardinality bounded as configured.
+  EXPECT_LE((*table_result)->delta().column(0).dictionary().size(), 50u);
+  EXPECT_GT(EnterpriseRowBytes(config), 0u);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::workload

@@ -1,0 +1,182 @@
+// dbinspect — offline inspection of a Hyrise-NV persistent image.
+//
+// Prints the region header, allocator occupancy, transaction state,
+// catalog, per-table partition/dictionary/index statistics, and MVCC
+// health counters — without modifying the image (the file is copied into
+// an anonymous region first).
+//
+//   dbinspect <path-to-nvm.img> [--verbose]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "alloc/pheap.h"
+#include "alloc/region_header.h"
+#include "index/index_set.h"
+#include "storage/catalog.h"
+#include "txn/commit_table.h"
+
+using namespace hyrise_nv;  // NOLINT: tool brevity
+
+namespace {
+
+const char* IndexKindName(uint64_t kind) {
+  switch (kind) {
+    case storage::kIndexHash:
+      return "hash";
+    case storage::kIndexSkipList:
+      return "skip-list";
+  }
+  return "?";
+}
+
+void PrintTable(storage::Table& table, bool verbose) {
+  std::printf("\ntable '%s' (id %" PRIu64 ")\n", table.name().c_str(),
+              table.id());
+  std::printf("  columns: %zu  |  main rows: %" PRIu64
+              "  |  delta rows: %" PRIu64 "\n",
+              table.schema().num_columns(), table.main_row_count(),
+              table.delta_row_count());
+
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    const auto& def = table.schema().column(c);
+    const auto& main_col = table.main().column(c);
+    const auto& delta_col = table.delta().column(c);
+    std::printf("  col %2zu %-18s %-7s  main dict %8" PRIu64
+                " (%2u bits)   delta dict %8" PRIu64 "\n",
+                c, def.name.c_str(), storage::DataTypeName(def.type),
+                main_col.dictionary().size(), main_col.attr().bits(),
+                delta_col.dictionary().size());
+  }
+
+  storage::PTableGroup* group = table.group();
+  for (uint64_t s = 0; s < storage::kMaxIndexesPerTable; ++s) {
+    const storage::PIndexMeta& idx = group->indexes[s];
+    if (idx.state != 1) continue;
+    std::printf("  index on col %" PRIu64 ": %s", idx.column,
+                IndexKindName(idx.kind));
+    const auto& main_meta = *group->main_col(idx.column);
+    const bool has_gk = main_meta.gk_offsets.size > 0;
+    std::printf("  (group-key on main: %s)\n", has_gk ? "yes" : "no");
+  }
+
+  // MVCC health: committed / deleted / claimed / never-committed rows.
+  uint64_t committed = 0, deleted = 0, claimed = 0, garbage = 0;
+  auto classify = [&](const storage::MvccEntry* entry) {
+    if (entry->begin == storage::kCidInfinity) {
+      ++garbage;  // uncommitted or aborted insert
+    } else if (entry->end != storage::kCidInfinity) {
+      ++deleted;
+    } else {
+      ++committed;
+    }
+    if (entry->tid != storage::kTidNone) ++claimed;
+  };
+  for (uint64_t r = 0; r < table.main_row_count(); ++r) {
+    classify(table.main().mvcc(r));
+  }
+  for (uint64_t r = 0; r < table.delta_row_count(); ++r) {
+    classify(table.delta().mvcc(r));
+  }
+  std::printf("  mvcc: %" PRIu64 " live, %" PRIu64 " deleted, %" PRIu64
+              " in-flight/aborted, %" PRIu64 " claims\n",
+              committed, deleted, garbage, claimed);
+
+  if (verbose && table.main_row_count() + table.delta_row_count() > 0) {
+    std::printf("  first rows:\n");
+    uint64_t shown = 0;
+    const storage::Cid snapshot = storage::kCidInfinity - 1;
+    table.ForEachVisibleRow(snapshot, storage::kTidNone,
+                            [&](storage::RowLocation loc) {
+                              if (shown >= 5) return;
+                              std::printf("    [%s %" PRIu64 "]",
+                                          loc.in_main ? "main" : "delta",
+                                          loc.row);
+                              for (const auto& value :
+                                   table.GetRow(loc)) {
+                                if (const auto* i =
+                                        std::get_if<int64_t>(&value)) {
+                                  std::printf(" %" PRId64, *i);
+                                } else if (const auto* d =
+                                               std::get_if<double>(
+                                                   &value)) {
+                                  std::printf(" %g", *d);
+                                } else {
+                                  std::printf(" '%s'",
+                                              std::get<std::string>(value)
+                                                  .c_str());
+                                }
+                              }
+                              std::printf("\n");
+                              ++shown;
+                            });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <nvm-image> [--verbose]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const bool verbose = argc > 2 && std::strcmp(argv[2], "--verbose") == 0;
+
+  nvm::PmemRegionOptions options;
+  options.file_path = path;
+  options.tracking = nvm::TrackingMode::kNone;
+  auto heap_result = alloc::PHeap::Open(options);
+  if (!heap_result.ok()) {
+    std::fprintf(stderr, "cannot open image: %s\n",
+                 heap_result.status().ToString().c_str());
+    return 1;
+  }
+  auto heap = std::move(heap_result).ValueUnsafe();
+
+  const auto* header = alloc::HeaderOf(heap->region());
+  std::printf("region: %s\n", path.c_str());
+  std::printf("  size: %.1f MiB  |  format v%u  |  last shutdown: %s\n",
+              heap->region().size() / (1024.0 * 1024.0),
+              header->format_version,
+              heap->was_clean_shutdown() ? "clean" : "crash");
+  std::printf("  heap used: %.1f MiB (%.1f%%)\n",
+              heap->allocator().HeapUsedBytes() / (1024.0 * 1024.0),
+              100.0 * heap->allocator().HeapUsedBytes() /
+                  heap->region().size());
+  std::printf("  roots:");
+  for (const auto& slot : header->roots) {
+    if (slot.name[0] != '\0') {
+      std::printf(" %s@%" PRIu64, slot.name, slot.offset);
+    }
+  }
+  std::printf("\n");
+
+  auto commit_result = txn::CommitTable::Attach(*heap);
+  if (commit_result.ok()) {
+    const auto* block = (*commit_result)->block();
+    uint64_t in_flight = 0;
+    for (const auto& slot : block->slots) {
+      if (slot.state == txn::PCommitSlot::kCommitting) ++in_flight;
+    }
+    std::printf("  txn state: watermark %" PRIu64 ", next tid block %"
+                PRIu64 ", next cid block %" PRIu64
+                ", in-flight commits %" PRIu64 "\n",
+                block->commit_watermark, block->tid_block,
+                block->cid_block, in_flight);
+  }
+
+  auto catalog_result = storage::Catalog::Attach(*heap);
+  if (!catalog_result.ok()) {
+    std::fprintf(stderr, "cannot attach catalog: %s\n",
+                 catalog_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  tables: %zu\n", (*catalog_result)->num_tables());
+  for (const auto& table : (*catalog_result)->tables()) {
+    PrintTable(*table, verbose);
+  }
+  return 0;
+}
