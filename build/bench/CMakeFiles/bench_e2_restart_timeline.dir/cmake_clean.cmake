@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_restart_timeline.dir/bench_e2_restart_timeline.cc.o"
+  "CMakeFiles/bench_e2_restart_timeline.dir/bench_e2_restart_timeline.cc.o.d"
+  "bench_e2_restart_timeline"
+  "bench_e2_restart_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_restart_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

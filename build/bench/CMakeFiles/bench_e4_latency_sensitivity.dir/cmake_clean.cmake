@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_latency_sensitivity.dir/bench_e4_latency_sensitivity.cc.o"
+  "CMakeFiles/bench_e4_latency_sensitivity.dir/bench_e4_latency_sensitivity.cc.o.d"
+  "bench_e4_latency_sensitivity"
+  "bench_e4_latency_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_latency_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_persist_micro.dir/bench_e6_persist_micro.cc.o"
+  "CMakeFiles/bench_e6_persist_micro.dir/bench_e6_persist_micro.cc.o.d"
+  "bench_e6_persist_micro"
+  "bench_e6_persist_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_persist_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

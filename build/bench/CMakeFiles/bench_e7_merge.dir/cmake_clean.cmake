@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_merge.dir/bench_e7_merge.cc.o"
+  "CMakeFiles/bench_e7_merge.dir/bench_e7_merge.cc.o.d"
+  "bench_e7_merge"
+  "bench_e7_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

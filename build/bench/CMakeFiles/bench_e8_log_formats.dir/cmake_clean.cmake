@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_log_formats.dir/bench_e8_log_formats.cc.o"
+  "CMakeFiles/bench_e8_log_formats.dir/bench_e8_log_formats.cc.o.d"
+  "bench_e8_log_formats"
+  "bench_e8_log_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_log_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analytics_app.dir/analytics_app.cpp.o"
+  "CMakeFiles/example_analytics_app.dir/analytics_app.cpp.o.d"
+  "example_analytics_app"
+  "example_analytics_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analytics_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_instant_restart_demo.dir/instant_restart_demo.cpp.o"
+  "CMakeFiles/example_instant_restart_demo.dir/instant_restart_demo.cpp.o.d"
+  "example_instant_restart_demo"
+  "example_instant_restart_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_instant_restart_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

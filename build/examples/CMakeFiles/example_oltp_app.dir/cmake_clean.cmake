@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_oltp_app.dir/oltp_app.cpp.o"
+  "CMakeFiles/example_oltp_app.dir/oltp_app.cpp.o.d"
+  "example_oltp_app"
+  "example_oltp_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oltp_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

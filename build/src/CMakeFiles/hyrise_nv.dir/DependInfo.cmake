@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/pallocator.cc" "src/CMakeFiles/hyrise_nv.dir/alloc/pallocator.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/alloc/pallocator.cc.o.d"
+  "/root/repo/src/alloc/pheap.cc" "src/CMakeFiles/hyrise_nv.dir/alloc/pheap.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/alloc/pheap.cc.o.d"
+  "/root/repo/src/alloc/region_header.cc" "src/CMakeFiles/hyrise_nv.dir/alloc/region_header.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/alloc/region_header.cc.o.d"
+  "/root/repo/src/common/bit_util.cc" "src/CMakeFiles/hyrise_nv.dir/common/bit_util.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/common/bit_util.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/hyrise_nv.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/common/crc32.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hyrise_nv.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hyrise_nv.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/common/status.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/hyrise_nv.dir/core/database.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/core/database.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/CMakeFiles/hyrise_nv.dir/core/options.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/core/options.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/hyrise_nv.dir/core/query.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/core/query.cc.o.d"
+  "/root/repo/src/index/delta_index.cc" "src/CMakeFiles/hyrise_nv.dir/index/delta_index.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/index/delta_index.cc.o.d"
+  "/root/repo/src/index/group_key_index.cc" "src/CMakeFiles/hyrise_nv.dir/index/group_key_index.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/index/group_key_index.cc.o.d"
+  "/root/repo/src/index/index_set.cc" "src/CMakeFiles/hyrise_nv.dir/index/index_set.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/index/index_set.cc.o.d"
+  "/root/repo/src/index/pskiplist.cc" "src/CMakeFiles/hyrise_nv.dir/index/pskiplist.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/index/pskiplist.cc.o.d"
+  "/root/repo/src/nvm/latency_model.cc" "src/CMakeFiles/hyrise_nv.dir/nvm/latency_model.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/nvm/latency_model.cc.o.d"
+  "/root/repo/src/nvm/nvm_env.cc" "src/CMakeFiles/hyrise_nv.dir/nvm/nvm_env.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/nvm/nvm_env.cc.o.d"
+  "/root/repo/src/nvm/pmem_region.cc" "src/CMakeFiles/hyrise_nv.dir/nvm/pmem_region.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/nvm/pmem_region.cc.o.d"
+  "/root/repo/src/recovery/log_recovery.cc" "src/CMakeFiles/hyrise_nv.dir/recovery/log_recovery.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/recovery/log_recovery.cc.o.d"
+  "/root/repo/src/recovery/nvm_recovery.cc" "src/CMakeFiles/hyrise_nv.dir/recovery/nvm_recovery.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/recovery/nvm_recovery.cc.o.d"
+  "/root/repo/src/storage/attribute_vector.cc" "src/CMakeFiles/hyrise_nv.dir/storage/attribute_vector.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/attribute_vector.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/hyrise_nv.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/delta_partition.cc" "src/CMakeFiles/hyrise_nv.dir/storage/delta_partition.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/delta_partition.cc.o.d"
+  "/root/repo/src/storage/dictionary.cc" "src/CMakeFiles/hyrise_nv.dir/storage/dictionary.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/dictionary.cc.o.d"
+  "/root/repo/src/storage/main_partition.cc" "src/CMakeFiles/hyrise_nv.dir/storage/main_partition.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/main_partition.cc.o.d"
+  "/root/repo/src/storage/merge.cc" "src/CMakeFiles/hyrise_nv.dir/storage/merge.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/merge.cc.o.d"
+  "/root/repo/src/storage/mvcc.cc" "src/CMakeFiles/hyrise_nv.dir/storage/mvcc.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/mvcc.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/hyrise_nv.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/hyrise_nv.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/storage/table.cc.o.d"
+  "/root/repo/src/txn/commit_table.cc" "src/CMakeFiles/hyrise_nv.dir/txn/commit_table.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/txn/commit_table.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/hyrise_nv.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/wal/block_device.cc" "src/CMakeFiles/hyrise_nv.dir/wal/block_device.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/wal/block_device.cc.o.d"
+  "/root/repo/src/wal/checkpoint.cc" "src/CMakeFiles/hyrise_nv.dir/wal/checkpoint.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/wal/checkpoint.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/hyrise_nv.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_reader.cc" "src/CMakeFiles/hyrise_nv.dir/wal/log_reader.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/wal/log_reader.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/hyrise_nv.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/wal/log_writer.cc" "src/CMakeFiles/hyrise_nv.dir/wal/log_writer.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/wal/log_writer.cc.o.d"
+  "/root/repo/src/workload/enterprise.cc" "src/CMakeFiles/hyrise_nv.dir/workload/enterprise.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/workload/enterprise.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/hyrise_nv.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/hyrise_nv.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/hyrise_nv.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/hyrise_nv.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

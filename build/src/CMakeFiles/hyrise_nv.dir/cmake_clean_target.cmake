@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyrise_nv.a"
+)

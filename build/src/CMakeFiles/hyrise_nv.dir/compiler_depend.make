@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hyrise_nv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_pallocator_test.dir/alloc_pallocator_test.cc.o"
+  "CMakeFiles/alloc_pallocator_test.dir/alloc_pallocator_test.cc.o.d"
+  "alloc_pallocator_test"
+  "alloc_pallocator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_pallocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_pvector_test.dir/alloc_pvector_test.cc.o"
+  "CMakeFiles/alloc_pvector_test.dir/alloc_pvector_test.cc.o.d"
+  "alloc_pvector_test"
+  "alloc_pvector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_pvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_stress_test.dir/alloc_stress_test.cc.o"
+  "CMakeFiles/alloc_stress_test.dir/alloc_stress_test.cc.o.d"
+  "alloc_stress_test"
+  "alloc_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

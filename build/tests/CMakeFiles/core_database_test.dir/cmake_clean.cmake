@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_database_test.dir/core_database_test.cc.o"
+  "CMakeFiles/core_database_test.dir/core_database_test.cc.o.d"
+  "core_database_test"
+  "core_database_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

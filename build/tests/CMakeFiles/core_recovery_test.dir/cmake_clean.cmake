@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_recovery_test.dir/core_recovery_test.cc.o"
+  "CMakeFiles/core_recovery_test.dir/core_recovery_test.cc.o.d"
+  "core_recovery_test"
+  "core_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

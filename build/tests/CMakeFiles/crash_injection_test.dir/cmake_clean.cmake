@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_injection_test.dir/crash_injection_test.cc.o"
+  "CMakeFiles/crash_injection_test.dir/crash_injection_test.cc.o.d"
+  "crash_injection_test"
+  "crash_injection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_skiplist_test.dir/index_skiplist_test.cc.o"
+  "CMakeFiles/index_skiplist_test.dir/index_skiplist_test.cc.o.d"
+  "index_skiplist_test"
+  "index_skiplist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_skiplist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

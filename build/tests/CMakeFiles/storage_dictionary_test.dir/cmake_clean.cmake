@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_dictionary_test.dir/storage_dictionary_test.cc.o"
+  "CMakeFiles/storage_dictionary_test.dir/storage_dictionary_test.cc.o.d"
+  "storage_dictionary_test"
+  "storage_dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

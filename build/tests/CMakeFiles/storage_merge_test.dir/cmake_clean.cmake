@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_merge_test.dir/storage_merge_test.cc.o"
+  "CMakeFiles/storage_merge_test.dir/storage_merge_test.cc.o.d"
+  "storage_merge_test"
+  "storage_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

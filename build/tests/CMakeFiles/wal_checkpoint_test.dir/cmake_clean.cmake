@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_checkpoint_test.dir/wal_checkpoint_test.cc.o"
+  "CMakeFiles/wal_checkpoint_test.dir/wal_checkpoint_test.cc.o.d"
+  "wal_checkpoint_test"
+  "wal_checkpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
