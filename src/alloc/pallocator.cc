@@ -12,12 +12,9 @@ namespace {
 
 constexpr uint64_t kBlockAlign = 64;
 
-uint64_t MetaOffset() {
-  return AlignUp(sizeof(RegionHeader), kBlockAlign);
-}
-
 uint64_t HeapBeginOffset() {
-  return AlignUp(MetaOffset() + sizeof(AllocMeta), kBlockAlign);
+  return AlignUp(PAllocator::MetaOffset() + sizeof(AllocMeta),
+                 kBlockAlign);
 }
 
 BlockHeader* BlockAt(nvm::PmemRegion& region, uint64_t block_offset) {
@@ -27,6 +24,10 @@ BlockHeader* BlockAt(nvm::PmemRegion& region, uint64_t block_offset) {
 }  // namespace
 
 uint64_t PAllocator::HeapBegin() { return HeapBeginOffset(); }
+
+uint64_t PAllocator::MetaOffset() {
+  return AlignUp(sizeof(RegionHeader), kBlockAlign);
+}
 
 AllocMeta* PAllocator::meta() {
   return reinterpret_cast<AllocMeta*>(region_.base() + MetaOffset());

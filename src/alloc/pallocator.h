@@ -34,6 +34,7 @@ struct AllocMeta {
   uint64_t heap_top;   // offset of first never-allocated byte
   uint64_t heap_end;   // end of allocatable range (== region size)
   uint64_t free_heads[kNumSizeClasses];  // per-class free-list heads
+  uint64_t meta_crc;   // seal tag over the fields above (0 = unsealed)
 };
 
 /// Handle for a two-phase (intent-protected) allocation.
@@ -95,6 +96,9 @@ class PAllocator {
 
   /// Offset where the allocatable heap begins.
   static uint64_t HeapBegin();
+
+  /// Offset of the AllocMeta block within the region.
+  static uint64_t MetaOffset();
 
   nvm::PmemRegion& region() { return region_; }
 

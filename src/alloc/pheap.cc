@@ -15,7 +15,7 @@ Result<std::unique_ptr<PHeap>> PHeap::Create(
   return heap;
 }
 
-Result<std::unique_ptr<PHeap>> PHeap::Open(
+Result<std::unique_ptr<PHeap>> PHeap::OpenForInspection(
     const nvm::PmemRegionOptions& options) {
   auto heap = std::unique_ptr<PHeap>(new PHeap());
   auto region_result = nvm::PmemRegion::Open(options);
@@ -24,8 +24,21 @@ Result<std::unique_ptr<PHeap>> PHeap::Open(
   HYRISE_NV_RETURN_NOT_OK(ValidateRegionHeader(*heap->region_));
   heap->was_clean_ = WasCleanShutdown(*heap->region_);
   heap->allocator_ = std::make_unique<PAllocator>(*heap->region_);
-  HYRISE_NV_RETURN_NOT_OK(heap->allocator_->Recover());
-  MarkDirty(*heap->region_);
+  return heap;
+}
+
+Status PHeap::FinishOpen() {
+  HYRISE_NV_RETURN_NOT_OK(allocator_->Recover());
+  MarkDirty(*region_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<PHeap>> PHeap::Open(
+    const nvm::PmemRegionOptions& options) {
+  auto heap_result = OpenForInspection(options);
+  if (!heap_result.ok()) return heap_result.status();
+  auto heap = std::move(heap_result).ValueUnsafe();
+  HYRISE_NV_RETURN_NOT_OK(heap->FinishOpen());
   return heap;
 }
 

@@ -25,6 +25,17 @@ class PHeap {
   static Result<std::unique_ptr<PHeap>> Open(
       const nvm::PmemRegionOptions& options);
 
+  /// Maps and validates the region without running allocator recovery or
+  /// marking it dirty — the image stays byte-identical, so callers can
+  /// deep-verify it first and walk away from a corrupt one. Follow with
+  /// FinishOpen() before the first allocation.
+  static Result<std::unique_ptr<PHeap>> OpenForInspection(
+      const nvm::PmemRegionOptions& options);
+
+  /// Completes an OpenForInspection: allocator intent recovery + dirty
+  /// mark. After this the heap is equivalent to one from Open().
+  Status FinishOpen();
+
   HYRISE_NV_DISALLOW_COPY_AND_MOVE(PHeap);
 
   nvm::PmemRegion& region() { return *region_; }

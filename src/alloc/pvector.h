@@ -23,8 +23,13 @@ struct PVectorDesc {
   uint64_t version;  // active slot = version & 1; bumped atomically
   Slot slots[2];
   uint64_t size;  // committed element count; bumped atomically after data
+  /// Seal tag over the fields above, written by the clean-shutdown walk
+  /// (see recovery/verify.h). 0 = unsealed; mutations leave it stale,
+  /// which is safe because the region is marked dirty first and seals are
+  /// only authoritative after a clean shutdown.
+  uint64_t seal;
 };
-static_assert(sizeof(PVectorDesc) == 48, "descriptor layout");
+static_assert(sizeof(PVectorDesc) == 56, "descriptor layout");
 
 /// Typed handle over a PVectorDesc. The handle itself is volatile; all
 /// state lives on NVM. Elements must be trivially copyable (they are

@@ -1,0 +1,90 @@
+#include "common/fault_injection.h"
+
+namespace hyrise_nv {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Arm(FaultPoint point, const FaultPlan& plan) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  PointState& state = points_[static_cast<int>(point)];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.plan = plan;
+  state.hits = 0;
+  state.fires = 0;
+}
+
+void FaultInjector::Disarm(FaultPoint point) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  PointState& state = points_[static_cast<int>(point)];
+  if (state.armed) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  state.armed = false;
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (PointState& state : points_) {
+    state = PointState{};
+  }
+  armed_count_.store(0, std::memory_order_relaxed);
+  rng_state_ = 0x9E3779B97F4A7C15ull;
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  rng_state_ = seed;
+}
+
+bool FaultInjector::ShouldFire(FaultPoint point, uint64_t* param) {
+  if (!any_armed()) return false;
+  std::lock_guard<std::mutex> guard(mutex_);
+  PointState& state = points_[static_cast<int>(point)];
+  if (!state.armed) return false;
+  ++state.hits;
+  if (state.hits <= state.plan.trigger_after) return false;
+  if (state.plan.probability < 1.0) {
+    const double roll =
+        static_cast<double>(RandLocked() >> 11) * 0x1.0p-53;
+    if (roll >= state.plan.probability) return false;
+  }
+  ++state.fires;
+  if (param != nullptr) *param = state.plan.param;
+  if (state.fires >= state.plan.max_fires) {
+    state.armed = false;
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+uint64_t FaultInjector::Rand() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return RandLocked();
+}
+
+uint64_t FaultInjector::RandLocked() { return SplitMix64(&rng_state_); }
+
+uint64_t FaultInjector::hits(FaultPoint point) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return points_[static_cast<int>(point)].hits;
+}
+
+uint64_t FaultInjector::fires(FaultPoint point) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return points_[static_cast<int>(point)].fires;
+}
+
+}  // namespace hyrise_nv

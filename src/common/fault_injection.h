@@ -1,0 +1,105 @@
+#ifndef HYRISE_NV_COMMON_FAULT_INJECTION_H_
+#define HYRISE_NV_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace hyrise_nv {
+
+/// Named fault points wired into the storage stack. Each point sits on a
+/// code path that touches durable media, so firing one simulates a media
+/// or device failure rather than a logic bug.
+enum class FaultPoint : int {
+  /// Flip one random bit inside the line range just persisted by
+  /// PmemRegion::Persist — models NVM bit rot / a torn line.
+  kNvmPersistBitFlip = 0,
+  /// Spin for `param` nanoseconds (default 100us) inside Persist — models
+  /// a stalled flush on a congested DIMM.
+  kNvmPersistStall = 1,
+  /// BlockDevice::Append fails with EIO before writing anything.
+  kWalAppendEio = 2,
+  /// BlockDevice::Append writes only half the payload, then fails. The
+  /// device offset does not advance, so a retry overwrites the torn half.
+  kWalAppendShortWrite = 3,
+  /// BlockDevice::Sync fails with EIO before fdatasync.
+  kWalSyncFail = 4,
+  kNumFaultPoints = 5,
+};
+
+/// When a fault point fires. Fields combine: the point stays silent for
+/// the first `trigger_after` hits, then fires each qualifying hit with
+/// `probability`, and disarms itself after `max_fires` fires.
+struct FaultPlan {
+  /// Number of hits to ignore before the point becomes eligible.
+  uint64_t trigger_after = 0;
+  /// Chance [0,1] that an eligible hit fires. 1.0 = always.
+  double probability = 1.0;
+  /// Auto-disarm after this many fires. 1 = one-shot.
+  uint64_t max_fires = UINT64_MAX;
+  /// Point-specific parameter (e.g. stall nanoseconds). 0 = default.
+  uint64_t param = 0;
+};
+
+/// Process-wide, deterministic fault injector. All state lives in one
+/// singleton so tests can arm a plan before exercising a Database and the
+/// fault fires deep inside the stack without any plumbing.
+///
+/// Determinism: the internal PRNG is splitmix64 seeded via Reseed(), so a
+/// test that arms the same plans against the same workload sees the same
+/// bits flip. Thread-safe; the unarmed fast path is one relaxed atomic
+/// load.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `point` with `plan`, resetting its hit/fire counters.
+  void Arm(FaultPoint point, const FaultPlan& plan);
+  /// Disarms `point`; counters are kept for inspection.
+  void Disarm(FaultPoint point);
+  /// Disarms every point and clears all counters. Call from test
+  /// teardown so state never leaks across tests.
+  void DisarmAll();
+  /// Reseeds the PRNG (also done by DisarmAll with the default seed).
+  void Reseed(uint64_t seed);
+
+  /// True if any point is armed — the single-load fast path callers
+  /// check before paying for ShouldFire.
+  bool any_armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Returns true if `point` fires on this hit, advancing counters and
+  /// auto-disarming when the plan's max_fires is reached. When non-null,
+  /// `param` receives the plan's param value.
+  bool ShouldFire(FaultPoint point, uint64_t* param = nullptr);
+
+  /// Next PRNG value; used by injection sites to pick e.g. which bit to
+  /// flip so that the choice is covered by the test seed.
+  uint64_t Rand();
+
+  /// Counters for assertions: how often the point was reached / fired.
+  uint64_t hits(FaultPoint point) const;
+  uint64_t fires(FaultPoint point) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    bool armed = false;
+    FaultPlan plan;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  uint64_t RandLocked();
+
+  mutable std::mutex mutex_;
+  std::atomic<int> armed_count_{0};
+  PointState points_[static_cast<int>(FaultPoint::kNumFaultPoints)];
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+};
+
+}  // namespace hyrise_nv
+
+#endif  // HYRISE_NV_COMMON_FAULT_INJECTION_H_

@@ -1,8 +1,13 @@
 #include "core/database.h"
 
+#include <filesystem>
+#include <system_error>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "nvm/nvm_env.h"
+#include "recovery/log_recovery.h"
+#include "recovery/verify.h"
 #include "storage/mvcc.h"
 
 namespace hyrise_nv::core {
@@ -75,15 +80,41 @@ Result<std::unique_ptr<Database>> Database::Open(
           "opening an NVM database needs a data_dir");
     }
     auto db = std::unique_ptr<Database>(new Database(options));
-    nvm::PmemRegionOptions region_options = db->MakeRegionOptions();
-    auto restart_result = recovery::InstantRestart(region_options);
-    if (!restart_result.ok()) return restart_result.status();
+    recovery::NvmRestartOptions restart_options;
+    restart_options.region = db->MakeRegionOptions();
+    restart_options.level = options.open_mode == OpenMode::kNormal
+                                ? recovery::ValidationLevel::kFastHeaderOnly
+                                : recovery::ValidationLevel::kDeep;
+    restart_options.salvage =
+        options.open_mode == OpenMode::kSalvageReadOnly;
+    auto restart_result = recovery::InstantRestart(restart_options);
+    if (!restart_result.ok()) {
+      // A corrupt image is still recoverable when a WAL covering the
+      // same data sits next to it: rebuild rather than fail.
+      if (restart_result.status().IsCorruption() &&
+          nvm::FileExists(options.LogPath())) {
+        HYRISE_NV_LOG(kWarn)
+            << "NVM image is corrupt ("
+            << restart_result.status().ToString()
+            << "); falling back to log-based recovery";
+        return OpenViaLogFallback(options);
+      }
+      return restart_result.status();
+    }
     db->heap_ = std::move(restart_result->heap);
     db->catalog_ = std::move(restart_result->catalog);
     db->txn_manager_ = std::move(restart_result->txn_manager);
     db->recovery_.mode = options.mode;
     db->recovery_.recovered = true;
     db->recovery_.nvm = restart_result->report;
+    if (restart_result->salvage_read_only) {
+      db->read_only_ = true;
+      db->read_only_reason_ =
+          "opened in salvage mode; deep verification found corruption";
+      db->quarantined_ = restart_result->quarantined_tables;
+      db->recovery_.read_only = true;
+      db->recovery_.quarantined_tables = db->quarantined_;
+    }
     HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
     db->recovery_.total_seconds = total.ElapsedSeconds();
     return db;
@@ -107,6 +138,72 @@ Result<std::unique_ptr<Database>> Database::Open(
   }
 
   return Status::InvalidArgument("mode has nothing to open");
+}
+
+Result<std::unique_ptr<Database>> Database::OpenViaLogFallback(
+    const DatabaseOptions& options) {
+  // Rebuild into a scratch file; the corrupt image stays untouched until
+  // the rebuilt one is complete and clean. The rename is the commit
+  // point — a crash mid-rebuild leaves the old image (and the log) as
+  // they were, so the fallback simply runs again.
+  const std::string rebuild_path = options.NvmImagePath() + ".rebuild";
+  nvm::RemoveFileIfExists(rebuild_path);
+  recovery::LogRecoveryReport log_report;
+  {
+    nvm::PmemRegionOptions region_options;
+    region_options.latency = options.nvm_latency;
+    region_options.tracking = nvm::TrackingMode::kNone;
+    region_options.file_path = rebuild_path;
+    auto heap_result =
+        alloc::PHeap::Create(options.region_size, region_options);
+    if (!heap_result.ok()) return heap_result.status();
+    auto heap = std::move(heap_result).ValueUnsafe();
+    auto catalog_result = storage::Catalog::Format(*heap);
+    if (!catalog_result.ok()) return catalog_result.status();
+    auto txn_result = txn::TxnManager::Format(*heap);
+    if (!txn_result.ok()) return txn_result.status();
+    auto report_result = recovery::RecoverFromLog(
+        *heap, **catalog_result, **txn_result, options.MakeLogOptions());
+    if (!report_result.ok()) return report_result.status();
+    log_report = *report_result;
+    recovery::SealForCleanShutdown(*heap);
+    HYRISE_NV_RETURN_NOT_OK(heap->CloseClean());
+  }
+  std::error_code ec;
+  std::filesystem::rename(rebuild_path, options.NvmImagePath(), ec);
+  if (ec) {
+    return Status::IOError("installing rebuilt NVM image: " + ec.message());
+  }
+  // Retire the log + checkpoint: their history now lives in the image,
+  // and replaying it again on top of newer state would corrupt data.
+  // (Also breaks the fallback recursion: no log file, no second try.)
+  std::filesystem::rename(options.LogPath(),
+                          options.LogPath() + ".applied", ec);
+  if (ec) {
+    return Status::IOError("retiring applied log: " + ec.message());
+  }
+  if (nvm::FileExists(options.CheckpointPath())) {
+    std::filesystem::rename(options.CheckpointPath(),
+                            options.CheckpointPath() + ".applied", ec);
+    if (ec) {
+      return Status::IOError("retiring applied checkpoint: " + ec.message());
+    }
+  }
+  auto db_result = Open(options);
+  if (!db_result.ok()) return db_result;
+  (*db_result)->recovery_.fell_back_to_log = true;
+  (*db_result)->recovery_.log = log_report;
+  return db_result;
+}
+
+Result<recovery::VerifyReport> Database::VerifyImage(
+    const DatabaseOptions& options) {
+  nvm::PmemRegionOptions region_options;
+  region_options.tracking = nvm::TrackingMode::kNone;
+  region_options.file_path = options.NvmImagePath();
+  auto region_result = nvm::PmemRegion::Open(region_options);
+  if (!region_result.ok()) return region_result.status();
+  return recovery::DeepVerify(**region_result);
 }
 
 Result<std::unique_ptr<Database>> Database::CrashAndRecover(
@@ -159,21 +256,60 @@ index::IndexSet* Database::indexes(storage::Table* table) const {
   return it == index_sets_.end() ? nullptr : it->second.get();
 }
 
+Status Database::EnsureWritable() const {
+  if (!read_only_) return Status::OK();
+  return Status::IOError("database is read-only: " + read_only_reason_);
+}
+
+void Database::NoteLogFailure(const Status& status) {
+  if (status.ok() || status.code() != StatusCode::kIOError) return;
+  if (log_manager_ == nullptr || !log_manager_->writer().degraded()) return;
+  if (read_only_) return;
+  read_only_ = true;
+  read_only_reason_ =
+      "WAL device failed past its retry budget: " + status.message();
+  HYRISE_NV_LOG(kError) << "database is now read-only: "
+                        << read_only_reason_;
+}
+
+Result<storage::Table*> Database::GetTable(const std::string& name) const {
+  for (const auto& quarantined : quarantined_) {
+    if (quarantined == name) {
+      return Status::Corruption("table '" + name +
+                                "' is quarantined: it failed deep "
+                                "verification at open");
+    }
+  }
+  return catalog_->GetTable(name);
+}
+
+Status Database::Commit(txn::Transaction& tx) {
+  Status status = txn_manager_->Commit(tx);
+  NoteLogFailure(status);
+  return status;
+}
+
 Result<storage::Table*> Database::CreateTable(const std::string& name,
                                               const storage::Schema& schema) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   auto table_result = catalog_->CreateTable(name, schema);
   if (!table_result.ok()) return table_result;
   auto set = std::make_unique<index::IndexSet>(*table_result);
   HYRISE_NV_RETURN_NOT_OK(set->Attach());
   index_sets_[*table_result] = std::move(set);
   if (log_manager_ != nullptr) {
-    HYRISE_NV_RETURN_NOT_OK(log_manager_->LogCreateTable(**table_result));
+    Status log_status = log_manager_->LogCreateTable(**table_result);
+    if (!log_status.ok()) {
+      NoteLogFailure(log_status);
+      return log_status;
+    }
   }
   return table_result;
 }
 
 Status Database::CreateIndex(const std::string& table_name, size_t column,
                              storage::PIndexKind kind) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   auto table_result = catalog_->GetTable(table_name);
   if (!table_result.ok()) return table_result.status();
   index::IndexSet* set = indexes(*table_result);
@@ -186,9 +322,13 @@ Status Database::CreateIndex(const std::string& table_name, size_t column,
     HYRISE_NV_RETURN_NOT_OK(set->Attach());
   }
   if (log_manager_ != nullptr) {
-    HYRISE_NV_RETURN_NOT_OK(log_manager_->LogCreateIndex(
+    Status log_status = log_manager_->LogCreateIndex(
         (*table_result)->id(), static_cast<uint32_t>(column),
-        static_cast<uint32_t>(kind)));
+        static_cast<uint32_t>(kind));
+    if (!log_status.ok()) {
+      NoteLogFailure(log_status);
+      return log_status;
+    }
   }
   return Status::OK();
 }
@@ -196,6 +336,7 @@ Status Database::CreateIndex(const std::string& table_name, size_t column,
 Result<storage::RowLocation> Database::Insert(
     txn::Transaction& tx, storage::Table* table,
     const std::vector<storage::Value>& row) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   if (!tx.active()) {
     return Status::InvalidArgument("transaction not active");
   }
@@ -207,14 +348,19 @@ Result<storage::RowLocation> Database::Insert(
     HYRISE_NV_RETURN_NOT_OK(set->OnInsert(row, loc_result->row));
   }
   if (log_manager_ != nullptr) {
-    HYRISE_NV_RETURN_NOT_OK(
-        log_manager_->LogInsert(*table, tx.tid(), row, *loc_result));
+    Status log_status =
+        log_manager_->LogInsert(*table, tx.tid(), row, *loc_result);
+    if (!log_status.ok()) {
+      NoteLogFailure(log_status);
+      return log_status;
+    }
   }
   return loc_result;
 }
 
 Status Database::Delete(txn::Transaction& tx, storage::Table* table,
                         storage::RowLocation loc) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   if (!tx.active()) {
     return Status::InvalidArgument("transaction not active");
   }
@@ -231,7 +377,11 @@ Status Database::Delete(txn::Transaction& tx, storage::Table* table,
   }
   tx.RecordInvalidate(table, loc);
   if (log_manager_ != nullptr) {
-    HYRISE_NV_RETURN_NOT_OK(log_manager_->LogDelete(*table, tx.tid(), loc));
+    Status log_status = log_manager_->LogDelete(*table, tx.tid(), loc);
+    if (!log_status.ok()) {
+      NoteLogFailure(log_status);
+      return log_status;
+    }
   }
   return Status::OK();
 }
@@ -298,6 +448,7 @@ Result<std::vector<storage::RowLocation>> Database::ScanEqual(
 }
 
 Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   auto table_result = catalog_->GetTable(table_name);
   if (!table_result.ok()) return table_result.status();
   auto stats_result =
@@ -319,13 +470,26 @@ Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
 
 Status Database::Checkpoint() {
   if (log_manager_ == nullptr) return Status::OK();
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   return log_manager_->WriteCheckpointNow(*catalog_,
                                           txn_manager_->commit_table());
 }
 
 Status Database::Close() {
+  if (read_only_) {
+    // Salvage / degraded: nothing here may touch the image or the log.
+    // In particular the image must NOT be marked clean — its seals were
+    // never refreshed and parts of it are known-corrupt.
+    return Status::OK();
+  }
   if (log_manager_ != nullptr) {
     HYRISE_NV_RETURN_NOT_OK(log_manager_->SyncNow());
+  }
+  if (options_.mode == DurabilityMode::kNvm) {
+    // Refresh the close-time checksums so the next open can deep-verify
+    // mutable structures too (they are only authoritative after a clean
+    // shutdown; MarkDirty at the next open invalidates them).
+    recovery::SealForCleanShutdown(*heap_);
   }
   return heap_->CloseClean();
 }

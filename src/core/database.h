@@ -38,15 +38,20 @@ class Database {
   static Result<std::unique_ptr<Database>> CrashAndRecover(
       std::unique_ptr<Database> db);
 
+  /// Offline deep verification of the NVM image named by `options`:
+  /// maps it read-only and walks every persistent structure. Never
+  /// mutates the image and never runs recovery — safe on corrupt input.
+  static Result<recovery::VerifyReport> VerifyImage(
+      const DatabaseOptions& options);
+
   HYRISE_NV_DISALLOW_COPY_AND_MOVE(Database);
 
   // --- DDL ---------------------------------------------------------------
 
   Result<storage::Table*> CreateTable(const std::string& name,
                                       const storage::Schema& schema);
-  Result<storage::Table*> GetTable(const std::string& name) const {
-    return catalog_->GetTable(name);
-  }
+  /// Fails with Corruption for tables quarantined by a salvage open.
+  Result<storage::Table*> GetTable(const std::string& name) const;
   Status CreateIndex(const std::string& table_name, size_t column,
                      storage::PIndexKind kind = storage::kIndexHash);
 
@@ -57,8 +62,13 @@ class Database {
 
   // --- Transactions -------------------------------------------------------
 
-  Result<txn::Transaction> Begin() { return txn_manager_->Begin(); }
-  Status Commit(txn::Transaction& tx) { return txn_manager_->Commit(tx); }
+  /// Fails when the database is read-only: beginning a transaction
+  /// claims TID blocks, which mutates the persistent image.
+  Result<txn::Transaction> Begin() {
+    HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
+    return txn_manager_->Begin();
+  }
+  Status Commit(txn::Transaction& tx);
   Status Abort(txn::Transaction& tx) { return txn_manager_->Abort(tx); }
 
   // --- DML (within a transaction) ------------------------------------------
@@ -109,6 +119,11 @@ class Database {
 
   const DatabaseOptions& options() const { return options_; }
   const RecoveryReport& last_recovery_report() const { return recovery_; }
+
+  /// True when the database refuses writes — either a salvage open or a
+  /// WAL device that failed past its retry budget mid-run.
+  bool read_only() const { return read_only_; }
+  const std::string& read_only_reason() const { return read_only_reason_; }
   storage::Catalog& catalog() { return *catalog_; }
   txn::TxnManager& txn_manager() { return *txn_manager_; }
   alloc::PHeap& heap() { return *heap_; }
@@ -122,11 +137,23 @@ class Database {
 
   static Result<std::unique_ptr<Database>> CreateFresh(
       const DatabaseOptions& options, bool open_existing_log);
+  /// NVM image failed verification but a WAL exists: rebuild the image
+  /// from checkpoint + log into a scratch file, atomically swap it in,
+  /// retire the log, and re-open.
+  static Result<std::unique_ptr<Database>> OpenViaLogFallback(
+      const DatabaseOptions& options);
   Status AttachAllIndexSets();
   nvm::PmemRegionOptions MakeRegionOptions() const;
+  Status EnsureWritable() const;
+  /// Flips the database read-only when a WAL write error exhausted the
+  /// writer's retry budget (degraded mode).
+  void NoteLogFailure(const Status& status);
 
   DatabaseOptions options_;
   RecoveryReport recovery_;
+  bool read_only_ = false;
+  std::string read_only_reason_;
+  std::vector<std::string> quarantined_;
   std::unique_ptr<alloc::PHeap> heap_;
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<txn::TxnManager> txn_manager_;

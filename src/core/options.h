@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nvm/latency_model.h"
 #include "nvm/pmem_region.h"
@@ -27,9 +28,25 @@ enum class DurabilityMode {
 
 const char* DurabilityModeName(DurabilityMode mode);
 
+/// How thoroughly Open() vets an existing database before serving it.
+enum class OpenMode {
+  /// Fast path: header-only validation (the paper's instant restart).
+  kNormal,
+  /// Deep verification of every persistent structure before going live;
+  /// any finding fails the open with Status::Corruption.
+  kVerifyDeep,
+  /// Deep verification, but table-scoped corruption quarantines the
+  /// affected tables instead of failing: the rest is served read-only
+  /// off the untouched image. Fatal (image-wide) findings still fail.
+  kSalvageReadOnly,
+};
+
 /// Engine configuration.
 struct DatabaseOptions {
   DurabilityMode mode = DurabilityMode::kNvm;
+
+  /// Verification level for Open() (kNvm mode; ignored elsewhere).
+  OpenMode open_mode = OpenMode::kNormal;
 
   /// Size of the persistent heap (all table data must fit).
   size_t region_size = size_t{256} << 20;
@@ -83,6 +100,13 @@ struct RecoveryReport {
   double total_seconds = 0;
   recovery::LogRecoveryReport log;
   recovery::NvmRecoveryReport nvm;
+  /// kNvm only: the NVM image failed verification but a WAL existed, so
+  /// the state was rebuilt from checkpoint + log instead.
+  bool fell_back_to_log = false;
+  /// The database opened read-only (salvage mode). Writes fail.
+  bool read_only = false;
+  /// Tables quarantined by a salvage open; GetTable on them fails.
+  std::vector<std::string> quarantined_tables;
 };
 
 }  // namespace hyrise_nv::core

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace hyrise_nv::nvm {
@@ -159,6 +160,33 @@ void PmemRegion::Persist(const void* addr, size_t len) {
   stats_.persist_calls.fetch_add(1, std::memory_order_relaxed);
   Flush(addr, len);
   Fence();
+  if (FaultInjector::Instance().any_armed()) {
+    MaybeInjectPersistFault(addr, len);
+  }
+}
+
+void PmemRegion::MaybeInjectPersistFault(const void* addr, size_t len) {
+  auto& injector = FaultInjector::Instance();
+  uint64_t stall_ns = 0;
+  if (injector.ShouldFire(FaultPoint::kNvmPersistStall, &stall_ns)) {
+    SpinDelayNanos(stall_ns != 0 ? stall_ns : 100000);
+  }
+  if (len == 0) return;
+  if (injector.ShouldFire(FaultPoint::kNvmPersistBitFlip)) {
+    // Corrupt one random bit of the range that just became durable, in
+    // both the working and the durable image: media corruption survives
+    // crash simulation, unlike an unfenced store.
+    const uint64_t off = OffsetOf(addr);
+    const uint64_t bit = injector.Rand() % (len * 8);
+    const uint8_t mask = static_cast<uint8_t>(1u << (bit % 8));
+    working_[off + bit / 8] ^= mask;
+    if (options_.tracking == TrackingMode::kShadow) {
+      std::lock_guard<std::mutex> guard(mutex_);
+      shadow_[off + bit / 8] ^= mask;
+    }
+    HYRISE_NV_LOG(kWarn) << "fault injection: flipped bit " << bit
+                         << " of persisted range at offset " << off;
+  }
 }
 
 void PmemRegion::AtomicPersist64(uint64_t* slot, uint64_t value) {

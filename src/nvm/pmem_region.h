@@ -146,6 +146,10 @@ class PmemRegion {
   // Copies staged line ranges working -> shadow. Caller holds mutex_.
   void ApplyPendingLocked();
 
+  // Applies any armed persist faults (bit flip / stall) to the range just
+  // made durable. Called from Persist only when the injector is armed.
+  void MaybeInjectPersistFault(const void* addr, size_t len);
+
   size_t size_ = 0;
   PmemRegionOptions options_;
   uint8_t* working_ = nullptr;        // application-visible image

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "index/index_set.h"
 #include "nvm/nvm_env.h"
@@ -36,6 +37,17 @@ Result<LogRecoveryReport> RecoverFromLog(
       replay_offset = info_result->log_offset;
       report.checkpoint_bytes = info_result->bytes;
       indexed_columns = info_result->indexed_columns;
+    } else if (info_result.status().IsCorruption() &&
+               catalog.num_tables() == 0) {
+      // A corrupt checkpoint is recoverable as long as the log still
+      // holds the full history: replay from offset 0 into the untouched
+      // (freshly formatted) heap. If the catalog already has state, the
+      // log alone cannot reproduce it — propagate the error instead.
+      HYRISE_NV_LOG(kWarn)
+          << "checkpoint is corrupt ("
+          << info_result.status().ToString()
+          << "); falling back to full log replay from offset 0";
+      report.checkpoint_fallback = true;
     } else if (!info_result.status().IsNotFound()) {
       return info_result.status();
     }

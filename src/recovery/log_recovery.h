@@ -22,6 +22,11 @@ struct LogRecoveryReport {
   uint64_t replayed_records = 0;
   uint64_t log_bytes_scanned = 0;
   uint64_t committed_txns = 0;
+  /// True when the checkpoint file was corrupt and recovery fell back to
+  /// replaying the full log from offset 0. Only taken when replay really
+  /// covers everything (an empty catalog before replay); a corrupt
+  /// checkpoint whose data the log cannot reproduce stays an error.
+  bool checkpoint_fallback = false;
 };
 
 /// Rebuilds the database state from checkpoint + log into the (freshly

@@ -1,5 +1,7 @@
 #include "recovery/nvm_recovery.h"
 
+#include <unordered_set>
+
 #include "common/stopwatch.h"
 
 namespace hyrise_nv::recovery {
@@ -47,6 +49,64 @@ Result<NvmRestartResult> InstantRestart(
   result.report.map_seconds = phase.ElapsedSeconds();
   result.report.was_clean_shutdown = result.heap->was_clean_shutdown();
   return FinishRestart(std::move(result), total);
+}
+
+Result<NvmRestartResult> InstantRestart(const NvmRestartOptions& options) {
+  if (options.level == ValidationLevel::kFastHeaderOnly &&
+      !options.salvage) {
+    return InstantRestart(options.region);
+  }
+
+  NvmRestartResult result;
+  Stopwatch total;
+  Stopwatch phase;
+  // Map without mutating: the image must stay byte-identical until we
+  // decide it is trustworthy (or decide to serve it read-only).
+  auto heap_result = alloc::PHeap::OpenForInspection(options.region);
+  if (!heap_result.ok()) return heap_result.status();
+  result.heap = std::move(heap_result).ValueUnsafe();
+  result.report.map_seconds = phase.ElapsedSeconds();
+  result.report.was_clean_shutdown = result.heap->was_clean_shutdown();
+
+  phase.Restart();
+  result.report.verify = DeepVerify(result.heap->region());
+  result.report.verify_seconds = phase.ElapsedSeconds();
+  const VerifyReport& verify = result.report.verify;
+
+  if (verify.has_fatal() || (!options.salvage && !verify.clean())) {
+    return Status::Corruption("NVM image failed deep verification: " +
+                              verify.Summary());
+  }
+
+  if (!options.salvage) {
+    HYRISE_NV_RETURN_NOT_OK(result.heap->FinishOpen());
+    return FinishRestart(std::move(result), total);
+  }
+
+  // Salvage: bind everything except the tables with findings, and leave
+  // the image untouched — no allocator recovery, no in-flight commit
+  // rollforward, no torn-insert repair, no dirty mark. The caller must
+  // enforce read-only use.
+  std::unordered_set<uint64_t> skip;
+  for (const auto& finding : verify.findings) {
+    if (finding.table_meta_off == 0 ||
+        skip.count(finding.table_meta_off)) {
+      continue;
+    }
+    skip.insert(finding.table_meta_off);
+    result.quarantined_tables.push_back(finding.table);
+  }
+  phase.Restart();
+  auto catalog_result = storage::Catalog::Attach(*result.heap, &skip);
+  if (!catalog_result.ok()) return catalog_result.status();
+  result.catalog = std::move(catalog_result).ValueUnsafe();
+  auto txn_result = txn::TxnManager::Attach(*result.heap);
+  if (!txn_result.ok()) return txn_result.status();
+  result.txn_manager = std::move(txn_result).ValueUnsafe();
+  result.report.attach_seconds = phase.ElapsedSeconds();
+  result.salvage_read_only = true;
+  result.report.total_seconds = total.ElapsedSeconds();
+  return result;
 }
 
 Result<NvmRestartResult> InstantRestartFromHeap(

@@ -2,8 +2,11 @@
 #define HYRISE_NV_RECOVERY_NVM_RECOVERY_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "alloc/pheap.h"
+#include "recovery/verify.h"
 #include "storage/catalog.h"
 #include "txn/txn_manager.h"
 
@@ -11,14 +14,18 @@ namespace hyrise_nv::recovery {
 
 /// Phase timings of an instant restart. Every phase is O(1) or
 /// O(in-flight work + delta dictionary), never O(database size) — the
-/// property experiment E1/E5 measures.
+/// property experiment E1/E5 measures. kDeep validation adds an
+/// O(database) verify phase by design; the hot path stays
+/// kFastHeaderOnly.
 struct NvmRecoveryReport {
   double map_seconds = 0;       // open + map the region, header check
+  double verify_seconds = 0;    // deep verification (kDeep only)
   double fixup_seconds = 0;     // allocator intents + in-flight commits
   double attach_seconds = 0;    // catalog bind, delta dict map rebuild,
                                 // torn-insert repair
   double total_seconds = 0;
   bool was_clean_shutdown = false;
+  VerifyReport verify;          // populated when kDeep ran
 };
 
 /// Result of an instant restart: all engine components bound to the
@@ -28,6 +35,22 @@ struct NvmRestartResult {
   std::unique_ptr<storage::Catalog> catalog;
   std::unique_ptr<txn::TxnManager> txn_manager;
   NvmRecoveryReport report;
+  /// Tables quarantined by salvage (failed deep verification).
+  std::vector<std::string> quarantined_tables;
+  /// True when the restart ran in salvage mode: the image was never
+  /// marked dirty and must be served read-only.
+  bool salvage_read_only = false;
+};
+
+/// How to open the image.
+struct NvmRestartOptions {
+  nvm::PmemRegionOptions region;
+  ValidationLevel level = ValidationLevel::kFastHeaderOnly;
+  /// With kDeep: instead of failing on table-scoped findings, quarantine
+  /// the affected tables and serve the rest read-only. Fatal findings
+  /// still fail. Implies the image is not mutated (no allocator
+  /// recovery, no in-flight commit rollforward, no dirty mark).
+  bool salvage = false;
 };
 
 /// The paper's headline operation: opens the NVM region and is ready to
@@ -41,6 +64,11 @@ struct NvmRestartResult {
 ///     (proportional to the delta, which merge keeps small).
 Result<NvmRestartResult> InstantRestart(
     const nvm::PmemRegionOptions& options);
+
+/// Instant restart with a validation level and optional salvage mode.
+/// Returns Corruption when verification fails (always for fatal
+/// findings; for any finding when salvage is off).
+Result<NvmRestartResult> InstantRestart(const NvmRestartOptions& options);
 
 /// Same, over an already-opened heap (used for in-process crash
 /// simulation where the region object survives).

@@ -1,0 +1,84 @@
+#ifndef HYRISE_NV_RECOVERY_VERIFY_H_
+#define HYRISE_NV_RECOVERY_VERIFY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alloc/pheap.h"
+#include "nvm/pmem_region.h"
+
+namespace hyrise_nv::recovery {
+
+/// How much of the NVM image to validate at open.
+enum class ValidationLevel {
+  /// Region-header prologue CRC only — the instant-restart hot path.
+  kFastHeaderOnly,
+  /// Walk every persistent structure: allocator free lists, commit table,
+  /// catalog, per-table descriptors, dictionary sortedness, attribute-
+  /// vector value-id bounds, MVCC stamp sanity, index↔table cross-checks,
+  /// and all checksum seals that are authoritative for this image.
+  kDeep,
+};
+
+/// How a finding constrains continued use of the image.
+enum class FindingSeverity {
+  /// Region-global structure is broken; nothing in the image is
+  /// trustworthy (header, commit table, catalog spine).
+  kFatal,
+  /// Damage is confined to one table; other tables remain servable.
+  kTable,
+  /// Reads are unaffected but allocating would corrupt further state
+  /// (e.g. a broken free list). Read-only use is safe.
+  kWriteHazard,
+};
+
+/// One verification failure, attributed to a structure class and (when
+/// table-scoped) a table.
+struct VerifyFinding {
+  /// Structure class: "region_header", "allocator_meta", "commit_table",
+  /// "catalog", "table_meta", "schema", "pvector_descriptor",
+  /// "dictionary", "attribute_vector", "mvcc", or "index".
+  std::string structure;
+  /// Table name (or "table@<offset>" if the name itself is damaged);
+  /// empty for region-global findings.
+  std::string table;
+  /// PTableMeta offset of the affected table; 0 for region-global.
+  uint64_t table_meta_off = 0;
+  FindingSeverity severity = FindingSeverity::kTable;
+  std::string detail;
+};
+
+/// Outcome of DeepVerify.
+struct VerifyReport {
+  bool deep = false;
+  /// Whether the image recorded a clean shutdown, which makes the
+  /// close-time seals (descriptors, delta content, MVCC, indexes)
+  /// authoritative. Merge-time main-column seals are checked regardless.
+  bool sealed_image = false;
+  uint64_t tables_checked = 0;
+  uint64_t structures_checked = 0;
+  std::vector<VerifyFinding> findings;
+
+  bool clean() const { return findings.empty(); }
+  bool has_fatal() const;
+  bool HasStructure(const std::string& structure) const;
+  /// Compact one-line description of the findings, for status messages.
+  std::string Summary() const;
+};
+
+/// Walks every persistent structure of `region` and reports anything
+/// inconsistent. Read-only: never mutates the image, so it is safe to run
+/// before deciding whether to trust, salvage, or discard it.
+VerifyReport DeepVerify(const nvm::PmemRegion& region);
+
+/// Writes and persists every checksum seal (allocator metadata, commit
+/// table, catalog, per-table descriptors and content, index content).
+/// Called on clean shutdown, immediately before MarkClean — the seals are
+/// only authoritative when the clean_shutdown flag is set, so ordinary
+/// mutations may leave them stale without harm.
+void SealForCleanShutdown(alloc::PHeap& heap);
+
+}  // namespace hyrise_nv::recovery
+
+#endif  // HYRISE_NV_RECOVERY_VERIFY_H_

@@ -24,7 +24,9 @@ Result<std::unique_ptr<Catalog>> Catalog::Format(alloc::PHeap& heap) {
   return catalog;
 }
 
-Result<std::unique_ptr<Catalog>> Catalog::Attach(alloc::PHeap& heap) {
+Result<std::unique_ptr<Catalog>> Catalog::Attach(
+    alloc::PHeap& heap,
+    const std::unordered_set<uint64_t>* skip_table_offsets) {
   auto root_result = heap.GetRoot(kCatalogRootName);
   if (!root_result.ok()) return root_result.status();
   auto catalog = std::unique_ptr<Catalog>(new Catalog(heap));
@@ -32,15 +34,21 @@ Result<std::unique_ptr<Catalog>> Catalog::Attach(alloc::PHeap& heap) {
   catalog->table_offsets_ = alloc::PVector<uint64_t>(
       &heap.region(), &heap.allocator(),
       &catalog->meta_->table_meta_offsets);
-  HYRISE_NV_RETURN_NOT_OK(catalog->BindAndAttachTables());
+  HYRISE_NV_RETURN_NOT_OK(
+      catalog->BindAndAttachTables(skip_table_offsets));
   return catalog;
 }
 
-Status Catalog::BindAndAttachTables() {
+Status Catalog::BindAndAttachTables(
+    const std::unordered_set<uint64_t>* skip_table_offsets) {
   HYRISE_NV_RETURN_NOT_OK(table_offsets_.Validate());
   tables_.clear();
   for (uint64_t i = 0; i < table_offsets_.size(); ++i) {
-    auto table_result = Table::Attach(*heap_, table_offsets_.Get(i));
+    const uint64_t off = table_offsets_.Get(i);
+    if (skip_table_offsets != nullptr && skip_table_offsets->count(off)) {
+      continue;
+    }
+    auto table_result = Table::Attach(*heap_, off);
     if (!table_result.ok()) return table_result.status();
     tables_.push_back(std::move(table_result).ValueUnsafe());
   }

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "alloc/pheap.h"
@@ -23,8 +24,11 @@ class Catalog {
   static Result<std::unique_ptr<Catalog>> Format(alloc::PHeap& heap);
 
   /// Binds to the existing catalog of an opened heap and attaches all
-  /// tables.
-  static Result<std::unique_ptr<Catalog>> Attach(alloc::PHeap& heap);
+  /// tables. Tables whose PTableMeta offset is in `skip_table_offsets`
+  /// are left unbound (quarantined by salvage recovery).
+  static Result<std::unique_ptr<Catalog>> Attach(
+      alloc::PHeap& heap,
+      const std::unordered_set<uint64_t>* skip_table_offsets = nullptr);
 
   HYRISE_NV_DISALLOW_COPY_AND_MOVE(Catalog);
 
@@ -55,7 +59,8 @@ class Catalog {
  private:
   explicit Catalog(alloc::PHeap& heap) : heap_(&heap) {}
 
-  Status BindAndAttachTables();
+  Status BindAndAttachTables(
+      const std::unordered_set<uint64_t>* skip_table_offsets);
 
   alloc::PHeap* heap_;
   PCatalogMeta* meta_ = nullptr;

@@ -1,0 +1,61 @@
+#ifndef HYRISE_NV_STORAGE_CHECKSUMS_H_
+#define HYRISE_NV_STORAGE_CHECKSUMS_H_
+
+#include <cstdint>
+
+#include "alloc/pvector.h"
+#include "common/crc32.h"
+#include "nvm/pmem_region.h"
+#include "storage/layout.h"
+
+namespace hyrise_nv::storage {
+
+/// Seal tags are 64-bit: a constant marker in the high half plus a masked
+/// CRC-32C in the low half. The marker guarantees a seal is never 0, so 0
+/// can always mean "unsealed" (the state every Format leaves behind).
+inline uint64_t SealTag(uint32_t crc) {
+  return (uint64_t{0x5EA1} << 32) | MaskCrc(crc);
+}
+
+/// CRC over a persistent vector: the committed size, then the committed
+/// element bytes of the active buffer. Structurally invalid descriptors
+/// (buffer out of range) contribute only their size — the structural
+/// checks in recovery/verify.cc report those separately.
+uint32_t CrcOfVectorContent(const nvm::PmemRegion& region,
+                            const alloc::PVectorDesc& desc,
+                            uint64_t elem_size, uint32_t seed = 0);
+
+/// Seal over the descriptor fields of a PVectorDesc (not its content).
+uint64_t ComputePVectorDescSeal(const alloc::PVectorDesc& desc);
+
+/// Content seals for one main-partition column (dictionary + attribute
+/// vector) and its group-key CSR. The main partition is immutable after
+/// merge, so these are computed at merge time and stay valid across
+/// crashes.
+uint64_t ComputeMainDictSeal(const nvm::PmemRegion& region,
+                             const PMainColumnMeta& col);
+uint64_t ComputeMainAttrSeal(const nvm::PmemRegion& region,
+                             const PMainColumnMeta& col);
+uint64_t ComputeMainGkSeal(const nvm::PmemRegion& region,
+                           const PMainColumnMeta& col);
+
+/// Content seals for one delta-partition column. Only authoritative after
+/// a clean shutdown (the delta mutates in place).
+uint64_t ComputeDeltaDictSeal(const nvm::PmemRegion& region,
+                              const PDeltaColumnMeta& col);
+uint64_t ComputeDeltaAttrSeal(const nvm::PmemRegion& region,
+                              const PDeltaColumnMeta& col);
+
+/// Content seal over both MVCC vectors plus the main row count.
+uint64_t ComputeGroupMvccSeal(const nvm::PmemRegion& region,
+                              const PTableGroup& group);
+
+/// Writes and persists the merge-time seals of one main column.
+void SealMainColumn(nvm::PmemRegion& region, PMainColumnMeta* col);
+/// Writes and persists the group-key seal of one main column (the CSR is
+/// built after the column itself).
+void SealMainGroupKey(nvm::PmemRegion& region, PMainColumnMeta* col);
+
+}  // namespace hyrise_nv::storage
+
+#endif  // HYRISE_NV_STORAGE_CHECKSUMS_H_

@@ -14,6 +14,8 @@ struct PDeltaColumnMeta {
   alloc::PVectorDesc dict_values;  // uint64: numeric bits or blob offsets
   alloc::PVectorDesc dict_blob;    // length-prefixed string payloads
   alloc::PVectorDesc attr;         // uint32 value ids, one per delta row
+  uint64_t dict_seal;  // content seal over dict_values+dict_blob (0 = none)
+  uint64_t attr_seal;  // content seal over attr (0 = none)
 };
 
 /// On-NVM metadata of one column's main partition: sorted dictionary and
@@ -25,6 +27,11 @@ struct PMainColumnMeta {
   uint64_t bits;                   // width of packed ids
   alloc::PVectorDesc gk_offsets;   // |dict|+1 offsets into gk_positions
   alloc::PVectorDesc gk_positions; // row numbers grouped by value id
+  // Content seals written at merge time (the main partition is immutable
+  // after merge, so these are valid even after a crash). 0 = unsealed.
+  uint64_t dict_seal;  // over dict_values + dict_blob content
+  uint64_t attr_seal;  // over bits + attr_words content
+  uint64_t gk_seal;    // over gk_offsets + gk_positions content
 };
 
 /// Maximum secondary indexes per table.
@@ -64,6 +71,7 @@ struct PIndexMeta {
   uint64_t head_off;               // skip list: head node offset
   alloc::PVectorDesc buckets;
   alloc::PVectorDesc entries;
+  uint64_t content_seal;  // clean-shutdown seal over index content (0 = none)
 };
 
 /// One merge generation of a table: the immutable main partition, the
@@ -76,6 +84,7 @@ struct PTableGroup {
   uint64_t main_row_count;
   alloc::PVectorDesc main_mvcc;   // MvccEntry per main row
   alloc::PVectorDesc delta_mvcc;  // MvccEntry per delta row
+  uint64_t mvcc_seal;  // clean-shutdown seal over both MVCC vectors
   PIndexMeta indexes[kMaxIndexesPerTable];
   // Trailing arrays: PMainColumnMeta[num_columns] then
   // PDeltaColumnMeta[num_columns].

@@ -7,6 +7,7 @@
 
 #include "common/bit_util.h"
 #include "common/stopwatch.h"
+#include "storage/checksums.h"
 #include "storage/dictionary.h"
 
 namespace hyrise_nv::storage {
@@ -167,7 +168,10 @@ Status BuildGroupKeyIndex(nvm::PmemRegion& region,
                                         &col->gk_positions);
   HYRISE_NV_RETURN_NOT_OK(gk_offsets.BulkAppend(offsets.data(),
                                                 offsets.size()));
-  return gk_positions.BulkAppend(positions.data(), positions.size());
+  HYRISE_NV_RETURN_NOT_OK(
+      gk_positions.BulkAppend(positions.data(), positions.size()));
+  SealMainGroupKey(region, col);
+  return Status::OK();
 }
 
 }  // namespace
@@ -265,6 +269,7 @@ Result<MergeStats> MergeTable(Table& table, Cid snapshot) {
                                        &new_col->attr_words);
     HYRISE_NV_RETURN_NOT_OK(PackedAttributeVector::Build(
         new_words, bits, attr_ids.data(), attr_ids.size()));
+    SealMainColumn(region, new_col);
 
     // Group-key index if this column was indexed in the old group.
     for (uint64_t s = 0; s < kMaxIndexesPerTable; ++s) {

@@ -69,6 +69,9 @@ struct PTxnStateBlock {
   uint64_t tid_block;         // first TID of the next unclaimed block
   uint64_t cid_block;         // first CID of the next unclaimed block
   PCommitSlot slots[kCommitSlots];
+  /// Seal tag over the fields above, written at clean shutdown
+  /// (recovery/verify.h). 0 = unsealed.
+  uint64_t block_crc;
 };
 
 /// Volatile handle over PTxnStateBlock: watermark, TID/CID block

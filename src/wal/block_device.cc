@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
 #include "nvm/latency_model.h"
 
 namespace hyrise_nv::wal {
@@ -58,6 +59,22 @@ void BlockDevice::ThrottleBandwidth(double mbps, size_t bytes) {
 Result<uint64_t> BlockDevice::Append(const void* data, size_t len) {
   std::lock_guard<std::mutex> guard(mutex_);
   const uint64_t offset = size_;
+  auto& injector = FaultInjector::Instance();
+  if (injector.any_armed()) {
+    if (injector.ShouldFire(FaultPoint::kWalAppendEio)) {
+      return Status::IOError("injected EIO on append to " + path_);
+    }
+    if (injector.ShouldFire(FaultPoint::kWalAppendShortWrite)) {
+      // Model a torn write: half the payload reaches the device, then
+      // the write errors out. size_ does not advance, so a successful
+      // retry overwrites the torn bytes at the same offset.
+      const size_t half = len / 2;
+      if (half > 0) {
+        (void)::pwrite(fd_, data, half, static_cast<off_t>(offset));
+      }
+      return Status::IOError("injected short write on append to " + path_);
+    }
+  }
   size_t done = 0;
   const auto* p = static_cast<const uint8_t*>(data);
   while (done < len) {
@@ -76,6 +93,11 @@ Result<uint64_t> BlockDevice::Append(const void* data, size_t len) {
 
 Status BlockDevice::Sync() {
   std::lock_guard<std::mutex> guard(mutex_);
+  auto& injector = FaultInjector::Instance();
+  if (injector.any_armed() &&
+      injector.ShouldFire(FaultPoint::kWalSyncFail)) {
+    return Status::IOError("injected fdatasync failure on " + path_);
+  }
   if (::fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync failed");
   }
@@ -89,8 +111,13 @@ Status BlockDevice::Sync() {
 
 Status BlockDevice::Read(uint64_t offset, void* out, size_t len) {
   std::lock_guard<std::mutex> guard(mutex_);
-  if (offset + len > size_) {
-    return Status::InvalidArgument("read beyond device end");
+  if (len > size_ || offset > size_ - len) {
+    // Distinguishable from a caller bug: during recovery a read past the
+    // device end means the device was truncated (torn log).
+    return Status::Corruption(
+        "read past device end (offset " + std::to_string(offset) +
+        ", len " + std::to_string(len) + ", device size " +
+        std::to_string(size_) + "): device truncated or log torn");
   }
   size_t done = 0;
   auto* p = static_cast<uint8_t*>(out);

@@ -9,7 +9,8 @@ Result<std::unique_ptr<LogManager>> LogManager::Create(
   if (!device_result.ok()) return device_result.status();
   manager->device_ = std::move(device_result).ValueUnsafe();
   manager->writer_ = std::make_unique<LogWriter>(
-      manager->device_.get(), options.sync_every_n_commits);
+      manager->device_.get(), options.sync_every_n_commits,
+      options.io_max_retries, options.io_retry_backoff_us);
   return manager;
 }
 
@@ -20,7 +21,8 @@ Result<std::unique_ptr<LogManager>> LogManager::OpenExisting(
   if (!device_result.ok()) return device_result.status();
   manager->device_ = std::move(device_result).ValueUnsafe();
   manager->writer_ = std::make_unique<LogWriter>(
-      manager->device_.get(), options.sync_every_n_commits);
+      manager->device_.get(), options.sync_every_n_commits,
+      options.io_max_retries, options.io_retry_backoff_us);
   return manager;
 }
 

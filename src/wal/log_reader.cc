@@ -1,10 +1,28 @@
 #include "wal/log_reader.h"
 
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
 
 namespace hyrise_nv::wal {
+
+namespace {
+
+/// A torn tail has nothing decodable after the corrupt point: the crash
+/// cut the log short, so the bytes past it are absent or garbage. A
+/// decodable record after the corruption means the damage sits inside
+/// the durable prefix (bit rot, a bad sector) — replay must fail loudly
+/// instead of silently truncating away committed work.
+bool HasDecodableRecordAfter(const uint8_t* data, size_t len, size_t from) {
+  for (size_t pos = from; pos < len; ++pos) {
+    size_t consumed = 0;
+    if (DecodeRecord(data + pos, len - pos, &consumed).ok()) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<uint64_t> LogReader::ForEach(
     uint64_t start_offset,
@@ -27,6 +45,13 @@ Result<uint64_t> LogReader::ForEach(
     if (!record.ok()) {
       if (record.status().IsNotFound()) break;  // clean end
       if (record.status().IsCorruption()) {
+        if (HasDecodableRecordAfter(data.data(), total, pos + 1)) {
+          return Status::Corruption(
+              "log corrupt at offset " +
+              std::to_string(start_offset + pos) +
+              " with valid records after it (mid-log corruption, not a "
+              "torn tail): " + record.status().message());
+        }
         // Torn tail: a crash between flush and sync cuts the final
         // record short (or leaves garbage). Like LevelDB, replay treats
         // the first undecodable record as the end of the log — framed

@@ -1,30 +1,78 @@
 #include "wal/log_writer.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+
 namespace hyrise_nv::wal {
 
+namespace {
+constexpr uint64_t kMaxBackoffUs = 1'000'000;  // 1s cap per attempt
+}  // namespace
+
+Status LogWriter::RetryIo(const char* what,
+                          const std::function<Status()>& io) {
+  Status status = io();
+  uint64_t backoff_us = io_retry_backoff_us_;
+  for (uint32_t attempt = 0;
+       !status.ok() && status.code() == StatusCode::kIOError &&
+       attempt < io_max_retries_;
+       ++attempt) {
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
+    HYRISE_NV_LOG(kWarn) << "wal: " << what << " failed ("
+                         << status.ToString() << "), retry "
+                         << (attempt + 1) << "/" << io_max_retries_
+                         << " after " << backoff_us << "us";
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, kMaxBackoffUs);
+    status = io();
+  }
+  if (!status.ok() && status.code() == StatusCode::kIOError) {
+    degraded_.store(true, std::memory_order_release);
+    HYRISE_NV_LOG(kError)
+        << "wal: " << what << " failed after " << io_max_retries_
+        << " retries (" << status.ToString()
+        << "); entering degraded (read-only) mode";
+  }
+  return status;
+}
+
 Status LogWriter::Append(const LogRecord& record) {
+  if (degraded()) {
+    return Status::IOError(
+        "log writer is degraded after unrecoverable I/O errors; "
+        "database is read-only");
+  }
   const std::vector<uint8_t> framed = EncodeRecord(record);
   std::lock_guard<std::mutex> guard(mutex_);
   buffer_.insert(buffer_.end(), framed.begin(), framed.end());
   return Status::OK();
 }
 
-Status LogWriter::Flush() {
-  std::lock_guard<std::mutex> guard(mutex_);
+Status LogWriter::FlushLocked() {
   if (buffer_.empty()) return Status::OK();
-  auto append_result = device_->Append(buffer_.data(), buffer_.size());
-  if (!append_result.ok()) return append_result.status();
+  HYRISE_NV_RETURN_NOT_OK(RetryIo("append", [&] {
+    auto append_result = device_->Append(buffer_.data(), buffer_.size());
+    return append_result.ok() ? Status::OK() : append_result.status();
+  }));
   buffer_.clear();
   return Status::OK();
 }
 
+Status LogWriter::Flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return FlushLocked();
+}
+
 Status LogWriter::Commit(const LogRecord& commit_record) {
   HYRISE_NV_RETURN_NOT_OK(Append(commit_record));
-  HYRISE_NV_RETURN_NOT_OK(Flush());
   std::lock_guard<std::mutex> guard(mutex_);
+  HYRISE_NV_RETURN_NOT_OK(FlushLocked());
   ++total_commits_;
   if (++unsynced_commits_ >= sync_every_) {
-    HYRISE_NV_RETURN_NOT_OK(device_->Sync());
+    HYRISE_NV_RETURN_NOT_OK(RetryIo("sync", [&] { return device_->Sync(); }));
     synced_commits_ = total_commits_;
     unsynced_commits_ = 0;
   }
@@ -32,9 +80,9 @@ Status LogWriter::Commit(const LogRecord& commit_record) {
 }
 
 Status LogWriter::SyncNow() {
-  HYRISE_NV_RETURN_NOT_OK(Flush());
   std::lock_guard<std::mutex> guard(mutex_);
-  HYRISE_NV_RETURN_NOT_OK(device_->Sync());
+  HYRISE_NV_RETURN_NOT_OK(FlushLocked());
+  HYRISE_NV_RETURN_NOT_OK(RetryIo("sync", [&] { return device_->Sync(); }));
   synced_commits_ = total_commits_;
   unsynced_commits_ = 0;
   return Status::OK();

@@ -1,7 +1,9 @@
 #ifndef HYRISE_NV_WAL_LOG_WRITER_H_
 #define HYRISE_NV_WAL_LOG_WRITER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -18,11 +20,22 @@ namespace hyrise_nv::wal {
 /// commit is synchronously durable; with N > 1 the writer models group
 /// commit: the last < N commits may be lost in a crash, but the log never
 /// tears mid-record (framed CRCs make a torn tail detectable).
+///
+/// I/O errors (EIO, short writes, failed fdatasync) are retried with
+/// exponential backoff up to `io_max_retries` times. If the device stays
+/// broken the writer enters degraded mode: every further durability
+/// request fails fast with an I/O error so the engine can flip to
+/// read-only instead of aborting the process or, worse, acknowledging
+/// commits it cannot make durable.
 class LogWriter {
  public:
-  LogWriter(BlockDevice* device, uint32_t sync_every_n_commits)
+  LogWriter(BlockDevice* device, uint32_t sync_every_n_commits,
+            uint32_t io_max_retries = 4, uint32_t io_retry_backoff_us = 50)
       : device_(device),
-        sync_every_(sync_every_n_commits == 0 ? 1 : sync_every_n_commits) {}
+        sync_every_(sync_every_n_commits == 0 ? 1 : sync_every_n_commits),
+        io_max_retries_(io_max_retries),
+        io_retry_backoff_us_(
+            io_retry_backoff_us == 0 ? 1 : io_retry_backoff_us) {}
 
   /// Buffers a non-commit record.
   Status Append(const LogRecord& record);
@@ -42,12 +55,36 @@ class LogWriter {
   uint64_t synced_commits() const { return synced_commits_; }
   uint64_t total_commits() const { return total_commits_; }
 
+  /// True once an I/O error survived all retries. Degraded is sticky:
+  /// the log's durable prefix is intact, but nothing past it can be
+  /// promised, so the engine must stop accepting writes.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
+  /// Number of I/O retry attempts performed so far (successful or not).
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Runs `io`, retrying transient I/O errors with exponential backoff
+  /// (io_retry_backoff_us, doubling, capped at ~1s per attempt). On
+  /// exhaustion marks the writer degraded and returns the last error.
+  /// Non-I/O errors are returned immediately without retry. Caller must
+  /// hold mutex_.
+  Status RetryIo(const char* what, const std::function<Status()>& io);
+
+  /// Caller must hold mutex_.
+  Status FlushLocked();
+
   BlockDevice* device_;
   uint32_t sync_every_;
+  uint32_t io_max_retries_;
+  uint32_t io_retry_backoff_us_;
   uint32_t unsynced_commits_ = 0;
   uint64_t total_commits_ = 0;
   uint64_t synced_commits_ = 0;
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> io_retries_{0};
   std::vector<uint8_t> buffer_;
   std::mutex mutex_;
 };

@@ -1,20 +1,32 @@
-// dbinspect — offline inspection of a Hyrise-NV persistent image.
+// dbinspect — offline inspection and verification of a Hyrise-NV
+// persistent image.
 //
 // Prints the region header, allocator occupancy, transaction state,
 // catalog, per-table partition/dictionary/index statistics, and MVCC
 // health counters — without modifying the image (the file is copied into
 // an anonymous region first).
 //
-//   dbinspect <path-to-nvm.img> [--verbose]
+//   dbinspect [--verify[=deep]] <data-dir | nvm-image> [--verbose]
+//
+// --verify        fast integrity check (region header + magic/CRC)
+// --verify=deep   walk every persistent structure: allocator free lists,
+//                 commit table, catalog, dictionaries, attribute
+//                 vectors, MVCC vectors, indexes
+//
+// Exit codes: 0 = image is clean, 1 = usage error, 2 = corruption
+// found, 3 = the image cannot be opened at all.
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 
 #include "alloc/pheap.h"
 #include "alloc/region_header.h"
 #include "index/index_set.h"
+#include "recovery/verify.h"
 #include "storage/catalog.h"
 #include "txn/commit_table.h"
 
@@ -30,6 +42,65 @@ const char* IndexKindName(uint64_t kind) {
       return "skip-list";
   }
   return "?";
+}
+
+const char* SeverityName(recovery::FindingSeverity severity) {
+  switch (severity) {
+    case recovery::FindingSeverity::kFatal:
+      return "FATAL";
+    case recovery::FindingSeverity::kTable:
+      return "TABLE";
+    case recovery::FindingSeverity::kWriteHazard:
+      return "WRITE-HAZARD";
+  }
+  return "?";
+}
+
+int RunVerify(const std::string& image_path, bool deep) {
+  nvm::PmemRegionOptions options;
+  options.file_path = image_path;
+  options.tracking = nvm::TrackingMode::kNone;
+  auto region_result = nvm::PmemRegion::Open(options);
+  if (!region_result.ok()) {
+    std::fprintf(stderr, "cannot open image: %s\n",
+                 region_result.status().ToString().c_str());
+    return 3;
+  }
+  auto region = std::move(region_result).ValueUnsafe();
+
+  if (!deep) {
+    Status status = alloc::ValidateRegionHeader(*region);
+    if (!status.ok()) {
+      std::printf("verify: FAILED — %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "verify: header OK (%s shutdown; use --verify=deep for a full "
+        "structure walk)\n",
+        alloc::WasCleanShutdown(*region) ? "clean" : "crash");
+    return 0;
+  }
+
+  recovery::VerifyReport report = recovery::DeepVerify(*region);
+  std::printf("deep verify: %" PRIu64 " tables, %" PRIu64
+              " structures checked, %zu finding(s)%s\n",
+              report.tables_checked, report.structures_checked,
+              report.findings.size(),
+              report.sealed_image ? "" : " (crash image: close-time "
+                                         "checksums not authoritative)");
+  for (const auto& finding : report.findings) {
+    std::printf("  [%s] %s%s%s%s: %s\n", SeverityName(finding.severity),
+                finding.structure.c_str(),
+                finding.table.empty() ? "" : " (table '",
+                finding.table.c_str(), finding.table.empty() ? "" : "')",
+                finding.detail.c_str());
+  }
+  if (!report.clean()) {
+    std::printf("verify: FAILED\n");
+    return 2;
+  }
+  std::printf("verify: OK\n");
+  return 0;
 }
 
 void PrintTable(storage::Table& table, bool verbose) {
@@ -115,24 +186,60 @@ void PrintTable(storage::Table& table, bool verbose) {
   }
 }
 
+void PrintUsage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--verify[=deep]] <data-dir | nvm-image> "
+               "[--verbose]\n",
+               prog);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <nvm-image> [--verbose]\n", argv[0]);
-    return 2;
+  std::string path;
+  bool verbose = false;
+  bool verify = false;
+  bool deep = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--verify=deep") {
+      verify = true;
+      deep = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      PrintUsage(argv[0]);
+      return 1;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      PrintUsage(argv[0]);
+      return 1;
+    }
   }
-  const std::string path = argv[1];
-  const bool verbose = argc > 2 && std::strcmp(argv[2], "--verbose") == 0;
+  if (path.empty()) {
+    PrintUsage(argv[0]);
+    return 1;
+  }
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    path += "/nvm.img";
+  }
+
+  if (verify) return RunVerify(path, deep);
 
   nvm::PmemRegionOptions options;
   options.file_path = path;
   options.tracking = nvm::TrackingMode::kNone;
-  auto heap_result = alloc::PHeap::Open(options);
+  // OpenForInspection skips the dirty-marking a writer open performs, so
+  // inspecting an image never flips its clean-shutdown flag.
+  auto heap_result = alloc::PHeap::OpenForInspection(options);
   if (!heap_result.ok()) {
     std::fprintf(stderr, "cannot open image: %s\n",
                  heap_result.status().ToString().c_str());
-    return 1;
+    return 3;
   }
   auto heap = std::move(heap_result).ValueUnsafe();
 
@@ -172,7 +279,7 @@ int main(int argc, char** argv) {
   if (!catalog_result.ok()) {
     std::fprintf(stderr, "cannot attach catalog: %s\n",
                  catalog_result.status().ToString().c_str());
-    return 1;
+    return 3;
   }
   std::printf("  tables: %zu\n", (*catalog_result)->num_tables());
   for (const auto& table : (*catalog_result)->tables()) {
