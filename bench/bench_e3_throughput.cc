@@ -1,18 +1,26 @@
 // Experiment E3 — steady-state OLTP throughput per durability mode
 // (TPC-C-style mix). The NVM engine pays persist barriers on the write
 // path; the log engines pay WAL appends + commit syncs; kNone is the
-// no-durability ceiling.
+// no-durability ceiling. Besides throughput, each mode reports commit
+// tail latencies from the engine's own metrics registry (the same
+// histograms `dbinspect stats` exports).
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "workload/tpcc.h"
 
 using namespace hyrise_nv;  // NOLINT: benchmark brevity
 
 namespace {
 
-double RunMode(core::DurabilityMode mode, uint64_t txns) {
+struct ModeResult {
+  double tps = 0;
+  obs::MetricsSnapshot metrics;
+};
+
+ModeResult RunMode(core::DurabilityMode mode, uint64_t txns) {
   const std::string dir = bench::MakeBenchDir("e3");
   auto options = bench::EngineOptions(mode, dir, size_t{512} << 20);
   // Throughput benches skip the crash shadow (2x memory + copy costs that
@@ -28,9 +36,39 @@ double RunMode(core::DurabilityMode mode, uint64_t txns) {
   bench::Die(runner.Load(), "load");
   // Warm-up.
   (void)bench::Unwrap(runner.Run(txns / 10 + 1), "warmup");
+  // Measure only the timed run: load + warm-up samples would skew the
+  // latency percentiles.
+  obs::MetricsRegistry::Instance().ResetAll();
   auto stats = bench::Unwrap(runner.Run(txns), "run");
+  ModeResult result;
+  result.tps = stats.TxnPerSecond();
+  result.metrics = db->MetricsSnapshot();
   bench::RemoveBenchDir(dir);
-  return stats.TxnPerSecond();
+  return result;
+}
+
+void PrintMode(const char* name, const ModeResult& result,
+               double baseline_tps) {
+  const obs::HistogramSnapshot* commit =
+      result.metrics.FindHistogram("txn.commit.latency_ns");
+  const double p50 = commit != nullptr ? commit->p50 / 1e3 : 0;
+  const double p95 = commit != nullptr ? commit->p95 / 1e3 : 0;
+  const double p99 = commit != nullptr ? commit->p99 / 1e3 : 0;
+  const uint64_t persists =
+      result.metrics.CounterValue("nvm.persist.count");
+  const uint64_t fsyncs = result.metrics.CounterValue("wal.fsync.count");
+  std::printf("%-12s %12.0f %9.0f%% %10.1f %10.1f %10.1f %12llu %9llu\n",
+              name, result.tps, 100.0 * result.tps / baseline_tps, p50,
+              p95, p99, static_cast<unsigned long long>(persists),
+              static_cast<unsigned long long>(fsyncs));
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e3\",\"engine\":\"%s\",\"txn_per_sec\":%.1f,"
+      "\"commit_p50_us\":%.2f,\"commit_p95_us\":%.2f,"
+      "\"commit_p99_us\":%.2f,\"persist_barriers\":%llu,"
+      "\"wal_fsyncs\":%llu}\n",
+      name, result.tps, p50, p95, p99,
+      static_cast<unsigned long long>(persists),
+      static_cast<unsigned long long>(fsyncs));
 }
 
 }  // namespace
@@ -40,16 +78,17 @@ int main() {
   std::printf("E3 — OLTP throughput by durability mode (TPC-C-style mix, "
               "%llu txns)\n",
               static_cast<unsigned long long>(txns));
-  std::printf("%-12s %12s %12s\n", "engine", "txn/s", "vs none");
+  std::printf("%-12s %12s %10s %10s %10s %10s %12s %9s\n", "engine",
+              "txn/s", "vs none", "p50 us", "p95 us", "p99 us",
+              "persists", "fsyncs");
 
-  const double baseline = RunMode(core::DurabilityMode::kNone, txns);
-  std::printf("%-12s %12.0f %11.0f%%\n", "none", baseline, 100.0);
+  const ModeResult baseline = RunMode(core::DurabilityMode::kNone, txns);
+  PrintMode("none", baseline, baseline.tps);
   for (const auto mode :
        {core::DurabilityMode::kWalValue, core::DurabilityMode::kWalDict,
         core::DurabilityMode::kNvm}) {
-    const double tps = RunMode(mode, txns);
-    std::printf("%-12s %12.0f %11.0f%%\n", core::DurabilityModeName(mode),
-                tps, 100.0 * tps / baseline);
+    const ModeResult result = RunMode(mode, txns);
+    PrintMode(core::DurabilityModeName(mode), result, baseline.tps);
   }
   std::printf("\npaper shape check: the NVM engine lands between the "
               "volatile ceiling and the log-based baselines — it pays "

@@ -1,11 +1,14 @@
 // Experiment E5 — where recovery time goes. Log-based recovery splits
 // into checkpoint load + log replay + index rebuild (each scales with
 // data); instant restart splits into map + in-flight fixup + volatile
-// attach (none scale with data).
+// attach (none scale with data). All numbers come from the recovery
+// span trace the engine records (RecoveryReport::trace), not from
+// stopwatches in this benchmark.
 
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/trace.h"
 #include "workload/enterprise.h"
 
 using namespace hyrise_nv;  // NOLINT: benchmark brevity
@@ -47,6 +50,27 @@ std::unique_ptr<core::Database> BuildAndCrash(core::DurabilityMode mode,
                        "recover");
 }
 
+/// Seconds of a named span in the recovery trace (0 when the phase did
+/// not run, e.g. checkpoint_load without a checkpoint).
+double Phase(const obs::SpanNode& trace, const char* name) {
+  const obs::SpanNode* span = trace.Find(name);
+  return span != nullptr ? span->seconds : 0;
+}
+
+void PrintJson(const char* config, const obs::SpanNode& trace,
+               uint64_t replayed_records) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e5\",\"config\":\"%s\","
+      "\"total_ms\":%.3f,\"checkpoint_load_ms\":%.3f,\"replay_ms\":%.3f,"
+      "\"index_rebuild_ms\":%.3f,\"map_ms\":%.3f,\"fixup_ms\":%.3f,"
+      "\"attach_ms\":%.3f,\"replayed_records\":%llu}\n",
+      config, trace.seconds * 1e3, Phase(trace, "checkpoint_load") * 1e3,
+      Phase(trace, "replay") * 1e3, Phase(trace, "index_rebuild") * 1e3,
+      Phase(trace, "map") * 1e3, Phase(trace, "fixup") * 1e3,
+      Phase(trace, "attach") * 1e3,
+      static_cast<unsigned long long>(replayed_records));
+}
+
 }  // namespace
 
 int main() {
@@ -59,17 +83,14 @@ int main() {
     const std::string dir = bench::MakeBenchDir("e5");
     auto db = BuildAndCrash(core::DurabilityMode::kWalValue, rows, dir,
                             /*with_checkpoint=*/true);
-    const auto& report = db->last_recovery_report().log;
-    std::printf("log-based (checkpoint at 50%% of data):\n");
-    std::printf("  %-22s %10.2f ms\n", "checkpoint load",
-                report.checkpoint_load_seconds * 1e3);
-    std::printf("  %-22s %10.2f ms  (%llu records)\n", "log replay",
-                report.replay_seconds * 1e3,
-                static_cast<unsigned long long>(report.replayed_records));
-    std::printf("  %-22s %10.2f ms\n", "index rebuild",
-                report.index_rebuild_seconds * 1e3);
-    std::printf("  %-22s %10.2f ms\n", "total",
-                report.total_seconds * 1e3);
+    const auto& report = db->last_recovery_report();
+    std::printf("log-based (checkpoint at 50%% of data), %llu records "
+                "replayed:\n%s",
+                static_cast<unsigned long long>(
+                    report.log.replayed_records),
+                report.trace.Render().c_str());
+    PrintJson("wal-checkpoint", report.trace,
+              report.log.replayed_records);
     bench::RemoveBenchDir(dir);
   }
 
@@ -78,15 +99,14 @@ int main() {
     const std::string dir = bench::MakeBenchDir("e5");
     auto db = BuildAndCrash(core::DurabilityMode::kWalValue, rows, dir,
                             /*with_checkpoint=*/false);
-    const auto& report = db->last_recovery_report().log;
-    std::printf("\nlog-based (no checkpoint, full replay):\n");
-    std::printf("  %-22s %10.2f ms  (%llu records)\n", "log replay",
-                report.replay_seconds * 1e3,
-                static_cast<unsigned long long>(report.replayed_records));
-    std::printf("  %-22s %10.2f ms\n", "index rebuild",
-                report.index_rebuild_seconds * 1e3);
-    std::printf("  %-22s %10.2f ms\n", "total",
-                report.total_seconds * 1e3);
+    const auto& report = db->last_recovery_report();
+    std::printf("\nlog-based (no checkpoint, full replay), %llu records "
+                "replayed:\n%s",
+                static_cast<unsigned long long>(
+                    report.log.replayed_records),
+                report.trace.Render().c_str());
+    PrintJson("wal-full-replay", report.trace,
+              report.log.replayed_records);
     bench::RemoveBenchDir(dir);
   }
 
@@ -95,16 +115,10 @@ int main() {
     const std::string dir = bench::MakeBenchDir("e5");
     auto db = BuildAndCrash(core::DurabilityMode::kNvm, rows, dir,
                             /*with_checkpoint=*/false);
-    const auto& report = db->last_recovery_report().nvm;
-    std::printf("\nhyrise-nv (instant restart):\n");
-    std::printf("  %-22s %10.3f ms\n", "map + header check",
-                report.map_seconds * 1e3);
-    std::printf("  %-22s %10.3f ms\n", "in-flight fixup",
-                report.fixup_seconds * 1e3);
-    std::printf("  %-22s %10.3f ms\n", "volatile attach",
-                report.attach_seconds * 1e3);
-    std::printf("  %-22s %10.3f ms\n", "total",
-                report.total_seconds * 1e3);
+    const auto& report = db->last_recovery_report();
+    std::printf("\nhyrise-nv (instant restart):\n%s",
+                report.trace.Render().c_str());
+    PrintJson("nvm-instant-restart", report.trace, 0);
     bench::RemoveBenchDir(dir);
   }
 

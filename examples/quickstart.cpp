@@ -4,22 +4,29 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/example_quickstart
+//   ./build/examples/example_quickstart [data-dir]
 
 #include <cstdio>
+#include <filesystem>
 
 #include "core/database.h"
 #include "core/query.h"
 
 using namespace hyrise_nv;  // NOLINT: example brevity
 
-int main() {
+int main(int argc, char** argv) {
   // 1. Configure an NVM-backed engine. With no data_dir the region lives
   //    in process memory with full crash simulation (shadow tracking).
+  //    Pass a directory to keep the image on disk instead — after a clean
+  //    exit it can be reopened or fed to `dbinspect`.
   core::DatabaseOptions options;
   options.mode = core::DurabilityMode::kNvm;
   options.region_size = 64 << 20;
   options.nvm_latency = nvm::NvmLatencyModel::DefaultNvm();
+  if (argc > 1) {
+    options.data_dir = argv[1];
+    std::filesystem::create_directories(options.data_dir);
+  }
 
   auto db_result = core::Database::Create(options);
   if (!db_result.ok()) {
@@ -78,5 +85,17 @@ int main() {
   std::printf("after recovery: %llu rows, total revenue %.2f "
               "(uncommitted 'ghost' row is gone)\n",
               static_cast<unsigned long long>(count), revenue);
+
+  // 6. With a data dir, shut down cleanly and leave the image behind for
+  //    `dbinspect` / a later instant restart.
+  if (argc > 1) {
+    Status close_status = recovered->Close();
+    if (!close_status.ok()) {
+      std::fprintf(stderr, "close failed: %s\n",
+                   close_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("image kept at %s/nvm.img\n", argv[1]);
+  }
   return count == 2 ? 0 : 1;
 }

@@ -5,12 +5,24 @@
 #include "alloc/region_header.h"
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace hyrise_nv::alloc {
 
 namespace {
 
 constexpr uint64_t kBlockAlign = 64;
+
+#if HYRISE_NV_METRICS_ENABLED
+void NoteAllocated(uint64_t class_size) {
+  static obs::Counter& alloc_count =
+      obs::MetricsRegistry::Instance().GetCounter("alloc.alloc.count");
+  static obs::Gauge& bytes_in_use =
+      obs::MetricsRegistry::Instance().GetGauge("alloc.bytes_in_use");
+  alloc_count.Inc();
+  bytes_in_use.Add(static_cast<int64_t>(class_size));
+}
+#endif
 
 uint64_t HeapBeginOffset() {
   return AlignUp(PAllocator::MetaOffset() + sizeof(AllocMeta),
@@ -142,6 +154,13 @@ Result<uint64_t> PAllocator::AllocLocked(uint64_t size,
     }
     region_.AtomicPersist64(&m->free_heads[cls], block->next);
     region_.AtomicPersist64(&block->state, BlockHeader::kStateAllocated);
+#if HYRISE_NV_METRICS_ENABLED
+    static obs::Counter& freelist_reuse =
+        obs::MetricsRegistry::Instance().GetCounter(
+            "alloc.freelist_reuse.count");
+    freelist_reuse.Inc();
+    NoteAllocated(ClassSize(cls));
+#endif
     return head + sizeof(BlockHeader);
   }
 
@@ -170,6 +189,9 @@ Result<uint64_t> PAllocator::AllocLocked(uint64_t size,
   block->magic = BlockHeader::kMagicValue;
   region_.Persist(block, sizeof(BlockHeader));
   region_.AtomicPersist64(&m->heap_top, new_top);
+#if HYRISE_NV_METRICS_ENABLED
+  NoteAllocated(ClassSize(cls));
+#endif
   return block_off + sizeof(BlockHeader);
 }
 
@@ -225,6 +247,14 @@ void PAllocator::FreeBlockLocked(uint64_t block_offset) {
   block->state = BlockHeader::kStateFree;
   region_.Persist(block, sizeof(BlockHeader));
   region_.AtomicPersist64(&m->free_heads[cls], block_offset);
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& free_count =
+      obs::MetricsRegistry::Instance().GetCounter("alloc.free.count");
+  static obs::Gauge& bytes_in_use =
+      obs::MetricsRegistry::Instance().GetGauge("alloc.bytes_in_use");
+  free_count.Inc();
+  bytes_in_use.Add(-static_cast<int64_t>(ClassSize(cls)));
+#endif
 }
 
 Status PAllocator::Free(uint64_t payload_offset) {
@@ -233,6 +263,11 @@ Status PAllocator::Free(uint64_t payload_offset) {
     return Status::InvalidArgument("offset outside heap");
   }
   const uint64_t block_off = payload_offset - sizeof(BlockHeader);
+  // Blocks are kBlockAlign-aligned; a misaligned offset can never name a
+  // block (and must not be dereferenced as one).
+  if (block_off % kBlockAlign != 0) {
+    return Status::InvalidArgument("misaligned offset");
+  }
   std::lock_guard<std::mutex> guard(mutex_);
   auto* block = BlockAt(region_, block_off);
   if (block->magic != BlockHeader::kMagicValue) {
@@ -249,6 +284,9 @@ Result<uint64_t> PAllocator::AllocSize(uint64_t payload_offset) const {
   if (payload_offset < HeapBeginOffset() + sizeof(BlockHeader) ||
       payload_offset >= region_.size()) {
     return Status::InvalidArgument("offset outside heap");
+  }
+  if ((payload_offset - sizeof(BlockHeader)) % kBlockAlign != 0) {
+    return Status::InvalidArgument("misaligned offset");
   }
   const auto* block = BlockAt(region_, payload_offset - sizeof(BlockHeader));
   if (block->magic != BlockHeader::kMagicValue) {

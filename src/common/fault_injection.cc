@@ -1,5 +1,7 @@
 #include "common/fault_injection.h"
 
+#include "obs/metrics.h"
+
 namespace hyrise_nv {
 
 namespace {
@@ -62,6 +64,11 @@ bool FaultInjector::ShouldFire(FaultPoint point, uint64_t* param) {
     if (roll >= state.plan.probability) return false;
   }
   ++state.fires;
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& fires_count =
+      obs::MetricsRegistry::Instance().GetCounter("fault.fires.count");
+  fires_count.Inc();
+#endif
   if (param != nullptr) *param = state.plan.param;
   if (state.fires >= state.plan.max_fires) {
     state.armed = false;

@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 
 namespace hyrise_nv {
 
@@ -27,6 +29,29 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+/// ISO-8601 UTC with milliseconds, e.g. 2026-08-06T12:34:56.789Z.
+void FormatTimestamp(char* buf, size_t len) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  const size_t used = std::strftime(buf, len, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::snprintf(buf + used, len - used, ".%03dZ", static_cast<int>(ms));
+}
+
+/// Small dense per-thread id (first logger is 1), stabler across runs
+/// than the pthread handle.
+unsigned ThreadId() {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -37,14 +62,19 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_log_level.load(std::memory_order_relaxed);
+}
+
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
-  if (static_cast<int>(level) <
-      g_log_level.load(std::memory_order_relaxed)) {
-    return;
-  }
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), Basename(file),
-               line, msg.c_str());
+  if (!LogLevelEnabled(level)) return;
+  char timestamp[40];
+  FormatTimestamp(timestamp, sizeof(timestamp));
+  std::fprintf(stderr, "[%s %s tid=%u %s:%d] %s\n", timestamp,
+               LevelName(level), ThreadId(), Basename(file), line,
+               msg.c_str());
 }
 
 }  // namespace hyrise_nv

@@ -12,6 +12,11 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// True when `level` passes the current threshold. The HYRISE_NV_LOG
+/// macro checks this *before* constructing its stream, so a suppressed
+/// message costs one atomic load — operands are never evaluated.
+bool LogLevelEnabled(LogLevel level);
+
 /// Writes one formatted line to stderr if `level` passes the threshold.
 /// Thread-safe (a single formatted write per message).
 void LogMessage(LogLevel level, const char* file, int line,
@@ -39,11 +44,22 @@ class LogCapture {
   std::ostringstream stream_;
 };
 
+/// Swallows a LogCapture in the enabled branch of HYRISE_NV_LOG so both
+/// arms of the ternary have type void (the glog trick).
+struct Voidify {
+  void operator&(const LogCapture&) {}
+};
+
 }  // namespace internal_logging
 }  // namespace hyrise_nv
 
+/// Stream-style logging with an early level check: when the level is
+/// suppressed, the stream (and every `<<` operand) is never constructed.
 #define HYRISE_NV_LOG(level)                                       \
-  ::hyrise_nv::internal_logging::LogCapture(                       \
-      ::hyrise_nv::LogLevel::level, __FILE__, __LINE__)
+  !::hyrise_nv::LogLevelEnabled(::hyrise_nv::LogLevel::level)      \
+      ? (void)0                                                    \
+      : ::hyrise_nv::internal_logging::Voidify() &                 \
+            ::hyrise_nv::internal_logging::LogCapture(             \
+                ::hyrise_nv::LogLevel::level, __FILE__, __LINE__)
 
 #endif  // HYRISE_NV_COMMON_LOGGING_H_

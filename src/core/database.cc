@@ -4,13 +4,25 @@
 #include <system_error>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
 #include "nvm/nvm_env.h"
+#include "obs/trace.h"
 #include "recovery/log_recovery.h"
 #include "recovery/verify.h"
 #include "storage/mvcc.h"
 
 namespace hyrise_nv::core {
+
+namespace {
+
+void NoteOpened() {
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& open_count =
+      obs::MetricsRegistry::Instance().GetCounter("db.open.count");
+  open_count.Inc();
+#endif
+}
+
+}  // namespace
 
 nvm::PmemRegionOptions Database::MakeRegionOptions() const {
   nvm::PmemRegionOptions region_options;
@@ -73,7 +85,7 @@ Result<std::unique_ptr<Database>> Database::Create(
 
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
-  Stopwatch total;
+  obs::SpanTracer tracer("open");
   if (options.mode == DurabilityMode::kNvm) {
     if (options.data_dir.empty()) {
       return Status::InvalidArgument(
@@ -107,6 +119,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->recovery_.mode = options.mode;
     db->recovery_.recovered = true;
     db->recovery_.nvm = restart_result->report;
+    tracer.Attach(db->recovery_.nvm.trace);
     if (restart_result->salvage_read_only) {
       db->read_only_ = true;
       db->read_only_reason_ =
@@ -115,8 +128,12 @@ Result<std::unique_ptr<Database>> Database::Open(
       db->recovery_.read_only = true;
       db->recovery_.quarantined_tables = db->quarantined_;
     }
+    tracer.Begin("attach_index_sets");
     HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
-    db->recovery_.total_seconds = total.ElapsedSeconds();
+    tracer.End();
+    db->recovery_.trace = tracer.Finish();
+    db->recovery_.total_seconds = db->recovery_.trace.seconds;
+    NoteOpened();
     return db;
   }
 
@@ -132,8 +149,13 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->recovery_.mode = options.mode;
     db->recovery_.recovered = true;
     db->recovery_.log = *report_result;
+    tracer.Attach(db->recovery_.log.trace);
+    tracer.Begin("attach_index_sets");
     HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
-    db->recovery_.total_seconds = total.ElapsedSeconds();
+    tracer.End();
+    db->recovery_.trace = tracer.Finish();
+    db->recovery_.total_seconds = db->recovery_.trace.seconds;
+    NoteOpened();
     return db_result;
   }
 
@@ -148,7 +170,9 @@ Result<std::unique_ptr<Database>> Database::OpenViaLogFallback(
   // they were, so the fallback simply runs again.
   const std::string rebuild_path = options.NvmImagePath() + ".rebuild";
   nvm::RemoveFileIfExists(rebuild_path);
+  obs::SpanTracer tracer("open");
   recovery::LogRecoveryReport log_report;
+  tracer.Begin("rebuild_image");
   {
     nvm::PmemRegionOptions region_options;
     region_options.latency = options.nvm_latency;
@@ -166,9 +190,12 @@ Result<std::unique_ptr<Database>> Database::OpenViaLogFallback(
         *heap, **catalog_result, **txn_result, options.MakeLogOptions());
     if (!report_result.ok()) return report_result.status();
     log_report = *report_result;
+    tracer.Attach(log_report.trace);
     recovery::SealForCleanShutdown(*heap);
     HYRISE_NV_RETURN_NOT_OK(heap->CloseClean());
   }
+  tracer.End();
+  tracer.Begin("install_image");
   std::error_code ec;
   std::filesystem::rename(rebuild_path, options.NvmImagePath(), ec);
   if (ec) {
@@ -189,10 +216,19 @@ Result<std::unique_ptr<Database>> Database::OpenViaLogFallback(
       return Status::IOError("retiring applied checkpoint: " + ec.message());
     }
   }
+  tracer.End();
   auto db_result = Open(options);
   if (!db_result.ok()) return db_result;
+  // The re-open produced its own "open" trace; graft it in as "reopen"
+  // under the fallback's trace so the final tree covers everything.
+  obs::SpanNode reopen = std::move((*db_result)->recovery_.trace);
+  reopen.name = "reopen";
+  tracer.Attach(std::move(reopen));
   (*db_result)->recovery_.fell_back_to_log = true;
   (*db_result)->recovery_.log = log_report;
+  (*db_result)->recovery_.trace = tracer.Finish();
+  (*db_result)->recovery_.total_seconds =
+      (*db_result)->recovery_.trace.seconds;
   return db_result;
 }
 
@@ -214,7 +250,7 @@ Result<std::unique_ptr<Database>> Database::CrashAndRecover(
     HYRISE_NV_RETURN_NOT_OK(db->heap_->region().SimulateCrash());
     // The timer starts after the simulated power failure: restoring the
     // shadow image is the *crash*, not the recovery.
-    Stopwatch total;
+    obs::SpanTracer tracer("open");
     auto recovered = std::unique_ptr<Database>(new Database(options));
     auto restart_result =
         recovery::InstantRestartFromHeap(std::move(db->heap_));
@@ -226,8 +262,13 @@ Result<std::unique_ptr<Database>> Database::CrashAndRecover(
     recovered->recovery_.mode = options.mode;
     recovered->recovery_.recovered = true;
     recovered->recovery_.nvm = restart_result->report;
+    tracer.Attach(recovered->recovery_.nvm.trace);
+    tracer.Begin("attach_index_sets");
     HYRISE_NV_RETURN_NOT_OK(recovered->AttachAllIndexSets());
-    recovered->recovery_.total_seconds = total.ElapsedSeconds();
+    tracer.End();
+    recovered->recovery_.trace = tracer.Finish();
+    recovered->recovery_.total_seconds = recovered->recovery_.trace.seconds;
+    NoteOpened();
     return recovered;
   }
 
@@ -492,6 +533,35 @@ Status Database::Close() {
     recovery::SealForCleanShutdown(*heap_);
   }
   return heap_->CloseClean();
+}
+
+obs::MetricsSnapshot Database::MetricsSnapshot() {
+  auto& registry = obs::MetricsRegistry::Instance();
+  // Mirror passively-maintained totals into the registry so one snapshot
+  // holds everything. These sources already count in their own hot paths
+  // (NvmStats atomics, WAL writer fields); re-counting them live would
+  // double the bookkeeping for no benefit.
+  const nvm::NvmStats& stats = heap_->region().stats();
+  registry.GetCounter("nvm.persist.count")
+      .Store(stats.persist_calls.load(std::memory_order_relaxed));
+  registry.GetCounter("nvm.fence.count")
+      .Store(stats.fences.load(std::memory_order_relaxed));
+  registry.GetCounter("nvm.flush.lines")
+      .Store(stats.flush_lines.load(std::memory_order_relaxed));
+  registry.GetCounter("nvm.flush.bytes")
+      .Store(stats.flushed_bytes.load(std::memory_order_relaxed));
+  registry.GetGauge("alloc.heap_used.bytes")
+      .Set(static_cast<int64_t>(heap_->allocator().HeapUsedBytes()));
+  registry.GetGauge("db.read_only").Set(read_only_ ? 1 : 0);
+  if (log_manager_ != nullptr) {
+    const wal::LogWriter& writer = log_manager_->writer();
+    registry.GetCounter("wal.io.retries").Store(writer.io_retries());
+    registry.GetCounter("wal.commits.total").Store(writer.total_commits());
+    registry.GetCounter("wal.commits.synced").Store(writer.synced_commits());
+    registry.GetCounter("wal.bytes.logged")
+        .Store(log_manager_->bytes_logged());
+  }
+  return registry.Snapshot();
 }
 
 }  // namespace hyrise_nv::core

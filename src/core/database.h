@@ -8,6 +8,7 @@
 
 #include "core/options.h"
 #include "index/index_set.h"
+#include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/merge.h"
 #include "txn/txn_manager.h"
@@ -119,6 +120,12 @@ class Database {
 
   const DatabaseOptions& options() const { return options_; }
   const RecoveryReport& last_recovery_report() const { return recovery_; }
+
+  /// Point-in-time snapshot of every engine metric. Syncs the passive
+  /// sources (NVM region stats, WAL writer totals, allocator usage) into
+  /// the registry first, so the snapshot is complete even for metrics no
+  /// hot path mirrors live.
+  obs::MetricsSnapshot MetricsSnapshot();
 
   /// True when the database refuses writes — either a salvage open or a
   /// WAL device that failed past its retry budget mid-run.

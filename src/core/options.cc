@@ -1,5 +1,8 @@
 #include "core/options.h"
 
+#include <cstdio>
+#include <sstream>
+
 namespace hyrise_nv::core {
 
 const char* DurabilityModeName(DurabilityMode mode) {
@@ -14,6 +17,88 @@ const char* DurabilityModeName(DurabilityMode mode) {
       return "nvm";
   }
   return "unknown";
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string RecoveryReport::RenderText() const {
+  std::ostringstream out;
+  out << "recovery: mode=" << DurabilityModeName(mode)
+      << " recovered=" << (recovered ? "yes" : "no (fresh)");
+  if (fell_back_to_log) out << " fell_back_to_log";
+  if (read_only) out << " read_only";
+  char total[64];
+  std::snprintf(total, sizeof(total), " total=%.3f ms",
+                total_seconds * 1e3);
+  out << total << "\n";
+  for (const auto& table : quarantined_tables) {
+    out << "  quarantined: " << table << "\n";
+  }
+  if (!trace.empty()) out << trace.Render();
+  return out.str();
+}
+
+std::string RecoveryReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"mode\":" << JsonQuote(DurabilityModeName(mode))
+      << ",\"recovered\":" << (recovered ? "true" : "false")
+      << ",\"fell_back_to_log\":" << (fell_back_to_log ? "true" : "false")
+      << ",\"read_only\":" << (read_only ? "true" : "false")
+      << ",\"total_seconds\":" << total_seconds;
+  out << ",\"quarantined_tables\":[";
+  for (size_t i = 0; i < quarantined_tables.size(); ++i) {
+    if (i > 0) out << ',';
+    out << JsonQuote(quarantined_tables[i]);
+  }
+  out << ']';
+  if (mode == DurabilityMode::kNvm && !fell_back_to_log) {
+    out << ",\"phases\":{\"map_seconds\":" << nvm.map_seconds
+        << ",\"verify_seconds\":" << nvm.verify_seconds
+        << ",\"fixup_seconds\":" << nvm.fixup_seconds
+        << ",\"attach_seconds\":" << nvm.attach_seconds << '}';
+  } else if (recovered || fell_back_to_log) {
+    out << ",\"phases\":{\"checkpoint_load_seconds\":"
+        << log.checkpoint_load_seconds
+        << ",\"replay_seconds\":" << log.replay_seconds
+        << ",\"index_rebuild_seconds\":" << log.index_rebuild_seconds
+        << ",\"replayed_records\":" << log.replayed_records
+        << ",\"committed_txns\":" << log.committed_txns << '}';
+  }
+  if (!trace.empty()) out << ",\"trace\":" << trace.ToJson();
+  out << '}';
+  return out.str();
 }
 
 }  // namespace hyrise_nv::core

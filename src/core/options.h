@@ -107,6 +107,15 @@ struct RecoveryReport {
   bool read_only = false;
   /// Tables quarantined by a salvage open; GetTable on them fails.
   std::vector<std::string> quarantined_tables;
+  /// Full span tree of the open ("open" root; instant_restart or
+  /// log_recovery subtree grafted in, plus attach_index_sets). Empty for
+  /// a fresh Create. `total_seconds` equals `trace.seconds` when set.
+  obs::SpanNode trace;
+
+  /// Human-readable summary: mode/flags header + indented span tree.
+  std::string RenderText() const;
+  /// JSON object with mode, flags, phase seconds, and the span tree.
+  std::string ToJson() const;
 };
 
 }  // namespace hyrise_nv::core

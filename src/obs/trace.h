@@ -1,0 +1,89 @@
+#ifndef HYRISE_NV_OBS_TRACE_H_
+#define HYRISE_NV_OBS_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+
+namespace hyrise_nv::obs {
+
+/// One node of a recovery trace: a named, timed span with nested
+/// children. Recovery paths build these via SpanTracer; callers render
+/// them as an indented text tree or JSON, or Find() individual phases.
+struct SpanNode {
+  std::string name;
+  double seconds = 0;
+  std::vector<SpanNode> children;
+
+  bool empty() const { return name.empty() && children.empty(); }
+
+  /// Depth-first search for a (grand)child span by name; also matches
+  /// this node. Returns nullptr when absent.
+  const SpanNode* Find(std::string_view span_name) const;
+
+  /// {"name":..., "seconds":..., "children":[...]}
+  std::string ToJson() const;
+
+  /// Indented tree, one span per line with milliseconds.
+  std::string Render() const;
+};
+
+/// Builds a SpanNode tree from nested Begin/End calls. Single-threaded by
+/// design — recovery is sequential; the tracer is a cheap structured
+/// replacement for the ad-hoc Stopwatch variables it displaced.
+class SpanTracer {
+ public:
+  explicit SpanTracer(std::string root_name);
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(SpanTracer);
+
+  /// Opens a child span of the innermost open span.
+  void Begin(std::string name);
+
+  /// Closes the innermost open span and returns its duration in seconds.
+  double End();
+
+  /// Attaches an externally built subtree (e.g. the trace returned inside
+  /// a lower layer's report) as a completed child of the innermost open
+  /// span. Its recorded timings are preserved.
+  void Attach(SpanNode subtree);
+
+  /// RAII helper for spans that end with scope exit.
+  class Scope {
+   public:
+    explicit Scope(SpanTracer& tracer, std::string name) : tracer_(&tracer) {
+      tracer_->Begin(std::move(name));
+    }
+    ~Scope() {
+      if (tracer_ != nullptr) tracer_->End();
+    }
+    Scope(Scope&& other) noexcept : tracer_(other.tracer_) {
+      other.tracer_ = nullptr;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope& operator=(Scope&&) = delete;
+
+   private:
+    SpanTracer* tracer_;
+  };
+
+  Scope Span(std::string name) { return Scope(*this, std::move(name)); }
+
+  /// Closes every open span (including the root) and returns the tree.
+  /// The tracer is exhausted afterwards.
+  SpanNode Finish();
+
+ private:
+  struct Frame {
+    SpanNode node;
+    Stopwatch watch;
+  };
+  std::vector<Frame> stack_;
+};
+
+}  // namespace hyrise_nv::obs
+
+#endif  // HYRISE_NV_OBS_TRACE_H_

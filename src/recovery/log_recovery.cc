@@ -4,7 +4,6 @@
 #include <unordered_set>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
 #include "index/index_set.h"
 #include "nvm/nvm_env.h"
 #include "storage/merge.h"
@@ -23,10 +22,10 @@ Result<LogRecoveryReport> RecoverFromLog(
     alloc::PHeap& heap, storage::Catalog& catalog,
     txn::TxnManager& txn_manager, const wal::LogManagerOptions& options) {
   LogRecoveryReport report;
-  Stopwatch total;
+  obs::SpanTracer tracer("log_recovery");
 
   // Phase 1: checkpoint load.
-  Stopwatch phase;
+  tracer.Begin("checkpoint_load");
   uint64_t replay_offset = 0;
   std::vector<wal::CheckpointInfo::IndexedColumn> indexed_columns;
   {
@@ -52,10 +51,10 @@ Result<LogRecoveryReport> RecoverFromLog(
       return info_result.status();
     }
   }
-  report.checkpoint_load_seconds = phase.ElapsedSeconds();
+  report.checkpoint_load_seconds = tracer.End();
 
   // Phase 2: two-pass log replay.
-  phase.Restart();
+  tracer.Begin("replay");
   if (nvm::FileExists(options.log_path)) {
     auto device_result =
         wal::BlockDevice::Open(options.log_path, options.device);
@@ -69,6 +68,7 @@ Result<LogRecoveryReport> RecoverFromLog(
     Cid max_cid = 0;
     Tid max_tid = 0;
     {
+      tracer.Begin("scan_commits");
       wal::LogReader reader(&device);
       auto scan = reader.ForEach(
           replay_offset, [&](const wal::LogRecord& record) -> Status {
@@ -80,10 +80,12 @@ Result<LogRecoveryReport> RecoverFromLog(
             return Status::OK();
           });
       if (!scan.ok()) return scan.status();
+      tracer.End();
     }
 
     // Pass two: apply. All inserts are re-applied so that logged row
     // positions stay valid; only committed ones are stamped visible.
+    tracer.Begin("apply");
     auto& region = heap.region();
     wal::LogReader reader(&device);
     auto apply = [&](const wal::LogRecord& record) -> Status {
@@ -189,12 +191,13 @@ Result<LogRecoveryReport> RecoverFromLog(
     if (max_tid + 1 > block->tid_block) {
       region.AtomicPersist64(&block->tid_block, max_tid + 1);
     }
+    tracer.End();
   }
-  report.replay_seconds = phase.ElapsedSeconds();
+  report.replay_seconds = tracer.End();
 
   // Phase 3: rebuild all indexes. This is the cost block that dominates
   // log recovery for large datasets (and that instant restart skips).
-  phase.Restart();
+  tracer.Begin("index_rebuild");
   for (const auto& indexed : indexed_columns) {
     auto table_result = catalog.GetTable(indexed.table);
     if (!table_result.ok()) return table_result.status();
@@ -206,8 +209,9 @@ Result<LogRecoveryReport> RecoverFromLog(
     HYRISE_NV_RETURN_NOT_OK(indexes.CreateIndexOfKind(
         indexed.column, static_cast<storage::PIndexKind>(indexed.kind)));
   }
-  report.index_rebuild_seconds = phase.ElapsedSeconds();
-  report.total_seconds = total.ElapsedSeconds();
+  report.index_rebuild_seconds = tracer.End();
+  report.trace = tracer.Finish();
+  report.total_seconds = report.trace.seconds;
   return report;
 }
 

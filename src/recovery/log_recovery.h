@@ -5,6 +5,7 @@
 #include <string>
 
 #include "alloc/pheap.h"
+#include "obs/trace.h"
 #include "storage/catalog.h"
 #include "txn/txn_manager.h"
 #include "wal/log_manager.h"
@@ -27,6 +28,10 @@ struct LogRecoveryReport {
   /// covers everything (an empty catalog before replay); a corrupt
   /// checkpoint whose data the log cannot reproduce stays an error.
   bool checkpoint_fallback = false;
+  /// Nested timed spans ("log_recovery" root with checkpoint_load /
+  /// replay{scan_commits, apply} / index_rebuild children). The phase
+  /// seconds above are derived from this tree.
+  obs::SpanNode trace;
 };
 
 /// Rebuilds the database state from checkpoint + log into the (freshly

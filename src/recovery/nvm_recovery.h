@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "alloc/pheap.h"
+#include "obs/trace.h"
 #include "recovery/verify.h"
 #include "storage/catalog.h"
 #include "txn/txn_manager.h"
@@ -26,6 +27,10 @@ struct NvmRecoveryReport {
   double total_seconds = 0;
   bool was_clean_shutdown = false;
   VerifyReport verify;          // populated when kDeep ran
+  /// Nested timed spans of the restart ("instant_restart" root with
+  /// map / verify / fixup / attach children). The phase seconds above
+  /// are derived from this tree.
+  obs::SpanNode trace;
 };
 
 /// Result of an instant restart: all engine components bound to the

@@ -7,6 +7,7 @@
 
 #include "common/bit_util.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "storage/checksums.h"
 #include "storage/dictionary.h"
 
@@ -362,6 +363,20 @@ Result<MergeStats> MergeTable(Table& table, Cid snapshot) {
 
   HYRISE_NV_RETURN_NOT_OK(table.ReattachGroup());
   stats.seconds = timer.ElapsedSeconds();
+#if HYRISE_NV_METRICS_ENABLED
+  auto& registry = obs::MetricsRegistry::Instance();
+  static obs::Histogram& duration =
+      registry.GetHistogram("merge.duration_ns");
+  static obs::Counter& merges = registry.GetCounter("merge.count");
+  static obs::Counter& merged_rows =
+      registry.GetCounter("merge.rows.merged");
+  static obs::Counter& dropped_rows =
+      registry.GetCounter("merge.rows.dropped");
+  duration.Record(static_cast<uint64_t>(stats.seconds * 1e9));
+  merges.Inc();
+  merged_rows.Add(stats.rows_after);
+  dropped_rows.Add(stats.dropped_rows);
+#endif
   return stats;
 }
 

@@ -1,6 +1,7 @@
 #include "txn/txn_manager.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "storage/mvcc.h"
 
 namespace hyrise_nv::txn {
@@ -39,6 +40,11 @@ Result<Transaction> TxnManager::Begin() {
     std::lock_guard<std::mutex> guard(active_mutex_);
     active_tids_.insert(tid);
   }
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& begin_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.begin.count");
+  begin_count.Inc();
+#endif
   return Transaction(tid, commit_table_->watermark());
 }
 
@@ -71,6 +77,9 @@ Status TxnManager::Commit(Transaction& tx) {
   if (!tx.active()) {
     return Status::InvalidArgument("commit of non-active transaction");
   }
+#if HYRISE_NV_METRICS_ENABLED
+  const uint64_t commit_start_ticks = obs::FastClock::NowTicks();
+#endif
   if (tx.read_only()) {
     tx.set_state(TxnState::kCommitted);
     std::lock_guard<std::mutex> guard(active_mutex_);
@@ -125,6 +134,19 @@ Status TxnManager::Commit(Transaction& tx) {
     std::lock_guard<std::mutex> guard(active_mutex_);
     active_tids_.erase(tx.tid());
   }
+#if HYRISE_NV_METRICS_ENABLED
+  // Covers the full durable-commit path: CID allocation, commit-slot
+  // persist, the WAL hook (append + group sync), row stamping, and the
+  // watermark advance — the engine-side tail latency a client observes.
+  static obs::Histogram& commit_latency =
+      obs::MetricsRegistry::Instance().GetHistogram("txn.commit.latency_ns");
+  static obs::Counter& commit_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.commit.count");
+  commit_latency.Record(obs::FastClock::TicksToNanos(
+      static_cast<int64_t>(obs::FastClock::NowTicks() -
+                           commit_start_ticks)));
+  commit_count.Inc();
+#endif
   return Status::OK();
 }
 
@@ -151,6 +173,11 @@ Status TxnManager::Abort(Transaction& tx) {
     HYRISE_NV_RETURN_NOT_OK(hook_->OnAbort(tx));
   }
   tx.set_state(TxnState::kAborted);
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& abort_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.abort.count");
+  abort_count.Inc();
+#endif
   std::lock_guard<std::mutex> guard(active_mutex_);
   active_tids_.erase(tx.tid());
   return Status::OK();

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace hyrise_nv::wal {
 
@@ -30,7 +31,17 @@ Status LogWriter::RetryIo(const char* what,
     status = io();
   }
   if (!status.ok() && status.code() == StatusCode::kIOError) {
-    degraded_.store(true, std::memory_order_release);
+    const bool was_degraded =
+        degraded_.exchange(true, std::memory_order_release);
+#if HYRISE_NV_METRICS_ENABLED
+    if (!was_degraded) {
+      static obs::Counter& degraded_flips =
+          obs::MetricsRegistry::Instance().GetCounter("wal.degraded.flips");
+      degraded_flips.Inc();
+    }
+#else
+    (void)was_degraded;
+#endif
     HYRISE_NV_LOG(kError)
         << "wal: " << what << " failed after " << io_max_retries_
         << " retries (" << status.ToString()
@@ -53,6 +64,11 @@ Status LogWriter::Append(const LogRecord& record) {
 
 Status LogWriter::FlushLocked() {
   if (buffer_.empty()) return Status::OK();
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Histogram& batch_bytes =
+      obs::MetricsRegistry::Instance().GetHistogram("wal.batch.bytes");
+  batch_bytes.Record(buffer_.size());
+#endif
   HYRISE_NV_RETURN_NOT_OK(RetryIo("append", [&] {
     auto append_result = device_->Append(buffer_.data(), buffer_.size());
     return append_result.ok() ? Status::OK() : append_result.status();
@@ -66,13 +82,30 @@ Status LogWriter::Flush() {
   return FlushLocked();
 }
 
+Status LogWriter::SyncDeviceLocked() {
+#if HYRISE_NV_METRICS_ENABLED
+  const uint64_t start_ticks = obs::FastClock::NowTicks();
+#endif
+  Status status = RetryIo("sync", [&] { return device_->Sync(); });
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Histogram& fsync_latency =
+      obs::MetricsRegistry::Instance().GetHistogram("wal.fsync.latency_ns");
+  static obs::Counter& fsync_count =
+      obs::MetricsRegistry::Instance().GetCounter("wal.fsync.count");
+  fsync_latency.Record(obs::FastClock::TicksToNanos(
+      static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks)));
+  fsync_count.Inc();
+#endif
+  return status;
+}
+
 Status LogWriter::Commit(const LogRecord& commit_record) {
   HYRISE_NV_RETURN_NOT_OK(Append(commit_record));
   std::lock_guard<std::mutex> guard(mutex_);
   HYRISE_NV_RETURN_NOT_OK(FlushLocked());
   ++total_commits_;
   if (++unsynced_commits_ >= sync_every_) {
-    HYRISE_NV_RETURN_NOT_OK(RetryIo("sync", [&] { return device_->Sync(); }));
+    HYRISE_NV_RETURN_NOT_OK(SyncDeviceLocked());
     synced_commits_ = total_commits_;
     unsynced_commits_ = 0;
   }
@@ -82,7 +115,7 @@ Status LogWriter::Commit(const LogRecord& commit_record) {
 Status LogWriter::SyncNow() {
   std::lock_guard<std::mutex> guard(mutex_);
   HYRISE_NV_RETURN_NOT_OK(FlushLocked());
-  HYRISE_NV_RETURN_NOT_OK(RetryIo("sync", [&] { return device_->Sync(); }));
+  HYRISE_NV_RETURN_NOT_OK(SyncDeviceLocked());
   synced_commits_ = total_commits_;
   unsynced_commits_ = 0;
   return Status::OK();

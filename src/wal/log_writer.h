@@ -76,6 +76,10 @@ class LogWriter {
   /// Caller must hold mutex_.
   Status FlushLocked();
 
+  /// Syncs the device through RetryIo, recording fsync count + latency
+  /// metrics. Caller must hold mutex_.
+  Status SyncDeviceLocked();
+
   BlockDevice* device_;
   uint32_t sync_every_;
   uint32_t io_max_retries_;

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hyrise_nv::obs {
+namespace {
+
+TEST(CounterTest, SingleThreadedAddAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Inc();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, StoreOverwritesShardedTotal) {
+  Counter counter;
+  counter.Add(10);
+  counter.Store(7);
+  EXPECT_EQ(counter.Value(), 7u);
+}
+
+TEST(CounterTest, NoLostIncrementsUnderEightWriterThreads) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge gauge;
+  gauge.Set(100);
+  gauge.Add(-30);
+  EXPECT_EQ(gauge.Value(), 70);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundsAreConsistent) {
+  // Every value must land in a bucket whose [lower, next-lower) range
+  // contains it.
+  for (uint64_t value :
+       {uint64_t{0}, uint64_t{1}, uint64_t{7}, uint64_t{8}, uint64_t{9},
+        uint64_t{100}, uint64_t{1000}, uint64_t{123456789},
+        uint64_t{1} << 40, UINT64_MAX}) {
+    const size_t index = Histogram::BucketIndex(value);
+    ASSERT_LT(index, Histogram::kNumBuckets) << "value " << value;
+    EXPECT_LE(Histogram::BucketLowerBound(index), value)
+        << "value " << value;
+    // Past-the-end bounds saturate at UINT64_MAX (2^64 is not
+    // representable), so the check is inclusive for the very top value.
+    EXPECT_GE(Histogram::BucketLowerBound(index + 1), value)
+        << "value " << value;
+    if (value != UINT64_MAX) {
+      EXPECT_GT(Histogram::BucketLowerBound(index + 1), value)
+          << "value " << value;
+    }
+  }
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // The linear region gives every value below 2^(kSubBits+1) its own
+  // bucket.
+  for (uint64_t v = 0; v < (uint64_t{1} << (Histogram::kSubBits + 1));
+       ++v) {
+    EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(HistogramTest, RecordsCountSumMinMax) {
+  Histogram histogram;
+  histogram.Record(10);
+  histogram.Record(20);
+  histogram.Record(30);
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, 3u);
+  EXPECT_EQ(data.sum, 60u);
+  EXPECT_EQ(data.min, 10u);
+  EXPECT_EQ(data.max, 30u);
+  EXPECT_DOUBLE_EQ(data.Mean(), 20.0);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketError) {
+  Histogram histogram;
+  // 100 samples 1..100: p50 ~ 50, p99 ~ 100. Log-scale buckets with 4
+  // sub-buckets per octave bound relative error by 25%.
+  for (uint64_t v = 1; v <= 100; ++v) histogram.Record(v);
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_NEAR(data.Percentile(50), 50.0, 50.0 * 0.25);
+  EXPECT_NEAR(data.Percentile(99), 100.0, 100.0 * 0.25);
+  EXPECT_DOUBLE_EQ(data.Percentile(0), static_cast<double>(data.min));
+}
+
+TEST(HistogramTest, NoLostRecordsUnderEightWriterThreads) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(t) * 1000 + (i & 255));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_EQ(data.count, kThreads * kPerThread);
+}
+
+TEST(HistogramTest, SnapshotWhileWritingIsSafe) {
+  // TSan coverage: readers snapshot while writers record. Counts must
+  // only grow between snapshots (relaxed atomics never tear or go back).
+  Histogram histogram;
+  Counter counter;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      uint64_t v = 1;
+      while (!stop.load(std::memory_order_relaxed)) {
+        histogram.Record(v = (v * 2862933555777941757ull + 3037000493ull) %
+                             100000);
+        counter.Inc();
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const HistogramData data = histogram.Snapshot();
+    EXPECT_GE(data.count, last_count);
+    last_count = data.count;
+    (void)counter.Value();
+  }
+  stop.store(true);
+  for (auto& writer : writers) writer.join();
+  EXPECT_EQ(histogram.Snapshot().count, counter.Value());
+}
+
+TEST(FastClockTest, TicksConvertToPlausibleNanos) {
+  FastClock::Calibrate();
+  const uint64_t start = FastClock::NowTicks();
+  // Busy-wait a little so the delta is non-trivial.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const uint64_t end = FastClock::NowTicks();
+  const uint64_t nanos =
+      FastClock::TicksToNanos(static_cast<int64_t>(end - start));
+  EXPECT_GT(nanos, 0u);
+  EXPECT_LT(nanos, uint64_t{10} * 1000 * 1000 * 1000);  // < 10 s
+  // Negative deltas (TSC skew) clamp to zero instead of wrapping.
+  EXPECT_EQ(FastClock::TicksToNanos(-1000), 0u);
+}
+
+TEST(RegistryTest, SameNameYieldsSameMetric) {
+  auto& registry = MetricsRegistry::Instance();
+  Counter& a = registry.GetCounter("test.same.count");
+  Counter& b = registry.GetCounter("test.same.count");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("test.same.latency_ns");
+  Histogram& h2 = registry.GetHistogram("test.same.latency_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, EngineMetricsArePreRegistered) {
+  // The export surfaces promise these names exist even before any
+  // workload ran (dbinspect on a fresh process).
+  const MetricsSnapshot snapshot = MetricsRegistry::Instance().Snapshot();
+  EXPECT_NE(snapshot.FindHistogram("nvm.persist.latency_ns"), nullptr);
+  EXPECT_NE(snapshot.FindHistogram("wal.fsync.latency_ns"), nullptr);
+  EXPECT_NE(snapshot.FindHistogram("txn.commit.latency_ns"), nullptr);
+  EXPECT_NE(snapshot.FindCounter("nvm.persist.count"), nullptr);
+  EXPECT_NE(snapshot.FindCounter("wal.fsync.count"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotSerializations) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.GetCounter("test.serialize.count").Add(5);
+  registry.GetHistogram("test.serialize.latency_ns").Record(1234);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"test.serialize.count\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.serialize.latency_ns\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  const std::string prom = snapshot.ToPrometheusText();
+  EXPECT_NE(prom.find("test_serialize_count 5"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_serialize_count counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_serialize_latency_ns_count"),
+            std::string::npos);
+
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("test.serialize.count"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetAllZeroesValuesButKeepsRegistrations) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.GetCounter("test.reset.count").Add(3);
+  registry.GetHistogram("test.reset.latency_ns").Record(7);
+  registry.ResetAll();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("test.reset.count"), 0u);
+  const HistogramSnapshot* histogram =
+      snapshot.FindHistogram("test.reset.latency_ns");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 0u);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::obs
