@@ -93,6 +93,12 @@ int main() {
                 static_cast<unsigned long long>(rows),
                 wal_value.back().data_mb, wal_value.back().seconds,
                 wal_dict.back().seconds, nvm.back().seconds);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"e1\",\"rows\":%llu,\"data_mb\":%.1f,"
+        "\"wal_value_s\":%.4f,\"wal_dict_s\":%.4f,\"nvm_s\":%.4f}\n",
+        static_cast<unsigned long long>(rows), wal_value.back().data_mb,
+        wal_value.back().seconds, wal_dict.back().seconds,
+        nvm.back().seconds);
   }
 
   std::printf("\nfitted growth [µs per row]: wal-value %.2f, wal-dict "

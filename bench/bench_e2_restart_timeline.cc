@@ -95,6 +95,12 @@ int main() {
     std::printf("%-12s %16.0f %16.3f %16.0f\n",
                 core::DurabilityModeName(mode), t.pre_crash_tps,
                 t.downtime_seconds * 1e3, t.post_crash_tps);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"e2\",\"engine\":\"%s\","
+        "\"pre_crash_tps\":%.1f,\"downtime_ms\":%.3f,"
+        "\"post_crash_tps\":%.1f}\n",
+        core::DurabilityModeName(mode), t.pre_crash_tps,
+        t.downtime_seconds * 1e3, t.post_crash_tps);
   }
   std::printf("\npaper shape check: the log engine is unavailable for the "
               "replay window; Hyrise-NV answers queries immediately\n");

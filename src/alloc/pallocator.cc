@@ -5,6 +5,7 @@
 #include "alloc/region_header.h"
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 
 namespace hyrise_nv::alloc {
@@ -49,14 +50,18 @@ const AllocMeta* PAllocator::meta() const {
 }
 
 Status PAllocator::Format(nvm::PmemRegion& region) {
-  if (region.size() <= HeapBeginOffset() + kMinClassSize) {
+  // The flight-recorder carve-out (obs/blackbox.h) owns the top of the
+  // region; the heap ends where it begins. Zero for small regions.
+  const uint64_t heap_end =
+      region.size() - obs::BlackboxBytesFor(region.size());
+  if (heap_end <= HeapBeginOffset() + kMinClassSize) {
     return Status::InvalidArgument("region too small for allocator");
   }
   auto* meta =
       reinterpret_cast<AllocMeta*>(region.base() + MetaOffset());
   std::memset(meta, 0, sizeof(AllocMeta));
   meta->heap_top = HeapBeginOffset();
-  meta->heap_end = region.size();
+  meta->heap_end = heap_end;
   region.Persist(meta, sizeof(AllocMeta));
   return Status::OK();
 }
@@ -77,7 +82,8 @@ Result<size_t> PAllocator::ClassFor(uint64_t size) {
 Status PAllocator::Recover() {
   auto* m = meta();
   if (m->heap_top < HeapBeginOffset() || m->heap_top > m->heap_end ||
-      m->heap_end != region_.size()) {
+      m->heap_end !=
+          region_.size() - obs::BlackboxBytesFor(region_.size())) {
     return Status::Corruption("allocator metadata out of range");
   }
   // Reclaim allocations whose publication never completed.

@@ -10,6 +10,7 @@
 #include "common/macros.h"
 #include "common/status.h"
 #include "nvm/pmem_region.h"
+#include "obs/blackbox.h"
 
 namespace hyrise_nv::alloc {
 
@@ -36,10 +37,21 @@ class PHeap {
   /// mark. After this the heap is equivalent to one from Open().
   Status FinishOpen();
 
+  ~PHeap();
+
   HYRISE_NV_DISALLOW_COPY_AND_MOVE(PHeap);
 
   nvm::PmemRegion& region() { return *region_; }
   PAllocator& allocator() { return *allocator_; }
+
+  /// The flight recorder of this heap's region; nullptr when the region
+  /// is too small to host one (obs/blackbox.h). Attached by Create(),
+  /// FinishOpen(), and instant restart.
+  obs::BlackboxWriter* blackbox() { return blackbox_.get(); }
+
+  /// Attaches (or re-attaches after a simulated crash) the flight
+  /// recorder and publishes it as the process-wide current writer.
+  void AttachBlackbox();
 
   /// Whether the previous session ended with CloseClean(). Captured at
   /// open time, before this session marks the region dirty.
@@ -67,6 +79,7 @@ class PHeap {
 
   std::unique_ptr<nvm::PmemRegion> region_;
   std::unique_ptr<PAllocator> allocator_;
+  std::unique_ptr<obs::BlackboxWriter> blackbox_;
   bool was_clean_ = false;
 };
 

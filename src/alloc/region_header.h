@@ -32,7 +32,9 @@ enum IntentState : uint64_t {
 /// clean_shutdown flag distinguishes a clean close from a crash.
 struct RegionHeader {
   static constexpr uint64_t kMagic = 0x48595249534E5631ull;  // "HYRISNV1"
-  static constexpr uint32_t kFormatVersion = 1;
+  // v2: the flight-recorder carve-out owns the top of the region and the
+  // allocator's heap_end stops short of it (obs/blackbox.h).
+  static constexpr uint32_t kFormatVersion = 2;
 
   uint64_t magic;
   uint32_t format_version;

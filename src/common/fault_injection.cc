@@ -1,5 +1,6 @@
 #include "common/fault_injection.h"
 
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 
 namespace hyrise_nv {
@@ -68,6 +69,10 @@ bool FaultInjector::ShouldFire(FaultPoint point, uint64_t* param) {
   static obs::Counter& fires_count =
       obs::MetricsRegistry::Instance().GetCounter("fault.fires.count");
   fires_count.Inc();
+  if (obs::BlackboxWriter* bb = obs::BlackboxWriter::Current()) {
+    bb->Record(obs::BlackboxEventType::kFaultFire,
+               static_cast<uint64_t>(point), state.plan.param);
+  }
 #endif
   if (param != nullptr) *param = state.plan.param;
   if (state.fires >= state.plan.max_fires) {

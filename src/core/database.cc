@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "nvm/nvm_env.h"
+#include "obs/blackbox.h"
+#include "obs/crash_handler.h"
 #include "obs/trace.h"
 #include "recovery/log_recovery.h"
 #include "recovery/verify.h"
@@ -80,6 +82,7 @@ Result<std::unique_ptr<Database>> Database::Create(
   if (!db_result.ok()) return db_result;
   (*db_result)->recovery_.mode = options.mode;
   (*db_result)->recovery_.recovered = false;
+  (*db_result)->StartObservability(/*recovered=*/false);
   return db_result;
 }
 
@@ -134,6 +137,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->recovery_.trace = tracer.Finish();
     db->recovery_.total_seconds = db->recovery_.trace.seconds;
     NoteOpened();
+    db->StartObservability(/*recovered=*/true);
     return db;
   }
 
@@ -156,6 +160,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->recovery_.trace = tracer.Finish();
     db->recovery_.total_seconds = db->recovery_.trace.seconds;
     NoteOpened();
+    db->StartObservability(/*recovered=*/true);
     return db_result;
   }
 
@@ -245,6 +250,10 @@ Result<recovery::VerifyReport> Database::VerifyImage(
 Result<std::unique_ptr<Database>> Database::CrashAndRecover(
     std::unique_ptr<Database> db) {
   const DatabaseOptions options = db->options_;
+  // Stop the historian before the simulated power failure: its thread
+  // flushes the flight recorder via the process-wide Current() pointer,
+  // which re-attaching the heap below is about to swap out.
+  db->history_.reset();
 
   if (options.mode == DurabilityMode::kNvm) {
     HYRISE_NV_RETURN_NOT_OK(db->heap_->region().SimulateCrash());
@@ -269,6 +278,7 @@ Result<std::unique_ptr<Database>> Database::CrashAndRecover(
     recovered->recovery_.trace = tracer.Finish();
     recovered->recovery_.total_seconds = recovered->recovery_.trace.seconds;
     NoteOpened();
+    recovered->StartObservability(/*recovered=*/true);
     return recovered;
   }
 
@@ -492,9 +502,21 @@ Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   auto table_result = catalog_->GetTable(table_name);
   if (!table_result.ok()) return table_result.status();
+  obs::BlackboxWriter* bb = heap_->blackbox();
+  if (bb != nullptr) {
+    bb->Record(obs::BlackboxEventType::kMergeStart,
+               (*table_result)->id(), (*table_result)->delta_row_count());
+  }
+  const uint64_t merge_start_ticks = obs::FastClock::NowTicks();
   auto stats_result =
       storage::MergeTable(**table_result, txn_manager_->watermark());
   if (!stats_result.ok()) return stats_result;
+  if (bb != nullptr) {
+    bb->Record(obs::BlackboxEventType::kMergeEnd, (*table_result)->id(),
+               stats_result->rows_after, stats_result->dropped_rows,
+               obs::FastClock::TicksToNanos(static_cast<int64_t>(
+                   obs::FastClock::NowTicks() - merge_start_ticks)));
+  }
   // Rebind index handles to the new generation.
   index::IndexSet* set = indexes(*table_result);
   if (set != nullptr) {
@@ -512,11 +534,23 @@ Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
 Status Database::Checkpoint() {
   if (log_manager_ == nullptr) return Status::OK();
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
-  return log_manager_->WriteCheckpointNow(*catalog_,
-                                          txn_manager_->commit_table());
+  const uint64_t start_ticks = obs::FastClock::NowTicks();
+  Status status = log_manager_->WriteCheckpointNow(
+      *catalog_, txn_manager_->commit_table());
+  if (status.ok()) {
+    if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+      bb->Record(obs::BlackboxEventType::kCheckpoint,
+                 obs::FastClock::TicksToNanos(static_cast<int64_t>(
+                     obs::FastClock::NowTicks() - start_ticks)));
+    }
+  }
+  return status;
 }
 
 Status Database::Close() {
+  // Stop the historian first: it must not flush the recorder after the
+  // close event seals the session.
+  history_.reset();
   if (read_only_) {
     // Salvage / degraded: nothing here may touch the image or the log.
     // In particular the image must NOT be marked clean — its seals were
@@ -533,6 +567,29 @@ Status Database::Close() {
     recovery::SealForCleanShutdown(*heap_);
   }
   return heap_->CloseClean();
+}
+
+void Database::StartObservability(bool recovered) {
+  txn_manager_->SetTxnSampling(options_.txn_sample_every);
+  if (options_.install_crash_handler) {
+    obs::InstallCrashHandler();
+  }
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kOpen,
+               static_cast<uint64_t>(options_.mode), recovered ? 1 : 0);
+  }
+  if (options_.enable_history_sampler) {
+    history_ = std::make_unique<obs::HistorySampler>(
+        options_.history_interval_ms, options_.history_capacity);
+    history_->Start();
+  }
+}
+
+std::string Database::HistoryJson() const {
+  if (history_ == nullptr) {
+    return "{\"interval_ms\":0,\"capacity\":0,\"samples\":[]}";
+  }
+  return history_->ToJson();
 }
 
 obs::MetricsSnapshot Database::MetricsSnapshot() {

@@ -8,6 +8,7 @@
 
 #include "core/options.h"
 #include "index/index_set.h"
+#include "obs/history.h"
 #include "obs/metrics.h"
 #include "storage/catalog.h"
 #include "storage/merge.h"
@@ -127,6 +128,18 @@ class Database {
   /// hot path mirrors live.
   obs::MetricsSnapshot MetricsSnapshot();
 
+  /// JSON time series from the background historian (empty-object-ish
+  /// `{"samples":[]}` shape when options.enable_history_sampler is off).
+  std::string HistoryJson() const;
+  /// The historian, or nullptr when disabled.
+  obs::HistorySampler* history_sampler() { return history_.get(); }
+
+  /// Span tree of the most recent trace-sampled commit (empty before the
+  /// first sample or when options.txn_sample_every is 0).
+  obs::SpanNode LastSampledTxnTrace() const {
+    return txn_manager_->LastSampledTrace();
+  }
+
   /// True when the database refuses writes — either a salvage open or a
   /// WAL device that failed past its retry budget mid-run.
   bool read_only() const { return read_only_; }
@@ -155,6 +168,10 @@ class Database {
   /// Flips the database read-only when a WAL write error exhausted the
   /// writer's retry budget (degraded mode).
   void NoteLogFailure(const Status& status);
+  /// Applies the observability options once the engine is live: txn
+  /// sampling, history sampler, crash handler, and the kOpen recorder
+  /// event. Called at the end of Create/Open/CrashAndRecover.
+  void StartObservability(bool recovered);
 
   DatabaseOptions options_;
   RecoveryReport recovery_;
@@ -167,6 +184,9 @@ class Database {
   std::unique_ptr<wal::LogManager> log_manager_;
   std::unordered_map<storage::Table*, std::unique_ptr<index::IndexSet>>
       index_sets_;
+  // Last member on purpose: destroyed first, so the historian thread is
+  // stopped before the heap (and its flight recorder) go away.
+  std::unique_ptr<obs::HistorySampler> history_;
 };
 
 }  // namespace hyrise_nv::core

@@ -70,6 +70,29 @@ struct DatabaseOptions {
   /// Group commit: sync the log every N commits (WAL modes).
   uint32_t group_commit_every = 1;
 
+  // --- Observability -------------------------------------------------------
+
+  /// Trace-sample one in every N committed transactions (0 disables).
+  /// Sampled commits record per-phase latencies (write-set / persist /
+  /// publish) to the txn.trace.* histograms, emit a kTxnTrace flight-
+  /// recorder event, and publish a span tree via
+  /// Database::LastSampledTxnTrace().
+  uint64_t txn_sample_every = 0;
+
+  /// Run the background metrics historian: every history_interval_ms it
+  /// captures a counter-delta sample into an in-memory ring of
+  /// history_capacity points (exported via Database::HistoryJson()) and
+  /// flushes the flight recorder.
+  bool enable_history_sampler = false;
+  uint64_t history_interval_ms = 1000;
+  size_t history_capacity = 300;
+
+  /// Install process-wide fatal-signal handlers (SIGSEGV/SIGBUS/SIGABRT/
+  /// SIGILL/SIGFPE) that stamp a kCrashSignal event, flush the flight
+  /// recorder with an async-signal-safe msync, and re-raise. Process-wide
+  /// and sticky: once installed it stays for the process lifetime.
+  bool install_crash_handler = false;
+
   bool uses_wal() const {
     return mode == DurabilityMode::kWalValue ||
            mode == DurabilityMode::kWalDict;

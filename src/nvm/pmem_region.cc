@@ -10,6 +10,7 @@
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 
 namespace hyrise_nv::nvm {
@@ -171,8 +172,22 @@ void PmemRegion::Persist(const void* addr, size_t len) {
   static obs::Histogram& persist_latency =
       obs::MetricsRegistry::Instance().GetHistogram(
           "nvm.persist.latency_ns");
-  persist_latency.Record(obs::FastClock::TicksToNanos(
-      static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks)));
+  const uint64_t latency_ns = obs::FastClock::TicksToNanos(
+      static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks));
+  persist_latency.Record(latency_ns);
+  // Sampled (1-in-64) flight-recorder event. Self-filter on the region:
+  // only persists against the region that hosts the recorder matter, and
+  // the filter keeps WAL-mode DRAM regions from spamming someone else's
+  // recorder. Recording never re-enters Persist (its flush path uses
+  // Flush+Fence directly).
+  obs::BlackboxWriter* bb = obs::BlackboxWriter::Current();
+  if (bb != nullptr && &bb->region() == this) {
+    thread_local uint64_t persist_sample = 0;
+    if ((persist_sample++ & 63) == 0) {
+      bb->Record(obs::BlackboxEventType::kPersist, OffsetOf(addr), len,
+                 latency_ns, 64);
+    }
+  }
 #endif
   if (FaultInjector::Instance().any_armed()) {
     MaybeInjectPersistFault(addr, len);

@@ -1,0 +1,69 @@
+#include "obs/crash_handler.h"
+
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "obs/blackbox.h"
+
+namespace hyrise_nv::obs {
+
+namespace {
+
+std::atomic<bool> g_installed{false};
+
+void WriteAll(const char* s) {
+  ssize_t ignored = ::write(STDERR_FILENO, s, strlen(s));
+  (void)ignored;
+}
+
+void FatalSignalHandler(int sig, siginfo_t* /*info*/, void* /*ctx*/) {
+  // Everything here must be async-signal-safe: atomics, plain stores,
+  // msync(2), write(2). No locks, no allocation, no stdio.
+  if (BlackboxWriter* bb = BlackboxWriter::Current()) {
+    bb->RecordFromSignal(BlackboxEventType::kCrashSignal,
+                         static_cast<uint64_t>(sig));
+    bb->EmergencyFlush();
+  }
+  char msg[128];
+  const char* prefix = "hyrise-nv: fatal signal ";
+  size_t n = 0;
+  for (const char* p = prefix; *p != '\0' && n < sizeof(msg) - 8; ++p) {
+    msg[n++] = *p;
+  }
+  if (sig >= 10) msg[n++] = static_cast<char>('0' + sig / 10);
+  msg[n++] = static_cast<char>('0' + sig % 10);
+  msg[n++] = '\n';
+  msg[n] = '\0';
+  WriteAll(msg);
+  WriteAll(
+      "hyrise-nv: flight recorder flushed; decode with "
+      "'dbinspect blackbox <image>'\n");
+  // Re-raise with the default disposition (SA_RESETHAND restored it) so
+  // the process reports the original signal.
+  raise(sig);
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction action;
+  memset(&action, 0, sizeof(action));
+  action.sa_sigaction = FatalSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_SIGINFO | SA_RESETHAND | SA_NODEFER;
+  const int signals[] = {SIGSEGV, SIGBUS, SIGABRT, SIGILL, SIGFPE};
+  for (int sig : signals) {
+    sigaction(sig, &action, nullptr);
+  }
+}
+
+bool CrashHandlerInstalled() {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+}  // namespace hyrise_nv::obs

@@ -1,0 +1,19 @@
+#ifndef HYRISE_NV_OBS_CRASH_HANDLER_H_
+#define HYRISE_NV_OBS_CRASH_HANDLER_H_
+
+namespace hyrise_nv::obs {
+
+/// Installs process-wide fatal-signal handlers (SIGSEGV, SIGBUS, SIGABRT,
+/// SIGILL, SIGFPE) that stamp a kCrashSignal event into the current
+/// flight recorder, msync its pages (async-signal-safe best effort), and
+/// write a short crash report to stderr before re-raising with the
+/// default disposition — the process still dies with the right signal,
+/// but the image carries the forensics. Idempotent. SIGKILL needs no
+/// handler: file-backed plain stores already survive it.
+void InstallCrashHandler();
+
+bool CrashHandlerInstalled();
+
+}  // namespace hyrise_nv::obs
+
+#endif  // HYRISE_NV_OBS_CRASH_HANDLER_H_

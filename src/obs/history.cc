@@ -1,0 +1,142 @@
+#include "obs/history.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/blackbox.h"
+#include "obs/metrics.h"
+
+namespace hyrise_nv::obs {
+
+namespace {
+
+uint64_t WallClockMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+HistorySampler::HistorySampler(uint64_t interval_ms, size_t capacity)
+    : interval_ms_(interval_ms == 0 ? 1000 : interval_ms),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+HistorySampler::~HistorySampler() { Stop(); }
+
+void HistorySampler::Start() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HistorySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void HistorySampler::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    lock.unlock();
+    Capture();
+    if (BlackboxWriter* bb = BlackboxWriter::Current()) bb->Flush();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_; });
+  }
+}
+
+void HistorySampler::TickOnce() { Capture(); }
+
+void HistorySampler::Capture() {
+  const MetricsSnapshot snap = MetricsRegistry::Instance().Snapshot();
+  HistorySample sample;
+  sample.epoch_ms = WallClockMillis();
+  const uint64_t commits = snap.CounterValue("txn.commit.count");
+  const uint64_t aborts = snap.CounterValue("txn.abort.count");
+  const uint64_t persists = snap.CounterValue("nvm.persist.count");
+  const uint64_t wal_syncs = snap.CounterValue("wal.fsync.count");
+  const uint64_t merges = snap.CounterValue("merge.count");
+  const uint64_t fault_fires = snap.CounterValue("fault.fires.count");
+  if (const GaugeSnapshot* g = snap.FindGauge("alloc.heap_used.bytes")) {
+    sample.heap_used_bytes = g->value;
+  }
+  if (const HistogramSnapshot* h =
+          snap.FindHistogram("txn.commit.latency_ns")) {
+    sample.commit_p99_ns = h->p99;
+  }
+  if (const HistogramSnapshot* h =
+          snap.FindHistogram("txn.trace.total_ns")) {
+    sample.sampled_txn_total_ns = h->p99;
+  }
+
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (baseline_.valid) {
+    sample.commits = commits - baseline_.commits;
+    sample.aborts = aborts - baseline_.aborts;
+    sample.persists = persists - baseline_.persists;
+    sample.wal_syncs = wal_syncs - baseline_.wal_syncs;
+    sample.merges = merges - baseline_.merges;
+    sample.fault_fires = fault_fires - baseline_.fault_fires;
+  }
+  baseline_ = {commits, aborts,      persists, wal_syncs,
+               merges,  fault_fires, true};
+  ring_[next_] = sample;
+  next_ = (next_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+}
+
+std::vector<HistorySample> HistorySampler::Samples() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<HistorySample> out;
+  out.reserve(count_);
+  const size_t start = (next_ + capacity_ - count_) % capacity_;
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string HistorySampler::ToJson() const {
+  const std::vector<HistorySample> samples = Samples();
+  std::string out = "{\"interval_ms\":" + std::to_string(interval_ms_) +
+                    ",\"capacity\":" + std::to_string(capacity_) +
+                    ",\"samples\":[";
+  char buf[384];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const HistorySample& s = samples[i];
+    if (i != 0) out += ',';
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"epoch_ms\":%llu,\"commits\":%llu,\"aborts\":%llu,"
+        "\"persists\":%llu,\"wal_syncs\":%llu,\"merges\":%llu,"
+        "\"fault_fires\":%llu,\"heap_used_bytes\":%lld,"
+        "\"commit_p99_ns\":%.1f,\"sampled_txn_total_ns\":%.1f}",
+        static_cast<unsigned long long>(s.epoch_ms),
+        static_cast<unsigned long long>(s.commits),
+        static_cast<unsigned long long>(s.aborts),
+        static_cast<unsigned long long>(s.persists),
+        static_cast<unsigned long long>(s.wal_syncs),
+        static_cast<unsigned long long>(s.merges),
+        static_cast<unsigned long long>(s.fault_fires),
+        static_cast<long long>(s.heap_used_bytes), s.commit_p99_ns,
+        s.sampled_txn_total_ns);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace hyrise_nv::obs

@@ -1,0 +1,84 @@
+#ifndef HYRISE_NV_OBS_HISTORY_H_
+#define HYRISE_NV_OBS_HISTORY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hyrise_nv::obs {
+
+/// One time-series point: per-interval deltas of the hot counters plus a
+/// couple of point-in-time values, captured from the metrics registry.
+struct HistorySample {
+  uint64_t epoch_ms = 0;  // wall clock at capture
+  uint64_t commits = 0;   // txn.commit.count delta
+  uint64_t aborts = 0;    // txn.abort.count delta
+  uint64_t persists = 0;  // nvm.persist.count delta
+  uint64_t wal_syncs = 0; // wal.fsync.count delta
+  uint64_t merges = 0;    // merge.count delta
+  uint64_t fault_fires = 0;
+  int64_t heap_used_bytes = 0;    // gauge, absolute
+  double commit_p99_ns = 0;       // cumulative histogram p99 at capture
+  double sampled_txn_total_ns = 0;  // txn.trace.total_ns p99 at capture
+};
+
+/// Background metrics historian: every `interval_ms` it diffs the counter
+/// values against the previous tick and appends a HistorySample to an
+/// in-memory ring of `capacity` points (~N minutes at 1 s resolution).
+/// Each tick also flushes the current flight recorder, bounding how many
+/// events the strict shadow crash model can lose.
+class HistorySampler {
+ public:
+  HistorySampler(uint64_t interval_ms, size_t capacity);
+  ~HistorySampler();
+
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(HistorySampler);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  /// Captures one sample synchronously (used by tests and by Stop() for a
+  /// final point; safe to call whether or not the thread runs).
+  void TickOnce();
+
+  /// Oldest-to-newest copy of the ring.
+  std::vector<HistorySample> Samples() const;
+
+  /// {"interval_ms":N,"capacity":N,"samples":[{...},...]} oldest first.
+  std::string ToJson() const;
+
+ private:
+  void Loop();
+  void Capture();
+
+  const uint64_t interval_ms_;
+  const size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  // Previous-tick counter values for delta computation.
+  struct Baseline {
+    uint64_t commits = 0, aborts = 0, persists = 0, wal_syncs = 0,
+             merges = 0, fault_fires = 0;
+    bool valid = false;
+  };
+  Baseline baseline_;
+
+  std::vector<HistorySample> ring_;  // capacity_ slots, ring buffer
+  size_t next_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace hyrise_nv::obs
+
+#endif  // HYRISE_NV_OBS_HISTORY_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
 #include <x86intrin.h>
 #endif
 
@@ -20,7 +21,7 @@ uint64_t SteadyNowNanos() {
           .count());
 }
 
-uint64_t RawTicks() {
+uint64_t HardwareTicks() {
 #if defined(__x86_64__) || defined(__i386__)
   return __rdtsc();
 #elif defined(__aarch64__)
@@ -32,23 +33,48 @@ uint64_t RawTicks() {
 #endif
 }
 
-double CalibrateNsPerTick() {
-#if defined(__x86_64__) || defined(__i386__) || defined(__aarch64__)
-  const uint64_t ns0 = SteadyNowNanos();
-  const uint64_t t0 = RawTicks();
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  const uint64_t ns1 = SteadyNowNanos();
-  const uint64_t t1 = RawTicks();
-  if (t1 <= t0 || ns1 <= ns0) return 1.0;
-  return static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0);
+bool HasInvariantHardwareClock() {
+#if defined(__x86_64__) || defined(__i386__)
+  // CPUID 0x80000007 EDX bit 8: the TSC runs at a constant rate across
+  // P-states and deep C-states. Without it, durations computed from TSC
+  // deltas are skewed by frequency scaling — fall back instead.
+  unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000007, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (edx & (1u << 8)) != 0;
+#elif defined(__aarch64__)
+  return true;  // cntvct_el0 is architecturally constant-frequency
 #else
-  return 1.0;  // ticks already are steady_clock nanoseconds
+  return false;
 #endif
 }
 
-double NsPerTick() {
-  static const double ns_per_tick = CalibrateNsPerTick();
-  return ns_per_tick;
+struct ClockConfig {
+  bool steady_fallback = true;
+  double ns_per_tick = 1.0;
+};
+
+ClockConfig DecideClockConfig() {
+  ClockConfig config;
+  if (!HasInvariantHardwareClock()) return config;
+  const uint64_t ns0 = SteadyNowNanos();
+  const uint64_t t0 = HardwareTicks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const uint64_t ns1 = SteadyNowNanos();
+  const uint64_t t1 = HardwareTicks();
+  if (t1 <= t0 || ns1 <= ns0) return config;
+  const double ns_per_tick =
+      static_cast<double>(ns1 - ns0) / static_cast<double>(t1 - t0);
+  // Plausibility: hardware counters run between 1 MHz and 100 GHz. A
+  // rate outside that means the calibration itself cannot be trusted.
+  if (ns_per_tick < 1e-2 || ns_per_tick > 1e3) return config;
+  config.steady_fallback = false;
+  config.ns_per_tick = ns_per_tick;
+  return config;
+}
+
+const ClockConfig& Config() {
+  static const ClockConfig config = DecideClockConfig();
+  return config;
 }
 
 void AppendJsonEscaped(std::string& out, std::string_view s) {
@@ -86,6 +112,44 @@ std::string PrometheusName(std::string_view name) {
   return out;
 }
 
+/// Description for the # HELP line. Known engine metrics get a real
+/// sentence; everything else gets a generic one derived from the name.
+std::string MetricHelp(std::string_view name) {
+  struct Entry {
+    const char* name;
+    const char* help;
+  };
+  static constexpr Entry kHelp[] = {
+      {"nvm.persist.count", "Flush+fence persist barriers issued"},
+      {"nvm.persist.latency_ns", "Latency of persist barriers"},
+      {"nvm.fence.count", "Store fences issued"},
+      {"nvm.flush.lines", "Cache lines flushed to the NVM region"},
+      {"nvm.flush.bytes", "Bytes covered by cache-line flushes"},
+      {"wal.fsync.count", "WAL device syncs"},
+      {"wal.fsync.latency_ns", "Latency of WAL device syncs"},
+      {"wal.io.retries", "WAL I/O operations retried after a fault"},
+      {"wal.degraded.flips", "Transitions into degraded (read-only) WAL mode"},
+      {"wal.batch.bytes", "Bytes per group-commit batch"},
+      {"txn.begin.count", "Transactions begun"},
+      {"txn.commit.count", "Transactions committed"},
+      {"txn.abort.count", "Transactions aborted"},
+      {"txn.commit.latency_ns", "Commit critical-path latency"},
+      {"merge.count", "Delta-to-main merges completed"},
+      {"merge.duration_ns", "Duration of delta-to-main merges"},
+      {"alloc.alloc.count", "Persistent heap allocations"},
+      {"alloc.free.count", "Persistent heap frees"},
+      {"alloc.heap_used.bytes", "Bytes between heap begin and heap top"},
+      {"fault.fires.count", "Injected faults fired"},
+      {"db.open.count", "Database opens (create, open, restart)"},
+      {"blackbox.resets.count",
+       "Flight-recorder headers quarantined at attach"},
+  };
+  for (const auto& entry : kHelp) {
+    if (name == entry.name) return entry.help;
+  }
+  return "Engine metric " + std::string(name);
+}
+
 void AppendDouble(std::string& out, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
@@ -94,15 +158,21 @@ void AppendDouble(std::string& out, double v) {
 
 }  // namespace
 
-uint64_t FastClock::NowTicks() { return RawTicks(); }
+uint64_t FastClock::NowTicks() {
+  return Config().steady_fallback ? SteadyNowNanos() : HardwareTicks();
+}
 
 uint64_t FastClock::TicksToNanos(int64_t tick_delta) {
   if (tick_delta <= 0) return 0;
   return static_cast<uint64_t>(static_cast<double>(tick_delta) *
-                               NsPerTick());
+                               Config().ns_per_tick);
 }
 
-void FastClock::Calibrate() { (void)NsPerTick(); }
+void FastClock::Calibrate() { (void)Config(); }
+
+double FastClock::NsPerTick() { return Config().ns_per_tick; }
+
+bool FastClock::UsingSteadyFallback() { return Config().steady_fallback; }
 
 namespace internal {
 
@@ -261,20 +331,44 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
+std::string PrometheusEscapeLabel(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
   for (const auto& c : counters) {
     const std::string name = PrometheusName(c.name);
+    out += "# HELP " + name + " " + MetricHelp(c.name) + "\n";
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(c.value) + "\n";
   }
   for (const auto& g : gauges) {
     const std::string name = PrometheusName(g.name);
+    out += "# HELP " + name + " " + MetricHelp(g.name) + "\n";
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + std::to_string(g.value) + "\n";
   }
   for (const auto& h : histograms) {
     const std::string name = PrometheusName(h.name);
+    out += "# HELP " + name + " " + MetricHelp(h.name) + "\n";
     out += "# TYPE " + name + " histogram\n";
     for (const auto& [upper, cumulative] : h.cumulative_buckets) {
       out += name + "_bucket{le=\"" + std::to_string(upper) +
@@ -330,6 +424,7 @@ MetricsRegistry::MetricsRegistry() {
       "wal.degraded.flips",  "txn.begin.count",      "txn.commit.count",
       "txn.abort.count",     "merge.count",          "alloc.alloc.count",
       "alloc.free.count",    "fault.fires.count",    "db.open.count",
+      "blackbox.resets.count",
   };
   for (const char* name : counters) {
     counters_.emplace(name, std::make_unique<Counter>());

@@ -28,6 +28,11 @@ namespace hyrise_nv::obs {
 /// Ticks are converted to nanoseconds with a once-per-process calibration
 /// against steady_clock, so reading the clock costs ~10 cycles instead of
 /// a vDSO call on the persist path.
+///
+/// The TSC is only trusted when the CPU advertises an *invariant* TSC
+/// (CPUID 0x80000007 EDX bit 8) and the calibration result is plausible;
+/// otherwise every reading silently falls back to steady_clock
+/// (ns_per_tick == 1.0) instead of reporting skewed durations.
 struct FastClock {
   static uint64_t NowTicks();
   /// Converts a tick *delta* to nanoseconds. Deltas that come out
@@ -35,6 +40,12 @@ struct FastClock {
   static uint64_t TicksToNanos(int64_t tick_delta);
   /// Forces calibration now (otherwise it runs lazily on first use).
   static void Calibrate();
+  /// Nanoseconds per tick from the one-shot calibration (1.0 under the
+  /// steady_clock fallback).
+  static double NsPerTick();
+  /// Whether NowTicks() reads steady_clock instead of a hardware counter
+  /// (no invariant TSC, or calibration produced an implausible rate).
+  static bool UsingSteadyFallback();
 };
 
 namespace internal {
@@ -206,11 +217,16 @@ struct MetricsSnapshot {
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}
   std::string ToJson() const;
-  /// Prometheus text exposition ('.' in names becomes '_').
+  /// Prometheus text exposition ('.' in names becomes '_'), with # HELP
+  /// and # TYPE lines per metric family.
   std::string ToPrometheusText() const;
   /// Human-readable table for CLI output.
   std::string ToText() const;
 };
+
+/// Escapes a Prometheus label value: backslash, double quote, and newline
+/// get backslash escapes per the text exposition format.
+std::string PrometheusEscapeLabel(std::string_view value);
 
 /// Process-wide registry of named metrics. Names follow
 /// `subsystem.metric.unit` (e.g. nvm.persist.latency_ns). Lookup takes a

@@ -80,7 +80,7 @@ Result<NvmRestartResult> InstantRestart(const NvmRestartOptions& options) {
   result.report.verify_seconds = tracer.End();
   const VerifyReport& verify = result.report.verify;
 
-  if (verify.has_fatal() || (!options.salvage && !verify.clean())) {
+  if (verify.has_fatal() || (!options.salvage && verify.blocking())) {
     return Status::Corruption("NVM image failed deep verification: " +
                               verify.Summary());
   }
@@ -124,6 +124,7 @@ Result<NvmRestartResult> InstantRestartFromHeap(
   tracer.Begin("map");
   result.heap = std::move(heap);
   HYRISE_NV_RETURN_NOT_OK(result.heap->allocator().Recover());
+  result.heap->AttachBlackbox();
   result.report.map_seconds = tracer.End();
   result.report.was_clean_shutdown = false;
   return FinishRestart(std::move(result), tracer);

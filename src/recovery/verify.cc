@@ -12,6 +12,7 @@
 #include "common/bit_util.h"
 #include "common/crc32.h"
 #include "index/delta_index.h"
+#include "obs/blackbox.h"
 #include "storage/catalog.h"
 #include "storage/checksums.h"
 #include "storage/dictionary.h"
@@ -156,8 +157,10 @@ void VerifyAllocator(Ctx& ctx) {
     return;
   }
   const uint64_t heap_begin = alloc::PAllocator::HeapBegin();
+  const uint64_t expected_end =
+      region.size() - obs::BlackboxBytesFor(region.size());
   if (meta->heap_top < heap_begin || meta->heap_top > meta->heap_end ||
-      meta->heap_end != region.size()) {
+      meta->heap_end != expected_end) {
     AddFinding(ctx, "allocator_meta", FindingSeverity::kWriteHazard,
                "heap bounds out of range: top " +
                    std::to_string(meta->heap_top) + ", end " +
@@ -831,11 +834,33 @@ void VerifyCatalogAndTables(Ctx& ctx) {
   }
 }
 
+void VerifyBlackbox(Ctx& ctx) {
+  const auto& region = *ctx.region;
+  const auto geom = obs::BlackboxGeometryFor(region.size());
+  if (!geom.enabled()) return;
+  ++ctx.report->structures_checked;
+  Status status =
+      obs::ValidateBlackboxHeader(region.base(), region.size());
+  if (!status.ok()) {
+    // Diagnostics only: the next attach quarantines (reformats) it, and
+    // per-slot CRCs still let dbinspect decode surviving events.
+    AddFinding(ctx, "flight_recorder", FindingSeverity::kAdvisory,
+               status.message());
+  }
+}
+
 }  // namespace
 
 bool VerifyReport::has_fatal() const {
   for (const auto& f : findings) {
     if (f.severity == FindingSeverity::kFatal) return true;
+  }
+  return false;
+}
+
+bool VerifyReport::blocking() const {
+  for (const auto& f : findings) {
+    if (f.severity != FindingSeverity::kAdvisory) return true;
   }
   return false;
 }
@@ -880,6 +905,7 @@ VerifyReport DeepVerify(const nvm::PmemRegion& region) {
   VerifyAllocator(ctx);
   VerifyCommitTable(ctx);
   VerifyCatalogAndTables(ctx);
+  VerifyBlackbox(ctx);
   return report;
 }
 

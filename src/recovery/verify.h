@@ -31,6 +31,9 @@ enum class FindingSeverity {
   /// Reads are unaffected but allocating would corrupt further state
   /// (e.g. a broken free list). Read-only use is safe.
   kWriteHazard,
+  /// Diagnostics-only damage (e.g. a corrupt flight recorder). Reported
+  /// and quarantined, but never blocks opening or salvaging the image.
+  kAdvisory,
 };
 
 /// One verification failure, attributed to a structure class and (when
@@ -62,6 +65,9 @@ struct VerifyReport {
 
   bool clean() const { return findings.empty(); }
   bool has_fatal() const;
+  /// Whether any finding should block a non-salvage open. Advisory
+  /// findings never do.
+  bool blocking() const;
   bool HasStructure(const std::string& structure) const;
   /// Compact one-line description of the findings, for status messages.
   std::string Summary() const;

@@ -47,11 +47,22 @@ class Transaction {
   void set_commit_cid(storage::Cid cid) { commit_cid_ = cid; }
   storage::Cid commit_cid() const { return commit_cid_; }
 
+  /// Marks this transaction as trace-sampled: the manager records a span
+  /// tree of its commit phases (begin→write-set→persist→publish).
+  void MarkSampled(uint64_t begin_ticks) {
+    sampled_ = true;
+    begin_ticks_ = begin_ticks;
+  }
+  bool sampled() const { return sampled_; }
+  uint64_t begin_ticks() const { return begin_ticks_; }
+
  private:
   storage::Tid tid_ = storage::kTidNone;
   storage::Cid snapshot_ = 0;
   storage::Cid commit_cid_ = 0;
   TxnState state_ = TxnState::kActive;
+  bool sampled_ = false;
+  uint64_t begin_ticks_ = 0;
   std::vector<Write> writes_;
 };
 

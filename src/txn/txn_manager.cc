@@ -1,6 +1,7 @@
 #include "txn/txn_manager.h"
 
 #include "common/logging.h"
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 #include "storage/mvcc.h"
 
@@ -40,12 +41,22 @@ Result<Transaction> TxnManager::Begin() {
     std::lock_guard<std::mutex> guard(active_mutex_);
     active_tids_.insert(tid);
   }
+  Transaction tx(tid, commit_table_->watermark());
 #if HYRISE_NV_METRICS_ENABLED
   static obs::Counter& begin_count =
       obs::MetricsRegistry::Instance().GetCounter("txn.begin.count");
   begin_count.Inc();
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kTxnBegin, tid, tx.snapshot());
+  }
+  const uint64_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every != 0 &&
+      sample_counter_.fetch_add(1, std::memory_order_relaxed) % every ==
+          0) {
+    tx.MarkSampled(obs::FastClock::NowTicks());
+  }
 #endif
-  return Transaction(tid, commit_table_->watermark());
+  return tx;
 }
 
 bool TxnManager::IsActive(storage::Tid tid) const {
@@ -79,6 +90,9 @@ Status TxnManager::Commit(Transaction& tx) {
   }
 #if HYRISE_NV_METRICS_ENABLED
   const uint64_t commit_start_ticks = obs::FastClock::NowTicks();
+  const bool sampled = tx.sampled();
+  uint64_t write_set_end_ticks = 0;  // after the commit-slot persist
+  uint64_t persist_end_ticks = 0;    // after hook + row stamping
 #endif
   if (tx.read_only()) {
     tx.set_state(TxnState::kCommitted);
@@ -111,6 +125,9 @@ Status TxnManager::Commit(Transaction& tx) {
   auto slot_result = commit_table_->OpenCommit(cid, touches);
   if (!slot_result.ok()) return slot_result.status();
   PCommitSlot* slot = *slot_result;
+#if HYRISE_NV_METRICS_ENABLED
+  if (sampled) write_set_end_ticks = obs::FastClock::NowTicks();
+#endif
 
   // Secondary durability hook (WAL engines write + sync their commit
   // record here, before any stamp becomes visible).
@@ -125,6 +142,9 @@ Status TxnManager::Commit(Transaction& tx) {
   // Stamp all rows, then publish the CID. From here the commit is
   // irrevocable; a crash rolls it forward.
   StampWrites(tx.writes(), cid);
+#if HYRISE_NV_METRICS_ENABLED
+  if (sampled) persist_end_ticks = obs::FastClock::NowTicks();
+#endif
   commit_table_->AdvanceWatermark(cid);
   commit_table_->CloseCommit(slot);
 
@@ -142,12 +162,90 @@ Status TxnManager::Commit(Transaction& tx) {
       obs::MetricsRegistry::Instance().GetHistogram("txn.commit.latency_ns");
   static obs::Counter& commit_count =
       obs::MetricsRegistry::Instance().GetCounter("txn.commit.count");
-  commit_latency.Record(obs::FastClock::TicksToNanos(
-      static_cast<int64_t>(obs::FastClock::NowTicks() -
-                           commit_start_ticks)));
+  const uint64_t commit_end_ticks = obs::FastClock::NowTicks();
+  const uint64_t latency_ns = obs::FastClock::TicksToNanos(
+      static_cast<int64_t>(commit_end_ticks - commit_start_ticks));
+  commit_latency.Record(latency_ns);
   commit_count.Inc();
+  obs::BlackboxWriter* bb = heap_->blackbox();
+  if (bb != nullptr) {
+    bb->Record(obs::BlackboxEventType::kTxnCommit, tx.tid(), cid,
+               tx.writes().size(), latency_ns);
+  }
+  if (sampled) {
+    RecordSampledTrace(tx, write_set_end_ticks, persist_end_ticks,
+                       commit_end_ticks, bb);
+  }
 #endif
   return Status::OK();
+}
+
+void TxnManager::RecordSampledTrace(const Transaction& tx,
+                                    uint64_t write_set_end,
+                                    uint64_t persist_end,
+                                    uint64_t commit_end,
+                                    obs::BlackboxWriter* bb) {
+#if HYRISE_NV_METRICS_ENABLED
+  using obs::FastClock;
+  // Phase spans of the commit protocol: begin→write-set (CID alloc +
+  // touch-list/commit-slot persist), persist (WAL hook + row stamping),
+  // commit-publish (watermark + slot close). Total runs from Begin().
+  const uint64_t begin = tx.begin_ticks();
+  const uint64_t total_ns = FastClock::TicksToNanos(
+      static_cast<int64_t>(commit_end - begin));
+  const uint64_t write_set_ns = FastClock::TicksToNanos(
+      static_cast<int64_t>(write_set_end - begin));
+  const uint64_t persist_ns = FastClock::TicksToNanos(
+      static_cast<int64_t>(persist_end - write_set_end));
+  const uint64_t publish_ns = FastClock::TicksToNanos(
+      static_cast<int64_t>(commit_end - persist_end));
+
+  static obs::Histogram& h_write_set =
+      obs::MetricsRegistry::Instance().GetHistogram(
+          "txn.trace.write_set_ns");
+  static obs::Histogram& h_persist =
+      obs::MetricsRegistry::Instance().GetHistogram("txn.trace.persist_ns");
+  static obs::Histogram& h_publish =
+      obs::MetricsRegistry::Instance().GetHistogram("txn.trace.publish_ns");
+  static obs::Histogram& h_total =
+      obs::MetricsRegistry::Instance().GetHistogram("txn.trace.total_ns");
+  h_write_set.Record(write_set_ns);
+  h_persist.Record(persist_ns);
+  h_publish.Record(publish_ns);
+  h_total.Record(total_ns);
+
+  if (bb != nullptr) {
+    bb->Record(obs::BlackboxEventType::kTxnTrace, tx.tid(), write_set_ns,
+               persist_ns, publish_ns, total_ns);
+  }
+
+  obs::SpanNode trace;
+  trace.name = "txn_commit";
+  trace.seconds = static_cast<double>(total_ns) / 1e9;
+  obs::SpanNode child;
+  child.name = "write_set";
+  child.seconds = static_cast<double>(write_set_ns) / 1e9;
+  trace.children.push_back(child);
+  child.name = "persist";
+  child.seconds = static_cast<double>(persist_ns) / 1e9;
+  trace.children.push_back(child);
+  child.name = "commit_publish";
+  child.seconds = static_cast<double>(publish_ns) / 1e9;
+  trace.children.push_back(std::move(child));
+  std::lock_guard<std::mutex> guard(trace_mutex_);
+  last_trace_ = std::move(trace);
+#else
+  (void)tx;
+  (void)write_set_end;
+  (void)persist_end;
+  (void)commit_end;
+  (void)bb;
+#endif
+}
+
+obs::SpanNode TxnManager::LastSampledTrace() const {
+  std::lock_guard<std::mutex> guard(trace_mutex_);
+  return last_trace_;
 }
 
 Status TxnManager::Abort(Transaction& tx) {
@@ -177,6 +275,10 @@ Status TxnManager::Abort(Transaction& tx) {
   static obs::Counter& abort_count =
       obs::MetricsRegistry::Instance().GetCounter("txn.abort.count");
   abort_count.Inc();
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kTxnAbort, tx.tid(),
+               tx.writes().size());
+  }
 #endif
   std::lock_guard<std::mutex> guard(active_mutex_);
   active_tids_.erase(tx.tid());

@@ -1,13 +1,19 @@
 #ifndef HYRISE_NV_TXN_TXN_MANAGER_H_
 #define HYRISE_NV_TXN_TXN_MANAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "storage/catalog.h"
 #include "txn/commit_table.h"
 #include "txn/transaction.h"
+
+namespace hyrise_nv::obs {
+class BlackboxWriter;
+}  // namespace hyrise_nv::obs
 
 namespace hyrise_nv::txn {
 
@@ -66,6 +72,21 @@ class TxnManager {
 
   void set_commit_hook(CommitHook* hook) { hook_ = hook; }
 
+  /// Samples one in every `sample_every` transactions for span tracing
+  /// (0 disables). Sampled commits record per-phase latencies to the
+  /// txn.trace.* histograms, emit a kTxnTrace flight-recorder event, and
+  /// publish their span tree via LastSampledTrace().
+  void SetTxnSampling(uint64_t sample_every) {
+    sample_every_.store(sample_every, std::memory_order_relaxed);
+  }
+  uint64_t txn_sampling() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// Span tree of the most recent sampled commit (empty before the first
+  /// one). Thread-safe copy.
+  obs::SpanNode LastSampledTrace() const;
+
   /// Recovery: completes all in-flight commits found on NVM. `catalog`
   /// resolves table ids. O(in-flight work), independent of data size.
   Status RecoverInFlight(storage::Catalog& catalog);
@@ -75,6 +96,12 @@ class TxnManager {
  private:
   // Stamps all writes of a commit with `cid` and clears claims.
   void StampWrites(const std::vector<Write>& writes, storage::Cid cid);
+
+  // Builds + publishes the span tree of a sampled commit and feeds the
+  // txn.trace.* histograms and the flight recorder.
+  void RecordSampledTrace(const Transaction& tx, uint64_t write_set_end,
+                          uint64_t persist_end, uint64_t commit_end,
+                          obs::BlackboxWriter* bb);
 
   alloc::PHeap* heap_;
   std::unique_ptr<CommitTable> commit_table_;
@@ -90,6 +117,11 @@ class TxnManager {
   storage::Cid cid_block_end_ = 0;
 
   std::mutex commit_mutex_;  // serialises the commit critical section
+
+  std::atomic<uint64_t> sample_every_{0};
+  std::atomic<uint64_t> sample_counter_{0};
+  mutable std::mutex trace_mutex_;
+  obs::SpanNode last_trace_;
 };
 
 }  // namespace hyrise_nv::txn

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 
 namespace hyrise_nv::wal {
@@ -38,6 +39,9 @@ Status LogWriter::RetryIo(const char* what,
       static obs::Counter& degraded_flips =
           obs::MetricsRegistry::Instance().GetCounter("wal.degraded.flips");
       degraded_flips.Inc();
+      if (obs::BlackboxWriter* bb = obs::BlackboxWriter::Current()) {
+        bb->Record(obs::BlackboxEventType::kWalDegraded, 1);
+      }
     }
 #else
     (void)was_degraded;
@@ -92,9 +96,13 @@ Status LogWriter::SyncDeviceLocked() {
       obs::MetricsRegistry::Instance().GetHistogram("wal.fsync.latency_ns");
   static obs::Counter& fsync_count =
       obs::MetricsRegistry::Instance().GetCounter("wal.fsync.count");
-  fsync_latency.Record(obs::FastClock::TicksToNanos(
-      static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks)));
+  const uint64_t sync_ns = obs::FastClock::TicksToNanos(
+      static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks));
+  fsync_latency.Record(sync_ns);
   fsync_count.Inc();
+  if (obs::BlackboxWriter* bb = obs::BlackboxWriter::Current()) {
+    bb->Record(obs::BlackboxEventType::kWalSync, total_commits_, sync_ns);
+  }
 #endif
   return status;
 }

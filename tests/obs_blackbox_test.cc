@@ -1,0 +1,434 @@
+#include "obs/blackbox.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "nvm/nvm_env.h"
+#include "nvm/pmem_region.h"
+#include "recovery/verify.h"
+
+namespace hyrise_nv::obs {
+namespace {
+
+std::unique_ptr<nvm::PmemRegion> MakeRegion(size_t size) {
+  nvm::PmemRegionOptions options;
+  options.tracking = nvm::TrackingMode::kNone;
+  return std::move(nvm::PmemRegion::Create(size, options)).ValueUnsafe();
+}
+
+std::unique_ptr<BlackboxWriter> FormatAndAttach(nvm::PmemRegion& region) {
+  BlackboxWriter::Format(region);
+  auto writer = BlackboxWriter::Attach(region);
+  EXPECT_NE(writer, nullptr);
+  return writer;
+}
+
+/// Direct pointer to ring slot storage, for corruption tests.
+BlackboxEvent* SlotArray(nvm::PmemRegion& region) {
+  const BlackboxGeometry geom = BlackboxGeometryFor(region.size());
+  return reinterpret_cast<BlackboxEvent*>(region.base() + geom.offset +
+                                          kBlackboxHeaderBytes);
+}
+
+TEST(BlackboxGeometryTest, ScalesWithRegionAndCapsAtOneMiB) {
+  const BlackboxGeometry big = BlackboxGeometryFor(uint64_t{256} << 20);
+  EXPECT_TRUE(big.enabled());
+  EXPECT_EQ(big.ring_count, kBlackboxRingCount);
+  EXPECT_EQ(big.slots_per_ring, kBlackboxMaxSlotsPerRing);
+  EXPECT_EQ(big.offset % 4096, 0u);
+  EXPECT_EQ(big.offset + big.total_bytes, uint64_t{256} << 20);
+  // Budget respected: carve-out never exceeds 1/32 of the region.
+  EXPECT_LE(big.total_bytes, (uint64_t{256} << 20) / 32);
+
+  const BlackboxGeometry mid = BlackboxGeometryFor(uint64_t{1} << 20);
+  EXPECT_TRUE(mid.enabled());
+  EXPECT_LT(mid.slots_per_ring, kBlackboxMaxSlotsPerRing);
+  EXPECT_GE(mid.slots_per_ring, kBlackboxMinSlotsPerRing);
+  // Power of two, so slot claims can mask instead of mod.
+  EXPECT_EQ(mid.slots_per_ring & (mid.slots_per_ring - 1), 0u);
+}
+
+TEST(BlackboxGeometryTest, TinyRegionsGetNoRecorder) {
+  const BlackboxGeometry tiny = BlackboxGeometryFor(256 << 10);
+  EXPECT_FALSE(tiny.enabled());
+  EXPECT_EQ(tiny.offset, uint64_t{256} << 10);
+  EXPECT_EQ(BlackboxBytesFor(256 << 10), 0u);
+}
+
+TEST(BlackboxWriterTest, RecordDecodeRoundtrip) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  auto region = MakeRegion(size_t{4} << 20);
+  auto writer = FormatAndAttach(*region);
+  EXPECT_FALSE(writer->attached_with_reset());
+  EXPECT_EQ(writer->session_id(), 1u);
+
+  writer->Record(BlackboxEventType::kOpen, 3, 1);
+  writer->Record(BlackboxEventType::kTxnCommit, 7, 42, 5, 12345);
+  writer->Record(BlackboxEventType::kClose, 1);
+  writer->Flush();
+
+  const BlackboxDecodeResult result =
+      DecodeBlackbox(region->base(), region->size());
+  ASSERT_TRUE(result.present);
+  ASSERT_TRUE(result.header_valid);
+  EXPECT_EQ(result.session_id, 1u);
+  EXPECT_EQ(result.torn_slots, 0u);
+  ASSERT_EQ(result.events.size(), 3u);
+  EXPECT_EQ(result.events[0].type,
+            static_cast<uint16_t>(BlackboxEventType::kOpen));
+  EXPECT_EQ(result.events[1].type,
+            static_cast<uint16_t>(BlackboxEventType::kTxnCommit));
+  EXPECT_EQ(result.events[1].a, 7u);
+  EXPECT_EQ(result.events[1].b, 42u);
+  EXPECT_EQ(result.events[1].c, 5u);
+  EXPECT_EQ(result.events[1].d, 12345u);
+  EXPECT_EQ(result.events[2].type,
+            static_cast<uint16_t>(BlackboxEventType::kClose));
+  // Events recorded in this session sit at/after the attach time.
+  EXPECT_GE(result.RelativeMs(result.events[0]), 0.0);
+  EXPECT_LE(result.RelativeMs(result.events[0]),
+            result.RelativeMs(result.events[2]));
+  // Seqnos strictly ascend.
+  EXPECT_LT(result.events[0].seqno, result.events[1].seqno);
+  EXPECT_LT(result.events[1].seqno, result.events[2].seqno);
+}
+
+TEST(BlackboxWriterTest, WraparoundKeepsNewestEvents) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  auto region = MakeRegion(size_t{1} << 20);
+  auto writer = FormatAndAttach(*region);
+  const uint64_t slots = writer->geometry().slots_per_ring;
+  // One thread writes to one ring; overfill it 3x.
+  const uint64_t total = slots * 3;
+  for (uint64_t i = 0; i < total; ++i) {
+    writer->Record(BlackboxEventType::kTxnBegin, i);
+  }
+  writer->Flush();
+
+  const BlackboxDecodeResult result =
+      DecodeBlackbox(region->base(), region->size());
+  ASSERT_TRUE(result.header_valid);
+  EXPECT_EQ(result.torn_slots, 0u);
+  ASSERT_EQ(result.events.size(), slots);
+  // The survivors are exactly the newest ring-full.
+  for (size_t i = 0; i < result.events.size(); ++i) {
+    EXPECT_EQ(result.events[i].a, total - slots + i);
+  }
+}
+
+TEST(BlackboxWriterTest, MultithreadedSeqnosAreUniqueAndComplete) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  auto region = MakeRegion(size_t{64} << 20);
+  auto writer = FormatAndAttach(*region);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 512;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&writer, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        writer->Record(BlackboxEventType::kPersist,
+                       static_cast<uint64_t>(t), i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  writer->Flush();
+
+  const BlackboxDecodeResult result =
+      DecodeBlackbox(region->base(), region->size());
+  EXPECT_EQ(result.torn_slots, 0u);
+  ASSERT_EQ(result.events.size(), kThreads * kPerThread);
+  std::set<uint64_t> seqnos;
+  for (const auto& ev : result.events) seqnos.insert(ev.seqno);
+  EXPECT_EQ(seqnos.size(), kThreads * kPerThread);
+}
+
+TEST(BlackboxDecodeTest, TornSlotsAreDroppedNeverAccepted) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  auto region = MakeRegion(size_t{4} << 20);
+  auto writer = FormatAndAttach(*region);
+  for (uint64_t i = 0; i < 200; ++i) {
+    writer->Record(BlackboxEventType::kTxnCommit, i, i * 2);
+  }
+  writer->Flush();
+
+  // Corrupt every third written slot: flip one bit somewhere in the
+  // CRC-covered prefix without recomputing the CRC (a torn write).
+  const BlackboxGeometry geom = writer->geometry();
+  BlackboxEvent* slots = SlotArray(*region);
+  std::set<uint64_t> corrupted;
+  uint64_t written = 0;
+  for (uint64_t s = 0; s < geom.ring_count * geom.slots_per_ring; ++s) {
+    if (slots[s].seqno == 0 && slots[s].type == 0) continue;
+    if (written++ % 3 != 0) continue;
+    corrupted.insert(slots[s].seqno);
+    reinterpret_cast<uint8_t*>(&slots[s])[16 + (s % 40)] ^= 0x10;
+  }
+  ASSERT_FALSE(corrupted.empty());
+
+  const BlackboxDecodeResult result =
+      DecodeBlackbox(region->base(), region->size());
+  EXPECT_EQ(result.torn_slots, corrupted.size());
+  // Zero false accepts: no decoded event carries a corrupted seqno.
+  for (const auto& ev : result.events) {
+    EXPECT_EQ(corrupted.count(ev.seqno), 0u)
+        << "torn slot with seqno " << ev.seqno << " was accepted";
+  }
+  // `written` counts the non-empty slots (the ring may have wrapped, so
+  // it can be less than the 200 recorded events).
+  EXPECT_EQ(result.events.size(), written - corrupted.size());
+}
+
+TEST(BlackboxDecodeTest, SlotsDecodeEvenWithCorruptRecorderHeader) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  auto region = MakeRegion(size_t{4} << 20);
+  auto writer = FormatAndAttach(*region);
+  writer->Record(BlackboxEventType::kOpen, 3);
+  writer->Record(BlackboxEventType::kCrashSignal, 11);
+  writer->Flush();
+
+  // Trash the recorder header magic.
+  const BlackboxGeometry geom = writer->geometry();
+  region->base()[geom.offset] ^= 0xFF;
+
+  const BlackboxDecodeResult result =
+      DecodeBlackbox(region->base(), region->size());
+  EXPECT_TRUE(result.present);
+  EXPECT_FALSE(result.header_valid);
+  ASSERT_EQ(result.events.size(), 2u);  // own-CRC slots still decode
+  EXPECT_EQ(result.events[1].type,
+            static_cast<uint16_t>(BlackboxEventType::kCrashSignal));
+}
+
+TEST(BlackboxRenderTest, TimelineAndJsonSurfaceEvents) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  auto region = MakeRegion(size_t{4} << 20);
+  auto writer = FormatAndAttach(*region);
+  writer->Record(BlackboxEventType::kTxnCommit, 1, 2, 3, 4);
+  writer->Record(BlackboxEventType::kWalDegraded, 1);
+  writer->Flush();
+
+  const BlackboxDecodeResult result =
+      DecodeBlackbox(region->base(), region->size());
+  const std::string text = RenderBlackboxTimeline(result);
+  EXPECT_NE(text.find("txn_commit"), std::string::npos);
+  EXPECT_NE(text.find("wal_degraded"), std::string::npos);
+
+  const std::string limited = RenderBlackboxTimeline(result, 1);
+  EXPECT_EQ(limited.find("txn_commit"), std::string::npos);
+  EXPECT_NE(limited.find("older events omitted"), std::string::npos);
+
+  const std::string json = BlackboxTimelineJson(result);
+  EXPECT_NE(json.find("\"present\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"wal_degraded\""), std::string::npos);
+}
+
+// --- Integration with the engine + verify policy --------------------------
+
+core::DatabaseOptions FileDbOptions(const std::string& dir) {
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = 32 << 20;
+  options.data_dir = dir;
+  options.tracking = nvm::TrackingMode::kNone;
+  return options;
+}
+
+TEST(BlackboxEngineTest, SurvivesFileReopenAcrossSessions) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  const std::string dir = nvm::TempPath("blackbox_reopen");
+  std::filesystem::create_directories(dir);
+  auto options = FileDbOptions(dir);
+  {
+    auto db = std::move(core::Database::Create(options)).ValueUnsafe();
+    auto schema =
+        *storage::Schema::Make({{"k", storage::DataType::kInt64}});
+    storage::Table* table = *db->CreateTable("t", schema);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          db->InsertAutoCommit(table, {storage::Value(int64_t{i})}).ok());
+    }
+    ASSERT_TRUE(db->Close().ok());
+  }
+  {
+    // Session 2: events append after session 1's, decode sees both.
+    auto db = std::move(core::Database::Open(options)).ValueUnsafe();
+    ASSERT_NE(db->heap().blackbox(), nullptr);
+    EXPECT_EQ(db->heap().blackbox()->session_id(), 2u);
+    EXPECT_FALSE(db->heap().blackbox()->attached_with_reset());
+    ASSERT_TRUE(db->Close().ok());
+  }
+  nvm::PmemRegionOptions region_options;
+  region_options.file_path = options.NvmImagePath();
+  region_options.tracking = nvm::TrackingMode::kNone;
+  auto region =
+      std::move(nvm::PmemRegion::Open(region_options)).ValueUnsafe();
+  const BlackboxDecodeResult result =
+      DecodeBlackbox(region->base(), region->size());
+  ASSERT_TRUE(result.header_valid);
+  EXPECT_EQ(result.session_id, 2u);
+  // Both sessions' opens and closes survived, with commits in between.
+  uint64_t opens = 0, closes = 0, commits = 0;
+  for (const auto& ev : result.events) {
+    if (ev.type == static_cast<uint16_t>(BlackboxEventType::kOpen)) ++opens;
+    if (ev.type == static_cast<uint16_t>(BlackboxEventType::kClose)) {
+      ++closes;
+    }
+    if (ev.type == static_cast<uint16_t>(BlackboxEventType::kTxnCommit)) {
+      ++commits;
+    }
+  }
+  EXPECT_EQ(opens, 2u);
+  EXPECT_EQ(closes, 2u);
+  EXPECT_GE(commits, 10u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BlackboxEngineTest, CorruptRecorderIsAdvisoryAndNeverBlocksOpen) {
+  const std::string dir = nvm::TempPath("blackbox_quarantine");
+  std::filesystem::create_directories(dir);
+  auto options = FileDbOptions(dir);
+  {
+    auto db = std::move(core::Database::Create(options)).ValueUnsafe();
+    ASSERT_TRUE(db->Close().ok());
+  }
+  // Flip a bit inside the recorder header prologue.
+  {
+    nvm::PmemRegionOptions region_options;
+    region_options.file_path = options.NvmImagePath();
+    region_options.tracking = nvm::TrackingMode::kNone;
+    auto region =
+        std::move(nvm::PmemRegion::Open(region_options)).ValueUnsafe();
+    const BlackboxGeometry geom = BlackboxGeometryFor(region->size());
+    ASSERT_TRUE(geom.enabled());
+    region->base()[geom.offset + 9] ^= 0x04;
+    ASSERT_TRUE(region->SyncToFile().ok());
+
+    const recovery::VerifyReport report = recovery::DeepVerify(*region);
+    EXPECT_FALSE(report.clean());
+    EXPECT_FALSE(report.blocking()) << report.Summary();
+    EXPECT_FALSE(report.has_fatal());
+    bool advisory_found = false;
+    for (const auto& finding : report.findings) {
+      if (finding.structure == "flight_recorder") {
+        advisory_found = true;
+        EXPECT_EQ(finding.severity,
+                  recovery::FindingSeverity::kAdvisory);
+      }
+    }
+    EXPECT_TRUE(advisory_found) << report.Summary();
+  }
+  // Deep-verify open succeeds: diagnostics never block recovery. The
+  // corrupt recorder is quarantined (reformatted) at attach.
+  options.open_mode = core::OpenMode::kVerifyDeep;
+  auto db_result = core::Database::Open(options);
+  ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+  auto db = std::move(db_result).ValueUnsafe();
+  ASSERT_NE(db->heap().blackbox(), nullptr);
+  EXPECT_TRUE(db->heap().blackbox()->attached_with_reset());
+  EXPECT_EQ(db->heap().blackbox()->session_id(), 1u);  // fresh recorder
+  ASSERT_TRUE(db->Close().ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BlackboxEngineTest, SimulatedCrashKeepsFlushedEvents) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = 32 << 20;
+  options.tracking = nvm::TrackingMode::kShadow;  // strict crash model
+  auto db = std::move(core::Database::Create(options)).ValueUnsafe();
+  auto schema = *storage::Schema::Make({{"k", storage::DataType::kInt64}});
+  storage::Table* table = *db->CreateTable("t", schema);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db->InsertAutoCommit(table, {storage::Value(int64_t{i})}).ok());
+  }
+  db->heap().blackbox()->Flush();
+
+  auto recovered =
+      std::move(core::Database::CrashAndRecover(std::move(db)))
+          .ValueUnsafe();
+  // The recovered writer resumed the seqno after the flushed events.
+  ASSERT_NE(recovered->heap().blackbox(), nullptr);
+  EXPECT_EQ(recovered->heap().blackbox()->session_id(), 2u);
+  const BlackboxDecodeResult result = DecodeBlackbox(
+      recovered->heap().region().base(), recovered->heap().region().size());
+  ASSERT_TRUE(result.header_valid);
+  uint64_t commits = 0;
+  for (const auto& ev : result.events) {
+    if (ev.type == static_cast<uint16_t>(BlackboxEventType::kTxnCommit)) {
+      ++commits;
+    }
+  }
+  EXPECT_GE(commits, 50u);
+}
+
+TEST(BlackboxEngineTest, TxnSamplingPublishesSpanTree) {
+#if !HYRISE_NV_METRICS_ENABLED
+  GTEST_SKIP() << "flight-recorder writes compile out in this build";
+#endif
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = 32 << 20;
+  options.tracking = nvm::TrackingMode::kNone;
+  options.txn_sample_every = 1;  // sample every commit
+  auto db = std::move(core::Database::Create(options)).ValueUnsafe();
+  auto schema = *storage::Schema::Make({{"k", storage::DataType::kInt64}});
+  storage::Table* table = *db->CreateTable("t", schema);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        db->InsertAutoCommit(table, {storage::Value(int64_t{i})}).ok());
+  }
+  const SpanNode trace = db->LastSampledTxnTrace();
+  ASSERT_EQ(trace.name, "txn_commit");
+  ASSERT_EQ(trace.children.size(), 3u);
+  EXPECT_EQ(trace.children[0].name, "write_set");
+  EXPECT_EQ(trace.children[1].name, "persist");
+  EXPECT_EQ(trace.children[2].name, "commit_publish");
+#if HYRISE_NV_METRICS_ENABLED
+  // The trace histograms saw every commit.
+  const MetricsSnapshot snap = db->MetricsSnapshot();
+  const HistogramSnapshot* total = snap.FindHistogram("txn.trace.total_ns");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GE(total->count, 5u);
+  // And kTxnTrace events reached the recorder.
+  const BlackboxDecodeResult result = DecodeBlackbox(
+      db->heap().region().base(), db->heap().region().size());
+  uint64_t traces = 0;
+  for (const auto& ev : result.events) {
+    if (ev.type == static_cast<uint16_t>(BlackboxEventType::kTxnTrace)) {
+      ++traces;
+    }
+  }
+  EXPECT_GE(traces, 5u);
+#endif
+}
+
+}  // namespace
+}  // namespace hyrise_nv::obs

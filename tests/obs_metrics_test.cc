@@ -212,6 +212,102 @@ TEST(RegistryTest, SnapshotSerializations) {
   EXPECT_NE(text.find("test.serialize.count"), std::string::npos);
 }
 
+TEST(FastClockTest, ConversionRateMatchesBackend) {
+  FastClock::Calibrate();
+  EXPECT_GT(FastClock::NsPerTick(), 0.0);
+  if (FastClock::UsingSteadyFallback()) {
+    // The fallback reads steady_clock nanoseconds directly, so the
+    // conversion must be the identity.
+    EXPECT_DOUBLE_EQ(FastClock::NsPerTick(), 1.0);
+    EXPECT_EQ(FastClock::TicksToNanos(12345), 12345u);
+  } else {
+    // Invariant-TSC path: modern cores tick between 0.1 and 10 GHz.
+    EXPECT_GT(FastClock::NsPerTick(), 0.05);
+    EXPECT_LT(FastClock::NsPerTick(), 20.0);
+  }
+}
+
+TEST(PrometheusTest, HelpPrecedesTypeForEveryMetric) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.GetCounter("test.prom.help.count").Inc();
+  registry.GetHistogram("test.prom.help.latency_ns").Record(1);
+  const std::string prom =
+      registry.Snapshot().ToPrometheusText();
+  size_t pos = 0;
+  int metrics_seen = 0;
+  while ((pos = prom.find("# TYPE ", pos)) != std::string::npos) {
+    const size_t name_start = pos + 7;
+    const size_t name_end = prom.find(' ', name_start);
+    ASSERT_NE(name_end, std::string::npos);
+    const std::string name = prom.substr(name_start, name_end - name_start);
+    const std::string help_line = "# HELP " + name + " ";
+    const size_t help_pos = prom.find(help_line);
+    EXPECT_NE(help_pos, std::string::npos) << "no HELP for " << name;
+    EXPECT_LT(help_pos, pos) << "HELP must precede TYPE for " << name;
+    ++metrics_seen;
+    pos = name_end;
+  }
+  EXPECT_GE(metrics_seen, 2);
+}
+
+TEST(PrometheusTest, LabelValuesAreEscaped) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabel("two\nlines"), "two\\nlines");
+  EXPECT_EQ(PrometheusEscapeLabel("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  auto& registry = MetricsRegistry::Instance();
+  Histogram& histogram =
+      registry.GetHistogram("test.prom.buckets.latency_ns");
+  histogram.Reset();
+  for (uint64_t v : {1u, 5u, 5u, 80u, 3000u}) histogram.Record(v);
+  const std::string prom = registry.Snapshot().ToPrometheusText();
+
+  // Collect this histogram's bucket lines in emission order.
+  const std::string bucket_prefix =
+      "test_prom_buckets_latency_ns_bucket{le=\"";
+  std::vector<uint64_t> cumulative;
+  uint64_t inf_value = 0;
+  bool saw_inf = false;
+  size_t pos = 0;
+  while ((pos = prom.find(bucket_prefix, pos)) != std::string::npos) {
+    const size_t le_start = pos + bucket_prefix.size();
+    const size_t le_end = prom.find("\"} ", le_start);
+    ASSERT_NE(le_end, std::string::npos);
+    const std::string le = prom.substr(le_start, le_end - le_start);
+    const size_t value_start = le_end + 3;
+    const uint64_t value = std::stoull(prom.substr(value_start));
+    if (le == "+Inf") {
+      saw_inf = true;
+      inf_value = value;
+    } else {
+      EXPECT_FALSE(saw_inf) << "+Inf must be the last bucket";
+      cumulative.push_back(value);
+    }
+    pos = value_start;
+  }
+  ASSERT_TRUE(saw_inf);
+  ASSERT_FALSE(cumulative.empty());
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1])
+        << "bucket counts must be non-decreasing";
+  }
+  EXPECT_GE(inf_value, cumulative.back());
+  EXPECT_EQ(inf_value, 5u) << "+Inf bucket must equal the sample count";
+
+  // _count agrees with the +Inf bucket, per the exposition format.
+  const size_t count_pos =
+      prom.find("test_prom_buckets_latency_ns_count ");
+  ASSERT_NE(count_pos, std::string::npos);
+  EXPECT_EQ(std::stoull(prom.substr(
+                count_pos + std::string("test_prom_buckets_latency_ns_count ")
+                                .size())),
+            inf_value);
+}
+
 TEST(RegistryTest, ResetAllZeroesValuesButKeepsRegistrations) {
   auto& registry = MetricsRegistry::Instance();
   registry.GetCounter("test.reset.count").Add(3);

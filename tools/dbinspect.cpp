@@ -8,20 +8,26 @@
 //
 //   dbinspect [--verify[=deep]] <data-dir | nvm-image> [--verbose]
 //   dbinspect stats [--metrics-json | --prometheus] <data-dir | nvm-image>
+//   dbinspect blackbox [--json] [--limit=N] <data-dir | nvm-image>
 //
 // --verify        fast integrity check (region header + magic/CRC)
 // --verify=deep   walk every persistent structure: allocator free lists,
 //                 commit table, catalog, dictionaries, attribute
-//                 vectors, MVCC vectors, indexes
+//                 vectors, MVCC vectors, indexes (advisory findings —
+//                 e.g. a quarantined flight recorder — do not fail)
 // stats           image summary + engine metrics snapshot (text table,
 //                 --metrics-json for JSON, --prometheus for exposition
 //                 format)
+// blackbox        decode the NVM-persisted flight recorder into a crash
+//                 timeline; works on corrupt images (geometry comes from
+//                 the file size, every event slot carries its own CRC)
 //
 // Exit codes: 0 = image is clean, 1 = usage error, 2 = corruption
 // found, 3 = the image cannot be opened at all.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -30,6 +36,7 @@
 #include "alloc/pheap.h"
 #include "alloc/region_header.h"
 #include "index/index_set.h"
+#include "obs/blackbox.h"
 #include "obs/metrics.h"
 #include "recovery/verify.h"
 #include "storage/catalog.h"
@@ -57,6 +64,8 @@ const char* SeverityName(recovery::FindingSeverity severity) {
       return "TABLE";
     case recovery::FindingSeverity::kWriteHazard:
       return "WRITE-HAZARD";
+    case recovery::FindingSeverity::kAdvisory:
+      return "ADVISORY";
   }
   return "?";
 }
@@ -100,12 +109,50 @@ int RunVerify(const std::string& image_path, bool deep) {
                 finding.table.c_str(), finding.table.empty() ? "" : "')",
                 finding.detail.c_str());
   }
-  if (!report.clean()) {
+  if (report.blocking()) {
     std::printf("verify: FAILED\n");
     return 2;
   }
-  std::printf("verify: OK\n");
+  if (!report.clean()) {
+    std::printf("verify: OK (advisory findings only)\n");
+  } else {
+    std::printf("verify: OK\n");
+  }
   return 0;
+}
+
+int RunBlackbox(const std::string& image_path, bool json, size_t limit) {
+  // Open the raw region, not the heap: the recorder must decode even
+  // when the region header, allocator, or catalog are trash.
+  nvm::PmemRegionOptions options;
+  options.file_path = image_path;
+  options.tracking = nvm::TrackingMode::kNone;
+  auto region_result = nvm::PmemRegion::Open(options);
+  if (!region_result.ok()) {
+    std::fprintf(stderr, "cannot open image: %s\n",
+                 region_result.status().ToString().c_str());
+    return 3;
+  }
+  auto region = std::move(region_result).ValueUnsafe();
+  const obs::BlackboxDecodeResult result =
+      obs::DecodeBlackbox(region->base(), region->size());
+  if (json) {
+    std::printf("%s\n", obs::BlackboxTimelineJson(result, limit).c_str());
+    return result.present ? 0 : 2;
+  }
+  // Correlate with the region header when it is still readable: whether
+  // the last shutdown was clean tells the reader if the newest events
+  // describe a crash or a normal close.
+  if (alloc::ValidateRegionHeader(*region).ok()) {
+    std::printf("image: %s (last shutdown: %s)\n", image_path.c_str(),
+                alloc::WasCleanShutdown(*region) ? "clean" : "crash");
+  } else {
+    std::printf("image: %s (region header corrupt — recorder decoded "
+                "from file geometry alone)\n",
+                image_path.c_str());
+  }
+  std::fputs(obs::RenderBlackboxTimeline(result, limit).c_str(), stdout);
+  return result.present ? 0 : 2;
 }
 
 void PrintTable(storage::Table& table, bool verbose) {
@@ -196,8 +243,10 @@ void PrintUsage(const char* prog) {
                "usage: %s [--verify[=deep]] <data-dir | nvm-image> "
                "[--verbose]\n"
                "       %s stats [--metrics-json | --prometheus] "
+               "<data-dir | nvm-image>\n"
+               "       %s blackbox [--json] [--limit=N] "
                "<data-dir | nvm-image>\n",
-               prog, prog);
+               prog, prog, prog);
 }
 
 /// JSON string escape for the image block (paths, root names).
@@ -220,6 +269,17 @@ std::string JsonQuote(const std::string& s) {
 }
 
 enum class StatsFormat { kText, kJson, kPrometheus };
+
+/// Whether walking catalog/table structures of this image is safe. A
+/// crash image may hold torn in-flight state (e.g. a dictionary size
+/// bumped before its payload landed), which the unguarded attach path
+/// would chase into unmapped memory. Deep verify bounds-checks every
+/// structure, so a crash image that verifies without blocking findings
+/// is safe to walk.
+bool StructureWalkIsSafe(alloc::PHeap& heap) {
+  if (heap.was_clean_shutdown()) return true;
+  return !recovery::DeepVerify(heap.region()).blocking();
+}
 
 int RunStats(const std::string& image_path, StatsFormat format) {
   nvm::PmemRegionOptions options;
@@ -253,8 +313,10 @@ int RunStats(const std::string& image_path, StatsFormat format) {
 
   const auto* header = alloc::HeaderOf(heap->region());
   size_t num_tables = 0;
-  auto catalog_result = storage::Catalog::Attach(*heap);
-  if (catalog_result.ok()) num_tables = (*catalog_result)->num_tables();
+  if (StructureWalkIsSafe(*heap)) {
+    auto catalog_result = storage::Catalog::Attach(*heap);
+    if (catalog_result.ok()) num_tables = (*catalog_result)->num_tables();
+  }
 
   switch (format) {
     case StatsFormat::kJson:
@@ -296,11 +358,21 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool deep = false;
   bool stats = false;
+  bool blackbox = false;
+  bool blackbox_json = false;
+  size_t blackbox_limit = 0;
   StatsFormat stats_format = StatsFormat::kText;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "stats" && !stats && path.empty()) {
+    if (arg == "stats" && !stats && !blackbox && path.empty()) {
       stats = true;
+    } else if (arg == "blackbox" && !stats && !blackbox && path.empty()) {
+      blackbox = true;
+    } else if (arg == "--json" && blackbox) {
+      blackbox_json = true;
+    } else if (arg.rfind("--limit=", 0) == 0 && blackbox) {
+      blackbox_limit = static_cast<size_t>(
+          std::strtoull(arg.c_str() + 8, nullptr, 10));
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--verify") {
@@ -331,6 +403,7 @@ int main(int argc, char** argv) {
     path += "/nvm.img";
   }
 
+  if (blackbox) return RunBlackbox(path, blackbox_json, blackbox_limit);
   if (stats) return RunStats(path, stats_format);
   if (verify) return RunVerify(path, deep);
 
@@ -377,6 +450,14 @@ int main(int argc, char** argv) {
                 ", in-flight commits %" PRIu64 "\n",
                 block->commit_watermark, block->tid_block,
                 block->cid_block, in_flight);
+  }
+
+  if (!StructureWalkIsSafe(*heap)) {
+    std::printf(
+        "  crash image failed deep verification; skipping the per-table "
+        "walk\n  (run '--verify=deep' for findings, 'blackbox' for the "
+        "pre-crash timeline)\n");
+    return 2;
   }
 
   auto catalog_result = storage::Catalog::Attach(*heap);
