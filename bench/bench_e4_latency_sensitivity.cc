@@ -44,6 +44,9 @@ int main() {
 
   const double dram = RunWithLatency(0, rows, txns);
   std::printf("%-22s %12.0f %11.0f%%\n", "DRAM (0 ns)", dram, 100.0);
+  std::printf("BENCH_JSON {\"bench\":\"e4\",\"latency_factor\":0,"
+              "\"flush_ns\":0,\"txn_per_s\":%.0f,\"vs_dram\":1.0}\n",
+              dram);
   for (const double factor : {1.0, 2.0, 4.0, 8.0}) {
     const auto model = nvm::NvmLatencyModel::Scaled(factor);
     const double tps = RunWithLatency(factor, rows, txns);
@@ -52,6 +55,9 @@ int main() {
                   model.flush_ns);
     std::printf("%-22s %12.0f %11.0f%%\n", label, tps,
                 100.0 * tps / dram);
+    std::printf("BENCH_JSON {\"bench\":\"e4\",\"latency_factor\":%.0f,"
+                "\"flush_ns\":%u,\"txn_per_s\":%.0f,\"vs_dram\":%.3f}\n",
+                factor, model.flush_ns, tps, tps / dram);
   }
   std::printf("\npaper shape check: throughput degrades smoothly with NVM "
               "write latency; the write path, not reads, pays the cost\n");

@@ -122,6 +122,39 @@ void BM_EngineBatchedCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineBatchedCommit)->Arg(1)->Arg(16)->Arg(256);
 
+/// Console output plus one machine-readable BENCH_JSON line per run,
+/// matching the other experiment binaries.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string counters;
+      for (const auto& [name, counter] : run.counters) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), ",\"%s\":%.3f", name.c_str(),
+                      static_cast<double>(counter));
+        counters += buf;
+      }
+      std::printf(
+          "BENCH_JSON {\"bench\":\"e6\",\"name\":\"%s\","
+          "\"ns_per_op\":%.1f,\"iterations\":%lld%s}\n",
+          run.benchmark_name().c_str(),
+          run.GetAdjustedRealTime(),
+          static_cast<long long>(run.iterations), counters.c_str());
+    }
+    std::fflush(stdout);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -72,6 +72,11 @@ int main() {
                 static_cast<unsigned long long>(rows),
                 dram.rows_per_second / 1e6, nvm.rows_per_second / 1e6,
                 dram.rows_per_second / nvm.rows_per_second);
+    std::printf("BENCH_JSON {\"bench\":\"e7\",\"phase\":\"size\","
+                "\"delta_rows\":%llu,\"dram_rows_per_s\":%.0f,"
+                "\"nvm_rows_per_s\":%.0f}\n",
+                static_cast<unsigned long long>(rows),
+                dram.rows_per_second, nvm.rows_per_second);
   }
 
   std::printf("\nmerge with dead versions (NVM, %llu rows):\n",
@@ -81,6 +86,9 @@ int main() {
     const MergeSample sample =
         RunMerge(bench::Scaled(20000), true, fraction);
     std::printf("%15.0f%% %12.2f\n", fraction * 100,
+                sample.seconds * 1e3);
+    std::printf("BENCH_JSON {\"bench\":\"e7\",\"phase\":\"dead_versions\","
+                "\"delete_fraction\":%.2f,\"merge_ms\":%.3f}\n", fraction,
                 sample.seconds * 1e3);
   }
   std::printf("\npaper shape check: merge cost is linear in delta size; "

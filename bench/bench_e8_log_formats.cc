@@ -67,6 +67,18 @@ int main() {
     std::printf("  %-12s %12.2f %12.3f %14.4f\n", "dict-encoded",
                 dict.log_bytes / 1e6, dict.load_seconds,
                 dict.recovery_seconds);
+    std::printf("BENCH_JSON {\"bench\":\"e8\",\"format\":\"value\","
+                "\"cardinality\":%llu,\"log_bytes\":%llu,"
+                "\"load_s\":%.4f,\"recovery_s\":%.4f}\n",
+                static_cast<unsigned long long>(cardinality),
+                static_cast<unsigned long long>(value.log_bytes),
+                value.load_seconds, value.recovery_seconds);
+    std::printf("BENCH_JSON {\"bench\":\"e8\",\"format\":\"dict\","
+                "\"cardinality\":%llu,\"log_bytes\":%llu,"
+                "\"load_s\":%.4f,\"recovery_s\":%.4f}\n",
+                static_cast<unsigned long long>(cardinality),
+                static_cast<unsigned long long>(dict.log_bytes),
+                dict.load_seconds, dict.recovery_seconds);
     std::printf("  log volume ratio: %.2fx\n\n",
                 static_cast<double>(value.log_bytes) /
                     static_cast<double>(dict.log_bytes));

@@ -557,6 +557,12 @@ Status Database::Close() {
     // never refreshed and parts of it are known-corrupt.
     return Status::OK();
   }
+  // Transactions still open at shutdown (a serving session whose client
+  // never committed, a leaked handle) are aborted, not leaked: their
+  // claims are released and their inserts tombstoned, so the sealed
+  // image contains no in-flight state and the next open sees none of
+  // their effects.
+  txn_manager_->AbortAllActive();
   if (log_manager_ != nullptr) {
     HYRISE_NV_RETURN_NOT_OK(log_manager_->SyncNow());
   }

@@ -1,0 +1,371 @@
+#include "net/client.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+
+namespace hyrise_nv::net {
+
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+Status Client::ConnectOnce() {
+  Close();
+  auto fd_result =
+      ConnectTcp(options_.host, options_.port, options_.connect_timeout_ms);
+  if (!fd_result.ok()) return fd_result.status();
+  fd_ = std::move(fd_result).ValueUnsafe();
+  Status status = Handshake();
+  if (!status.ok()) Close();
+  return status;
+}
+
+Status Client::Connect() {
+  int backoff_ms = options_.retry_base_ms;
+  Status last;
+  last_connect_attempts_ = 0;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    ++last_connect_attempts_;
+    last = ConnectOnce();
+    if (last.ok()) return last;
+    // A draining server will never come back on this address during this
+    // process's lifetime less often than a restarting one; both are
+    // worth retrying. Hard protocol errors (version mismatch) are not.
+    if (last.code() == StatusCode::kNotSupported) return last;
+    if (attempt == options_.max_retries) break;
+    SleepMs(backoff_ms);
+    backoff_ms = std::min(backoff_ms * 2, options_.retry_cap_ms);
+  }
+  return last;
+}
+
+void Client::Close() {
+  fd_.Reset();
+  session_id_ = 0;
+  current_tid_ = 0;
+}
+
+Status Client::Handshake() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kHello));
+  writer.U32(kHelloMagic);
+  writer.U16(kProtocolVersionMin);
+  writer.U16(kProtocolVersionMax);
+  HYRISE_NV_RETURN_NOT_OK(WriteFrame(fd_.get(), payload));
+  auto frame_result = ReadFrame(fd_.get(), options_.read_timeout_ms);
+  if (!frame_result.ok()) return frame_result.status();
+  WireReader reader(frame_result->data(), frame_result->size());
+  const uint8_t op = reader.U8();
+  const WireCode code = static_cast<WireCode>(reader.U8());
+  last_wire_code_ = code;
+  if (!reader.ok() || op != static_cast<uint8_t>(Opcode::kHello)) {
+    return Status::IOError("malformed handshake response");
+  }
+  if (code != WireCode::kOk) {
+    return StatusFromWire(code, reader.Str());
+  }
+  protocol_version_ = reader.U16();
+  server_mode_ = reader.U8();
+  session_id_ = reader.U64();
+  if (!reader.ok()) {
+    return Status::IOError("truncated handshake response");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> Client::Roundtrip(
+    const std::vector<uint8_t>& payload) {
+  if (!connected()) {
+    return Status::IOError("client is not connected");
+  }
+  Status status = WriteFrame(fd_.get(), payload);
+  if (status.ok()) {
+    auto frame_result = ReadFrame(fd_.get(), options_.read_timeout_ms);
+    if (frame_result.ok()) return frame_result;
+    status = frame_result.status();
+  }
+  // Transport failure: this connection is gone. Re-dial so the next
+  // request works, but surface the failure — the request may or may not
+  // have executed server-side, and only the caller can decide whether it
+  // is safe to replay.
+  Close();
+  if (options_.auto_reconnect) {
+    (void)Connect();
+  }
+  return status;
+}
+
+Result<std::vector<uint8_t>> Client::Call(
+    Opcode op, const std::vector<uint8_t>& payload) {
+  auto response_result = Roundtrip(payload);
+  if (!response_result.ok()) return response_result.status();
+  std::vector<uint8_t>& response = *response_result;
+  WireReader reader(response.data(), response.size());
+  const uint8_t echoed = reader.U8();
+  const WireCode code = static_cast<WireCode>(reader.U8());
+  if (!reader.ok()) {
+    return Status::IOError("truncated response header");
+  }
+  last_wire_code_ = code;
+  if (echoed != static_cast<uint8_t>(op)) {
+    return Status::IOError("response opcode mismatch: sent " +
+                           std::string(OpcodeName(op)) + ", got " +
+                           std::to_string(echoed));
+  }
+  if (code != WireCode::kOk) {
+    return StatusFromWire(code, reader.Str());
+  }
+  // Body = everything after [opcode][code].
+  return std::vector<uint8_t>(response.begin() + 2, response.end());
+}
+
+Result<Client::BeginInfo> Client::Begin() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kBegin));
+  auto body_result = Call(Opcode::kBegin, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  BeginInfo info;
+  info.tid = reader.U64();
+  info.snapshot = reader.U64();
+  if (!reader.ok()) return Status::IOError("truncated begin response");
+  current_tid_ = info.tid;
+  return info;
+}
+
+Result<uint64_t> Client::Commit() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kCommit));
+  writer.U64(0);  // 0 = the session's open transaction
+  auto body_result = Call(Opcode::kCommit, payload);
+  // The transaction ends either way: a conflict aborts it server-side.
+  current_tid_ = 0;
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  const uint64_t cid = reader.U64();
+  if (!reader.ok()) return Status::IOError("truncated commit response");
+  return cid;
+}
+
+Status Client::Abort() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kAbort));
+  writer.U64(0);
+  current_tid_ = 0;
+  return Call(Opcode::kAbort, payload).status();
+}
+
+Result<storage::RowLocation> Client::Insert(
+    const std::string& table, const std::vector<storage::Value>& row) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kInsert));
+  writer.U64(0);
+  writer.Str(table);
+  writer.Row(row);
+  auto body_result = Call(Opcode::kInsert, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  const storage::RowLocation loc = reader.Loc();
+  if (!reader.ok()) return Status::IOError("truncated insert response");
+  return loc;
+}
+
+Result<storage::RowLocation> Client::Update(
+    const std::string& table, storage::RowLocation loc,
+    const std::vector<storage::Value>& row) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kUpdate));
+  writer.U64(0);
+  writer.Str(table);
+  writer.Loc(loc);
+  writer.Row(row);
+  auto body_result = Call(Opcode::kUpdate, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  const storage::RowLocation new_loc = reader.Loc();
+  if (!reader.ok()) return Status::IOError("truncated update response");
+  return new_loc;
+}
+
+Status Client::Delete(const std::string& table, storage::RowLocation loc) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kDelete));
+  writer.U64(0);
+  writer.Str(table);
+  writer.Loc(loc);
+  return Call(Opcode::kDelete, payload).status();
+}
+
+namespace {
+
+Result<ScanResult> ParseScanBody(const std::vector<uint8_t>& body) {
+  WireReader reader(body.data(), body.size());
+  ScanResult result;
+  result.truncated = reader.U8() != 0;
+  const uint32_t n = reader.U32();
+  for (uint32_t i = 0; i < n && reader.ok(); ++i) {
+    WireRow row;
+    row.loc = reader.Loc();
+    row.values = reader.Row();
+    result.rows.push_back(std::move(row));
+  }
+  if (!reader.ok()) return Status::IOError("truncated scan response");
+  return result;
+}
+
+}  // namespace
+
+Result<ScanResult> Client::ScanEqual(const std::string& table,
+                                     uint32_t column,
+                                     const storage::Value& value,
+                                     bool in_txn, uint32_t limit) {
+  if (in_txn && current_tid_ == 0) {
+    return Status::InvalidArgument("no open transaction on this client");
+  }
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kScanEqual));
+  writer.U64(in_txn ? current_tid_ : 0);
+  writer.Str(table);
+  writer.U32(column);
+  writer.Value(value);
+  writer.U32(limit);
+  auto body_result = Call(Opcode::kScanEqual, payload);
+  if (!body_result.ok()) return body_result.status();
+  return ParseScanBody(*body_result);
+}
+
+Result<ScanResult> Client::ScanRange(const std::string& table,
+                                     uint32_t column,
+                                     const storage::Value& lo,
+                                     const storage::Value& hi, bool in_txn,
+                                     uint32_t limit) {
+  if (in_txn && current_tid_ == 0) {
+    return Status::InvalidArgument("no open transaction on this client");
+  }
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kScanRange));
+  writer.U64(in_txn ? current_tid_ : 0);
+  writer.Str(table);
+  writer.U32(column);
+  writer.Value(lo);
+  writer.Value(hi);
+  writer.U32(limit);
+  auto body_result = Call(Opcode::kScanRange, payload);
+  if (!body_result.ok()) return body_result.status();
+  return ParseScanBody(*body_result);
+}
+
+Result<uint64_t> Client::Count(const std::string& table, bool in_txn) {
+  if (in_txn && current_tid_ == 0) {
+    return Status::InvalidArgument("no open transaction on this client");
+  }
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kCount));
+  writer.U64(in_txn ? current_tid_ : 0);
+  writer.Str(table);
+  auto body_result = Call(Opcode::kCount, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  const uint64_t count = reader.U64();
+  if (!reader.ok()) return Status::IOError("truncated count response");
+  return count;
+}
+
+Result<uint64_t> Client::CreateTable(
+    const std::string& name,
+    const std::vector<std::pair<std::string, storage::DataType>>& columns) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kCreateTable));
+  writer.Str(name);
+  writer.U16(static_cast<uint16_t>(columns.size()));
+  for (const auto& [col_name, type] : columns) {
+    writer.Str(col_name);
+    writer.U8(static_cast<uint8_t>(type));
+  }
+  auto body_result = Call(Opcode::kCreateTable, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  const uint64_t id = reader.U64();
+  if (!reader.ok()) {
+    return Status::IOError("truncated create-table response");
+  }
+  return id;
+}
+
+Status Client::CreateIndex(const std::string& table, uint32_t column,
+                           uint8_t kind) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kCreateIndex));
+  writer.Str(table);
+  writer.U32(column);
+  writer.U8(kind);
+  return Call(Opcode::kCreateIndex, payload).status();
+}
+
+Status Client::Ping() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kPing));
+  return Call(Opcode::kPing, payload).status();
+}
+
+Result<std::string> Client::Stats() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kStats));
+  auto body_result = Call(Opcode::kStats, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  std::string json = reader.Str();
+  if (!reader.ok()) return Status::IOError("truncated stats response");
+  return json;
+}
+
+Result<std::string> Client::RecoveryInfo() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kRecoveryInfo));
+  auto body_result = Call(Opcode::kRecoveryInfo, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  std::string json = reader.Str();
+  if (!reader.ok()) {
+    return Status::IOError("truncated recovery-info response");
+  }
+  return json;
+}
+
+Status Client::Checkpoint() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kCheckpoint));
+  return Call(Opcode::kCheckpoint, payload).status();
+}
+
+Status Client::Drain() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kDrain));
+  return Call(Opcode::kDrain, payload).status();
+}
+
+}  // namespace hyrise_nv::net

@@ -1,0 +1,74 @@
+#ifndef HYRISE_NV_NET_NET_UTIL_H_
+#define HYRISE_NV_NET_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace hyrise_nv::net {
+
+/// RAII file descriptor. -1 means "none".
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  ~OwnedFd() { Reset(); }
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.Release()) {}
+  OwnedFd& operator=(OwnedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  HYRISE_NV_DISALLOW_COPY(OwnedFd);
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port) with SO_REUSEADDR, non-blocking, backlog 128.
+Result<OwnedFd> CreateListener(const std::string& host, uint16_t port);
+
+/// The port a bound socket actually listens on (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking TCP connect with a millisecond timeout. TCP_NODELAY is set:
+/// the protocol is request/response and Nagle would serialise it against
+/// delayed ACKs.
+Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port,
+                           int timeout_ms);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+/// Writes all of `data` (blocking; MSG_NOSIGNAL, EINTR-safe).
+Status SendAll(int fd, const void* data, size_t len);
+
+/// Reads exactly `len` bytes (blocking). A clean peer close mid-read
+/// returns IOError "connection closed"; `timeout_ms` > 0 bounds the wait
+/// per read via SO_RCVTIMEO semantics (poll-based, so it composes with
+/// blocking sockets).
+Status RecvAll(int fd, void* out, size_t len, int timeout_ms = 0);
+
+/// Blocking frame I/O for clients and tests. WriteFrame frames and sends
+/// `payload`; ReadFrame receives one frame, validating length cap and
+/// CRC.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
+Result<std::vector<uint8_t>> ReadFrame(int fd, int timeout_ms = 0,
+                                       uint32_t max_payload =
+                                           kMaxFrameBytes);
+
+}  // namespace hyrise_nv::net
+
+#endif  // HYRISE_NV_NET_NET_UTIL_H_

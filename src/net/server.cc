@@ -1,0 +1,1089 @@
+#include "net/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/query.h"
+#include "net/net_util.h"
+#include "obs/blackbox.h"
+#include "obs/metrics.h"
+
+namespace hyrise_nv::net {
+
+namespace {
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Pending responses larger than this stop further reads on the
+/// connection (backpressure): level-triggered epoll re-delivers EPOLLIN
+/// once the client has drained its side.
+constexpr size_t kMaxOutBacklog = 4u << 20;
+/// Responses stop appending rows past this payload size; the response
+/// carries a `truncated` flag instead of overflowing the frame cap.
+constexpr size_t kMaxResultPayload = 6u << 20;
+
+}  // namespace
+
+/// One connection = one session. Owned by exactly one worker thread; no
+/// field needs locking.
+struct Connection {
+  OwnedFd fd;
+  uint64_t id = 0;
+  std::vector<uint8_t> in;
+  size_t in_pos = 0;  // parse cursor into `in`
+  std::vector<uint8_t> out;
+  size_t out_pos = 0;
+  bool handshaken = false;
+  bool close_after_flush = false;
+  bool wants_writable = false;
+  txn::Transaction txn;
+  bool txn_open = false;
+  uint64_t last_active_ms = 0;
+};
+
+class ServerImpl {
+ public:
+  ServerImpl(core::Database* db, const ServerOptions& options)
+      : db_(db),
+        options_(options),
+        latency_hist_(obs::MetricsRegistry::Instance().GetHistogram(
+            "net.request.latency_ns")),
+        requests_counter_(obs::MetricsRegistry::Instance().GetCounter(
+            "net.requests.count")),
+        overload_counter_(obs::MetricsRegistry::Instance().GetCounter(
+            "net.overload.rejections")),
+        protocol_error_counter_(obs::MetricsRegistry::Instance().GetCounter(
+            "net.protocol.errors")),
+        accepted_counter_(obs::MetricsRegistry::Instance().GetCounter(
+            "net.connections.accepted")),
+        conns_gauge_(obs::MetricsRegistry::Instance().GetGauge(
+            "net.connections.open")),
+        inflight_gauge_(
+            obs::MetricsRegistry::Instance().GetGauge("net.inflight")),
+        queue_gauge_(
+            obs::MetricsRegistry::Instance().GetGauge("net.queue.depth")) {
+    for (uint8_t op = static_cast<uint8_t>(Opcode::kHello);
+         op <= static_cast<uint8_t>(Opcode::kDrain); ++op) {
+      op_counters_[op] = &obs::MetricsRegistry::Instance().GetCounter(
+          std::string("net.op.") +
+          OpcodeName(static_cast<Opcode>(op)) + ".count");
+    }
+  }
+
+  ~ServerImpl() {
+    Drain();
+    Wait();
+  }
+
+  Status Start() {
+    auto listener_result = CreateListener(options_.host, options_.port);
+    if (!listener_result.ok()) return listener_result.status();
+    listen_fd_ = std::move(listener_result).ValueUnsafe();
+    auto port_result = LocalPort(listen_fd_.get());
+    if (!port_result.ok()) return port_result.status();
+    port_ = *port_result;
+
+    const int worker_count = std::max(1, options_.num_workers);
+    workers_.reserve(static_cast<size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i) {
+      auto worker = std::make_unique<Worker>();
+      worker->epoll_fd = OwnedFd(::epoll_create1(EPOLL_CLOEXEC));
+      worker->wake_fd =
+          OwnedFd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+      if (!worker->epoll_fd.valid() || !worker->wake_fd.valid()) {
+        return Status::IOError("epoll/eventfd: " +
+                               std::string(std::strerror(errno)));
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = worker->wake_fd.get();
+      if (::epoll_ctl(worker->epoll_fd.get(), EPOLL_CTL_ADD,
+                      worker->wake_fd.get(), &ev) < 0) {
+        return Status::IOError("epoll_ctl(wake): " +
+                               std::string(std::strerror(errno)));
+      }
+      workers_.push_back(std::move(worker));
+    }
+    for (auto& worker : workers_) {
+      worker->thread =
+          std::thread([this, w = worker.get()] { WorkerLoop(w); });
+    }
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+    HYRISE_NV_LOG(kInfo) << "server listening on " << options_.host << ":"
+                         << port_ << " with " << workers_.size()
+                         << " workers";
+    return Status::OK();
+  }
+
+  uint16_t port() const { return port_; }
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  void Drain() {
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      return;
+    }
+    if (obs::BlackboxWriter* bb = db_->heap().blackbox()) {
+      bb->Record(obs::BlackboxEventType::kDrain,
+                 static_cast<uint64_t>(
+                     conns_gauge_.Value() < 0 ? 0 : conns_gauge_.Value()));
+    }
+    WakeAll();
+  }
+
+  void Wait() {
+    std::lock_guard<std::mutex> guard(join_mutex_);
+    if (acceptor_.joinable()) acceptor_.join();
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+  }
+
+  ServerCounters counters() const {
+    ServerCounters c;
+    c.accepted = accepted_.load(std::memory_order_relaxed);
+    c.overload_rejected =
+        overload_rejected_.load(std::memory_order_relaxed);
+    c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    c.requests = requests_.load(std::memory_order_relaxed);
+    c.open_connections = open_conns_.load(std::memory_order_relaxed);
+    c.open_transactions = open_txns_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  struct Worker {
+    OwnedFd epoll_fd;
+    OwnedFd wake_fd;
+    std::thread thread;
+    std::mutex pending_mutex;
+    std::deque<std::unique_ptr<Connection>> pending;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  };
+
+  void WakeAll() {
+    for (auto& worker : workers_) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n =
+          ::write(worker->wake_fd.get(), &one, sizeof(one));
+    }
+  }
+
+  // --- Acceptor -----------------------------------------------------------
+
+  void AcceptLoop() {
+    size_t next_worker = 0;
+    while (!draining()) {
+      pollfd pfd{listen_fd_.get(), POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, 200);
+      if (rc <= 0) continue;
+      while (true) {
+        const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;
+        OwnedFd conn_fd(fd);
+        (void)SetNoDelay(fd);
+        if (open_conns_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+          // Connection-level admission control: a one-frame 503 and an
+          // immediate close, so the client backs off instead of hanging.
+          overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+          overload_counter_.Inc();
+          const auto payload = MakeErrorPayload(
+              Opcode::kHello, WireCode::kOverloaded,
+              "connection limit reached");
+          (void)WriteFrame(fd, payload);
+          continue;
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->fd = std::move(conn_fd);
+        conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+        conn->last_active_ms = NowMs();
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        accepted_counter_.Inc();
+        open_conns_.fetch_add(1, std::memory_order_relaxed);
+        conns_gauge_.Add(1);
+        if (obs::BlackboxWriter* bb = db_->heap().blackbox()) {
+          bb->Record(obs::BlackboxEventType::kConnOpen, conn->id,
+                     static_cast<uint64_t>(
+                         open_conns_.load(std::memory_order_relaxed)));
+        }
+        Worker* worker = workers_[next_worker].get();
+        next_worker = (next_worker + 1) % workers_.size();
+        {
+          std::lock_guard<std::mutex> guard(worker->pending_mutex);
+          worker->pending.push_back(std::move(conn));
+        }
+        const uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(worker->wake_fd.get(), &one, sizeof(one));
+      }
+    }
+    listen_fd_.Reset();
+  }
+
+  // --- Worker event loop --------------------------------------------------
+
+  void WorkerLoop(Worker* worker) {
+    std::vector<epoll_event> events(64);
+    uint64_t last_sweep_ms = NowMs();
+    while (true) {
+      if (draining()) {
+        CloseAllConnections(worker);
+        return;
+      }
+      const int n = ::epoll_wait(worker->epoll_fd.get(), events.data(),
+                                 static_cast<int>(events.size()), 200);
+      if (n < 0 && errno != EINTR) {
+        HYRISE_NV_LOG(kError)
+            << "epoll_wait: " << std::strerror(errno);
+        return;
+      }
+      AdoptPending(worker);
+      for (int i = 0; i < std::max(n, 0); ++i) {
+        const epoll_event& ev = events[static_cast<size_t>(i)];
+        if (ev.data.fd == worker->wake_fd.get()) {
+          uint64_t drain_count;
+          while (::read(worker->wake_fd.get(), &drain_count,
+                        sizeof(drain_count)) > 0) {
+          }
+          continue;
+        }
+        auto it = worker->conns.find(ev.data.fd);
+        if (it == worker->conns.end()) continue;
+        Connection* conn = it->second.get();
+        // Read before honouring HUP: a peer that wrote and immediately
+        // closed still has bytes pending, and they must be parsed (and
+        // protocol errors counted) before the close is observed via
+        // recv() == 0.
+        if ((ev.events & EPOLLIN) != 0) {
+          OnReadable(worker, conn);
+          if (worker->conns.find(ev.data.fd) == worker->conns.end()) {
+            continue;  // OnReadable closed the connection
+          }
+        }
+        if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+          CloseConnection(worker, conn);
+          continue;
+        }
+        if ((ev.events & EPOLLOUT) != 0) {
+          FlushOut(worker, conn);
+        }
+      }
+      const uint64_t now = NowMs();
+      if (options_.idle_timeout_ms > 0 &&
+          now - last_sweep_ms >=
+              static_cast<uint64_t>(options_.idle_timeout_ms) / 2 + 1) {
+        last_sweep_ms = now;
+        SweepIdle(worker, now);
+      }
+    }
+  }
+
+  void AdoptPending(Worker* worker) {
+    std::deque<std::unique_ptr<Connection>> pending;
+    {
+      std::lock_guard<std::mutex> guard(worker->pending_mutex);
+      pending.swap(worker->pending);
+    }
+    for (auto& conn : pending) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->fd.get();
+      if (::epoll_ctl(worker->epoll_fd.get(), EPOLL_CTL_ADD,
+                      conn->fd.get(), &ev) < 0) {
+        DropConnectionState(conn.get());
+        continue;
+      }
+      worker->conns[conn->fd.get()] = std::move(conn);
+    }
+  }
+
+  void SweepIdle(Worker* worker, uint64_t now) {
+    std::vector<Connection*> idle;
+    for (auto& [fd, conn] : worker->conns) {
+      if (now - conn->last_active_ms >
+          static_cast<uint64_t>(options_.idle_timeout_ms)) {
+        idle.push_back(conn.get());
+      }
+    }
+    for (Connection* conn : idle) {
+      HYRISE_NV_LOG(kInfo) << "closing idle session " << conn->id;
+      CloseConnection(worker, conn);
+    }
+  }
+
+  void CloseAllConnections(Worker* worker) {
+    for (auto& [fd, conn] : worker->conns) {
+      // Best-effort flush of already-queued responses (the drain ack in
+      // particular), then release the session's transaction.
+      (void)TrySend(conn.get());
+      DropConnectionState(conn.get());
+    }
+    worker->conns.clear();
+    AdoptPending(worker);  // connections accepted but never registered
+    for (auto& [fd, conn] : worker->conns) {
+      DropConnectionState(conn.get());
+    }
+    worker->conns.clear();
+  }
+
+  /// Releases engine-side session state (the open transaction) and the
+  /// bookkeeping for a connection that is going away.
+  void DropConnectionState(Connection* conn) {
+    if (conn->txn_open) {
+      // A dead client must not leak claimed rows: abort stamps the
+      // claims away, so its versions stay invisible to every reader.
+      Status status = db_->Abort(conn->txn);
+      if (!status.ok()) {
+        HYRISE_NV_LOG(kWarn) << "abort of session " << conn->id
+                             << " transaction failed: "
+                             << status.ToString();
+      }
+      conn->txn_open = false;
+      open_txns_.fetch_add(-1, std::memory_order_relaxed);
+    }
+    if (obs::BlackboxWriter* bb = db_->heap().blackbox()) {
+      bb->Record(obs::BlackboxEventType::kConnClose, conn->id,
+                 conn->txn_open ? 1 : 0);
+    }
+    open_conns_.fetch_add(-1, std::memory_order_relaxed);
+    conns_gauge_.Add(-1);
+  }
+
+  void CloseConnection(Worker* worker, Connection* conn) {
+    const int fd = conn->fd.get();
+    ::epoll_ctl(worker->epoll_fd.get(), EPOLL_CTL_DEL, fd, nullptr);
+    DropConnectionState(conn);
+    worker->conns.erase(fd);
+  }
+
+  // --- I/O ----------------------------------------------------------------
+
+  /// Non-blocking send of the out buffer. Returns false when the
+  /// connection was closed (error or close_after_flush completion).
+  bool FlushOut(Worker* worker, Connection* conn) {
+    if (!TrySend(conn)) {
+      CloseConnection(worker, conn);
+      return false;
+    }
+    const bool drained = conn->out_pos == conn->out.size();
+    if (drained) {
+      conn->out.clear();
+      conn->out_pos = 0;
+      if (conn->close_after_flush) {
+        CloseConnection(worker, conn);
+        return false;
+      }
+    }
+    const bool want_writable = !drained;
+    if (want_writable != conn->wants_writable) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | (want_writable ? EPOLLOUT : 0u);
+      ev.data.fd = conn->fd.get();
+      ::epoll_ctl(worker->epoll_fd.get(), EPOLL_CTL_MOD, conn->fd.get(),
+                  &ev);
+      conn->wants_writable = want_writable;
+    }
+    return true;
+  }
+
+  /// Raw send loop; returns false on a hard socket error.
+  bool TrySend(Connection* conn) {
+    while (conn->out_pos < conn->out.size()) {
+      const ssize_t n = ::send(conn->fd.get(), conn->out.data() + conn->out_pos,
+                               conn->out.size() - conn->out_pos,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        return false;
+      }
+      conn->out_pos += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  void OnReadable(Worker* worker, Connection* conn) {
+    if (conn->out.size() - conn->out_pos > kMaxOutBacklog) {
+      // Backpressure: the client is not draining responses; stop
+      // reading until it does (level-triggered epoll re-arms this).
+      return;
+    }
+    uint8_t buf[16384];
+    bool peer_closed = false;
+    while (true) {
+      const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->in.insert(conn->in.end(), buf, buf + n);
+        conn->last_active_ms = NowMs();
+        if (conn->in.size() - conn->in_pos > kMaxOutBacklog) break;
+        continue;
+      }
+      if (n == 0) {
+        // Peer closed — but bytes that arrived before the FIN still get
+        // parsed (so a write-then-hang-up peer's protocol errors are
+        // observed and counted), then the connection goes away.
+        peer_closed = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(worker, conn);
+      return;
+    }
+    if (!ParseAndExecute(worker, conn)) return;  // connection closed
+    // Compact the parse buffer once a batch is done.
+    if (conn->in_pos > 0) {
+      conn->in.erase(conn->in.begin(),
+                     conn->in.begin() +
+                         static_cast<std::ptrdiff_t>(conn->in_pos));
+      conn->in_pos = 0;
+    }
+    if (peer_closed) {
+      (void)TrySend(conn);  // best-effort flush of queued responses
+      CloseConnection(worker, conn);
+      return;
+    }
+    FlushOut(worker, conn);
+  }
+
+  /// Parses complete frames out of conn->in and executes them. Returns
+  /// false when the connection was closed (protocol error).
+  bool ParseAndExecute(Worker* worker, Connection* conn) {
+    // Count complete frames first so the queue-depth gauge reflects the
+    // backlog this batch is about to work through.
+    size_t queued = 0;
+    {
+      size_t pos = conn->in_pos;
+      while (conn->in.size() - pos >= kFrameHeaderBytes) {
+        uint32_t len;
+        std::memcpy(&len, conn->in.data() + pos, sizeof(len));
+        if (len > options_.max_frame_bytes) break;
+        if (conn->in.size() - pos < kFrameHeaderBytes + len) break;
+        pos += kFrameHeaderBytes + len;
+        ++queued;
+      }
+    }
+    queue_gauge_.Add(static_cast<int64_t>(queued));
+
+    while (conn->in.size() - conn->in_pos >= kFrameHeaderBytes) {
+      const uint8_t* header = conn->in.data() + conn->in_pos;
+      auto len_result =
+          DecodeFrameHeader(header, options_.max_frame_bytes);
+      if (!len_result.ok()) {
+        queue_gauge_.Add(-static_cast<int64_t>(queued));
+        ProtocolError(worker, conn, static_cast<Opcode>(0),
+                      len_result.status().message());
+        return false;
+      }
+      const uint32_t len = *len_result;
+      if (conn->in.size() - conn->in_pos < kFrameHeaderBytes + len) break;
+      const uint8_t* payload = header + kFrameHeaderBytes;
+      Status crc_status = CheckFrameCrc(header, payload, len);
+      if (!crc_status.ok()) {
+        queue_gauge_.Add(-static_cast<int64_t>(queued));
+        ProtocolError(worker, conn, static_cast<Opcode>(0),
+                      crc_status.message());
+        return false;
+      }
+      conn->in_pos += kFrameHeaderBytes + len;
+      if (queued > 0) {
+        --queued;
+        queue_gauge_.Add(-1);
+      }
+      if (!ExecuteFrame(worker, conn, payload, len)) return false;
+    }
+    return true;
+  }
+
+  /// A malformed frame: count it, send a ProtocolError frame, close the
+  /// connection after the flush (a byte stream past a bad frame cannot
+  /// be resynchronised).
+  void ProtocolError(Worker* worker, Connection* conn, Opcode op,
+                     const std::string& message) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    protocol_error_counter_.Inc();
+    AppendResponse(conn,
+                   MakeErrorPayload(op, WireCode::kProtocolError, message));
+    conn->close_after_flush = true;
+    FlushOut(worker, conn);
+  }
+
+  void AppendResponse(Connection* conn,
+                      const std::vector<uint8_t>& payload) {
+    const std::vector<uint8_t> frame = EncodeFrame(payload);
+    conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+  }
+
+  // --- Request execution --------------------------------------------------
+
+  /// Returns false when the connection was closed.
+  bool ExecuteFrame(Worker* worker, Connection* conn,
+                    const uint8_t* payload, uint32_t len) {
+    const uint64_t start_ticks = obs::FastClock::NowTicks();
+    WireReader reader(payload, len);
+    const uint8_t raw_op = reader.U8();
+    if (!IsKnownOpcode(raw_op)) {
+      // The frame boundary is intact, so the stream is still in sync:
+      // answer cleanly and keep the connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_error_counter_.Inc();
+      AppendResponse(conn, MakeErrorPayload(
+                               static_cast<Opcode>(raw_op),
+                               WireCode::kNotSupported,
+                               "unknown opcode " + std::to_string(raw_op)));
+      return true;
+    }
+    const Opcode op = static_cast<Opcode>(raw_op);
+    op_counters_[raw_op]->Inc();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_counter_.Inc();
+
+    if (!conn->handshaken && op != Opcode::kHello) {
+      ProtocolError(worker, conn, op, "first frame must be hello");
+      return false;
+    }
+    if (op == Opcode::kHello) {
+      const bool keep = HandleHello(worker, conn, reader);
+      latency_hist_.Record(obs::FastClock::TicksToNanos(
+          static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks)));
+      return keep;
+    }
+
+    std::vector<uint8_t> response;
+    if (draining()) {
+      response = MakeErrorPayload(op, WireCode::kDraining,
+                                  "server is draining");
+    } else {
+      // Request-level admission control: a bounded number of requests
+      // may execute concurrently; the rest get a 503-style rejection
+      // the client treats as retryable.
+      const int inflight =
+          inflight_.fetch_add(1, std::memory_order_acq_rel);
+      if (inflight >= options_.max_inflight) {
+        overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+        overload_counter_.Inc();
+        response = MakeErrorPayload(
+            op, WireCode::kOverloaded,
+            "server at capacity (" +
+                std::to_string(options_.max_inflight) +
+                " requests in flight)");
+      } else {
+        inflight_gauge_.Set(inflight + 1);
+        response = Execute(op, conn, reader);
+      }
+      inflight_.fetch_add(-1, std::memory_order_acq_rel);
+      inflight_gauge_.Add(-1);
+    }
+    AppendResponse(conn, response);
+    latency_hist_.Record(obs::FastClock::TicksToNanos(
+        static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks)));
+    if (op == Opcode::kDrain) Drain();
+    return true;
+  }
+
+  bool HandleHello(Worker* worker, Connection* conn, WireReader& reader) {
+    const uint32_t magic = reader.U32();
+    const uint16_t min_version = reader.U16();
+    const uint16_t max_version = reader.U16();
+    if (!reader.ok() || magic != kHelloMagic) {
+      ProtocolError(worker, conn, Opcode::kHello, "bad hello magic");
+      return false;
+    }
+    if (min_version > kProtocolVersionMax ||
+        max_version < kProtocolVersionMin || min_version > max_version) {
+      // Clean cross-version failure: the client learns the server's
+      // supported range instead of a dropped connection.
+      AppendResponse(
+          conn,
+          MakeErrorPayload(
+              Opcode::kHello, WireCode::kNotSupported,
+              "no common protocol version: client [" +
+                  std::to_string(min_version) + "," +
+                  std::to_string(max_version) + "], server [" +
+                  std::to_string(kProtocolVersionMin) + "," +
+                  std::to_string(kProtocolVersionMax) + "]"));
+      conn->close_after_flush = true;
+      FlushOut(worker, conn);
+      return false;
+    }
+    if (draining()) {
+      AppendResponse(conn, MakeErrorPayload(Opcode::kHello,
+                                            WireCode::kDraining,
+                                            "server is draining"));
+      conn->close_after_flush = true;
+      FlushOut(worker, conn);
+      return false;
+    }
+    const uint16_t chosen = std::min(max_version, kProtocolVersionMax);
+    conn->handshaken = true;
+    std::vector<uint8_t> response;
+    WireWriter writer(&response);
+    writer.U8(static_cast<uint8_t>(Opcode::kHello));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U16(chosen);
+    writer.U8(static_cast<uint8_t>(db_->options().mode));
+    writer.U64(conn->id);
+    AppendResponse(conn, response);
+    return true;
+  }
+
+  std::vector<uint8_t> Execute(Opcode op, Connection* conn,
+                               WireReader& reader) {
+    switch (op) {
+      case Opcode::kPing:
+        return MakeStatusPayload(op, Status::OK());
+      case Opcode::kBegin:
+        return ExecBegin(conn);
+      case Opcode::kCommit:
+        return ExecCommit(conn, reader);
+      case Opcode::kAbort:
+        return ExecAbort(conn, reader);
+      case Opcode::kInsert:
+        return ExecInsert(conn, reader);
+      case Opcode::kUpdate:
+        return ExecUpdate(conn, reader);
+      case Opcode::kDelete:
+        return ExecDelete(conn, reader);
+      case Opcode::kScanEqual:
+      case Opcode::kScanRange:
+        return ExecScan(op, conn, reader);
+      case Opcode::kCount:
+        return ExecCount(conn, reader);
+      case Opcode::kCreateTable:
+        return ExecCreateTable(reader);
+      case Opcode::kCreateIndex:
+        return ExecCreateIndex(reader);
+      case Opcode::kStats:
+        return ExecStats();
+      case Opcode::kRecoveryInfo:
+        return MakeOkString(op, db_->last_recovery_report().ToJson());
+      case Opcode::kCheckpoint: {
+        std::lock_guard<std::mutex> guard(ddl_mutex_);
+        return MakeStatusPayload(op, db_->Checkpoint());
+      }
+      case Opcode::kDrain:
+        // The OK ack is queued before Drain() flips the flag (caller
+        // handles that ordering); nothing else to do here.
+        return MakeStatusPayload(op, Status::OK());
+      case Opcode::kHello:
+        break;  // handled before Execute()
+    }
+    return MakeErrorPayload(op, WireCode::kInternal, "unroutable opcode");
+  }
+
+  static std::vector<uint8_t> MakeOkString(Opcode op,
+                                           const std::string& body) {
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(op));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.Str(body);
+    return payload;
+  }
+
+  std::vector<uint8_t> ExecBegin(Connection* conn) {
+    if (conn->txn_open) {
+      return MakeErrorPayload(
+          Opcode::kBegin, WireCode::kInvalidArgument,
+          "session already has an open transaction (tid " +
+              std::to_string(conn->txn.tid()) + ")");
+    }
+    auto tx_result = db_->Begin();
+    if (!tx_result.ok()) {
+      return MakeStatusPayload(Opcode::kBegin, tx_result.status());
+    }
+    conn->txn = *tx_result;
+    conn->txn_open = true;
+    open_txns_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(Opcode::kBegin));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U64(conn->txn.tid());
+    writer.U64(conn->txn.snapshot());
+    return payload;
+  }
+
+  /// Resolves the request's transaction id against the session. 0 means
+  /// "the session's open transaction".
+  Status SessionTxn(Connection* conn, uint64_t tid) {
+    if (!conn->txn_open) {
+      return Status::InvalidArgument("no open transaction on this session");
+    }
+    if (tid != 0 && tid != conn->txn.tid()) {
+      return Status::InvalidArgument(
+          "transaction id " + std::to_string(tid) +
+          " does not match this session's open transaction " +
+          std::to_string(conn->txn.tid()));
+    }
+    return Status::OK();
+  }
+
+  std::vector<uint8_t> ExecCommit(Connection* conn, WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kCommit, WireCode::kInvalidArgument,
+                              "malformed commit body");
+    }
+    Status status = SessionTxn(conn, tid);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kCommit, status);
+    status = db_->Commit(conn->txn);
+    if (!conn->txn.active()) {
+      conn->txn_open = false;
+      open_txns_.fetch_add(-1, std::memory_order_relaxed);
+    }
+    if (!status.ok()) return MakeStatusPayload(Opcode::kCommit, status);
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(Opcode::kCommit));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U64(conn->txn.commit_cid());
+    return payload;
+  }
+
+  std::vector<uint8_t> ExecAbort(Connection* conn, WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kAbort, WireCode::kInvalidArgument,
+                              "malformed abort body");
+    }
+    Status status = SessionTxn(conn, tid);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kAbort, status);
+    status = db_->Abort(conn->txn);
+    conn->txn_open = false;
+    open_txns_.fetch_add(-1, std::memory_order_relaxed);
+    return MakeStatusPayload(Opcode::kAbort, status);
+  }
+
+  std::vector<uint8_t> ExecInsert(Connection* conn, WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    const std::string table_name = reader.Str();
+    const std::vector<storage::Value> row = reader.Row();
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kInsert, WireCode::kInvalidArgument,
+                              "malformed insert body");
+    }
+    Status status = SessionTxn(conn, tid);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kInsert, status);
+    auto table_result = db_->GetTable(table_name);
+    if (!table_result.ok()) {
+      return MakeStatusPayload(Opcode::kInsert, table_result.status());
+    }
+    auto loc_result = db_->Insert(conn->txn, *table_result, row);
+    if (!loc_result.ok()) {
+      return MakeStatusPayload(Opcode::kInsert, loc_result.status());
+    }
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(Opcode::kInsert));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.Loc(*loc_result);
+    return payload;
+  }
+
+  std::vector<uint8_t> ExecUpdate(Connection* conn, WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    const std::string table_name = reader.Str();
+    const storage::RowLocation loc = reader.Loc();
+    const std::vector<storage::Value> row = reader.Row();
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kUpdate, WireCode::kInvalidArgument,
+                              "malformed update body");
+    }
+    Status status = SessionTxn(conn, tid);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kUpdate, status);
+    auto table_result = db_->GetTable(table_name);
+    if (!table_result.ok()) {
+      return MakeStatusPayload(Opcode::kUpdate, table_result.status());
+    }
+    status = CheckLocation(*table_result, loc);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kUpdate, status);
+    auto loc_result = db_->Update(conn->txn, *table_result, loc, row);
+    if (!loc_result.ok()) {
+      return MakeStatusPayload(Opcode::kUpdate, loc_result.status());
+    }
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(Opcode::kUpdate));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.Loc(*loc_result);
+    return payload;
+  }
+
+  std::vector<uint8_t> ExecDelete(Connection* conn, WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    const std::string table_name = reader.Str();
+    const storage::RowLocation loc = reader.Loc();
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kDelete, WireCode::kInvalidArgument,
+                              "malformed delete body");
+    }
+    Status status = SessionTxn(conn, tid);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kDelete, status);
+    auto table_result = db_->GetTable(table_name);
+    if (!table_result.ok()) {
+      return MakeStatusPayload(Opcode::kDelete, table_result.status());
+    }
+    status = CheckLocation(*table_result, loc);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kDelete, status);
+    return MakeStatusPayload(Opcode::kDelete,
+                             db_->Delete(conn->txn, *table_result, loc));
+  }
+
+  /// Row locations come from an untrusted peer: bound-check them before
+  /// they reach mvcc() pointer math.
+  static Status CheckLocation(storage::Table* table,
+                              storage::RowLocation loc) {
+    const uint64_t rows =
+        loc.in_main ? table->main_row_count() : table->delta_row_count();
+    if (loc.row >= rows) {
+      return Status::InvalidArgument(
+          "row location " + std::to_string(loc.row) + " out of range (" +
+          (loc.in_main ? "main" : "delta") + " holds " +
+          std::to_string(rows) + " rows)");
+    }
+    return Status::OK();
+  }
+
+  std::vector<uint8_t> ExecScan(Opcode op, Connection* conn,
+                                WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    const std::string table_name = reader.Str();
+    const uint32_t column = reader.U32();
+    const storage::Value lo = reader.Value();
+    const storage::Value hi =
+        op == Opcode::kScanRange ? reader.Value() : lo;
+    const uint32_t limit = reader.U32();
+    if (!reader.ok()) {
+      return MakeErrorPayload(op, WireCode::kInvalidArgument,
+                              "malformed scan body");
+    }
+    auto table_result = db_->GetTable(table_name);
+    if (!table_result.ok()) {
+      return MakeStatusPayload(op, table_result.status());
+    }
+    storage::Table* table = *table_result;
+    if (column >= table->schema().num_columns()) {
+      return MakeErrorPayload(op, WireCode::kInvalidArgument,
+                              "column index out of range");
+    }
+    storage::Cid snapshot;
+    storage::Tid read_tid;
+    if (tid == 0) {
+      snapshot = db_->ReadSnapshot();
+      read_tid = storage::kTidNone;
+    } else {
+      Status status = SessionTxn(conn, tid);
+      if (!status.ok()) return MakeStatusPayload(op, status);
+      snapshot = conn->txn.snapshot();
+      read_tid = conn->txn.tid();
+    }
+    Result<std::vector<storage::RowLocation>> locs_result =
+        op == Opcode::kScanEqual
+            ? db_->ScanEqual(table, column, lo, snapshot, read_tid)
+            : core::ScanRange(table, column, lo, hi, snapshot, read_tid,
+                              db_->indexes(table));
+    if (!locs_result.ok()) {
+      return MakeStatusPayload(op, locs_result.status());
+    }
+    std::vector<storage::RowLocation>& locs = *locs_result;
+    bool truncated = false;
+    if (limit != 0 && locs.size() > limit) {
+      locs.resize(limit);
+      truncated = true;
+    }
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(op));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    const size_t truncated_at = payload.size();
+    writer.U8(0);  // patched below if the payload cap truncates
+    const size_t count_at = payload.size();
+    writer.U32(0);  // patched with the emitted row count
+    uint32_t emitted = 0;
+    for (const storage::RowLocation& loc : locs) {
+      if (payload.size() > kMaxResultPayload) {
+        truncated = true;
+        break;
+      }
+      writer.Loc(loc);
+      writer.Row(core::MaterializeRows(table, {loc})[0]);
+      ++emitted;
+    }
+    payload[truncated_at] = truncated ? 1 : 0;
+    std::memcpy(payload.data() + count_at, &emitted, sizeof(emitted));
+    return payload;
+  }
+
+  std::vector<uint8_t> ExecCount(Connection* conn, WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    const std::string table_name = reader.Str();
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kCount, WireCode::kInvalidArgument,
+                              "malformed count body");
+    }
+    auto table_result = db_->GetTable(table_name);
+    if (!table_result.ok()) {
+      return MakeStatusPayload(Opcode::kCount, table_result.status());
+    }
+    storage::Cid snapshot = db_->ReadSnapshot();
+    storage::Tid read_tid = storage::kTidNone;
+    if (tid != 0) {
+      Status status = SessionTxn(conn, tid);
+      if (!status.ok()) return MakeStatusPayload(Opcode::kCount, status);
+      snapshot = conn->txn.snapshot();
+      read_tid = conn->txn.tid();
+    }
+    const uint64_t count =
+        core::CountRows(*table_result, snapshot, read_tid);
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(Opcode::kCount));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U64(count);
+    return payload;
+  }
+
+  std::vector<uint8_t> ExecCreateTable(WireReader& reader) {
+    const std::string name = reader.Str();
+    const uint16_t num_columns = reader.U16();
+    std::vector<storage::ColumnDef> columns;
+    columns.reserve(num_columns);
+    for (uint16_t i = 0; i < num_columns && reader.ok(); ++i) {
+      storage::ColumnDef def;
+      def.name = reader.Str();
+      def.type = static_cast<storage::DataType>(reader.U8());
+      columns.push_back(std::move(def));
+    }
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kCreateTable,
+                              WireCode::kInvalidArgument,
+                              "malformed create-table body");
+    }
+    auto schema_result = storage::Schema::Make(std::move(columns));
+    if (!schema_result.ok()) {
+      return MakeStatusPayload(Opcode::kCreateTable,
+                               schema_result.status());
+    }
+    std::lock_guard<std::mutex> guard(ddl_mutex_);
+    auto table_result = db_->CreateTable(name, *schema_result);
+    if (!table_result.ok()) {
+      return MakeStatusPayload(Opcode::kCreateTable,
+                               table_result.status());
+    }
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(Opcode::kCreateTable));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U64((*table_result)->id());
+    return payload;
+  }
+
+  std::vector<uint8_t> ExecCreateIndex(WireReader& reader) {
+    const std::string table_name = reader.Str();
+    const uint32_t column = reader.U32();
+    const uint8_t kind = reader.U8();
+    if (!reader.ok() || kind > storage::kIndexSkipList) {
+      return MakeErrorPayload(Opcode::kCreateIndex,
+                              WireCode::kInvalidArgument,
+                              "malformed create-index body");
+    }
+    std::lock_guard<std::mutex> guard(ddl_mutex_);
+    return MakeStatusPayload(
+        Opcode::kCreateIndex,
+        db_->CreateIndex(table_name, column,
+                         static_cast<storage::PIndexKind>(kind)));
+  }
+
+  std::vector<uint8_t> ExecStats() {
+    const ServerCounters c = counters();
+    std::ostringstream body;
+    body << "{\"server\":{\"connections\":" << c.open_connections
+         << ",\"accepted\":" << c.accepted
+         << ",\"overload_rejected\":" << c.overload_rejected
+         << ",\"protocol_errors\":" << c.protocol_errors
+         << ",\"requests\":" << c.requests
+         << ",\"open_transactions\":" << c.open_transactions
+         << ",\"active_txns\":" << db_->txn_manager().ActiveCount()
+         << ",\"draining\":" << (draining() ? "true" : "false") << "}"
+         << ",\"metrics\":" << db_->MetricsSnapshot().ToJson() << "}";
+    return MakeOkString(Opcode::kStats, body.str());
+  }
+
+  core::Database* db_;
+  const ServerOptions options_;
+  OwnedFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex join_mutex_;
+  std::mutex ddl_mutex_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<int> open_conns_{0};
+  std::atomic<int> open_txns_{0};
+  std::atomic<int> inflight_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> overload_rejected_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> requests_{0};
+
+  obs::Histogram& latency_hist_;
+  obs::Counter& requests_counter_;
+  obs::Counter& overload_counter_;
+  obs::Counter& protocol_error_counter_;
+  obs::Counter& accepted_counter_;
+  obs::Gauge& conns_gauge_;
+  obs::Gauge& inflight_gauge_;
+  obs::Gauge& queue_gauge_;
+  obs::Counter* op_counters_[256] = {};
+
+  friend class Server;
+};
+
+Server::Server(std::unique_ptr<ServerImpl> impl) : impl_(std::move(impl)) {}
+
+Server::~Server() = default;
+
+Result<std::unique_ptr<Server>> Server::Start(core::Database* db,
+                                              const ServerOptions& options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("server needs a database");
+  }
+  auto impl = std::make_unique<ServerImpl>(db, options);
+  HYRISE_NV_RETURN_NOT_OK(impl->Start());
+  return std::unique_ptr<Server>(new Server(std::move(impl)));
+}
+
+uint16_t Server::port() const { return impl_->port(); }
+void Server::Drain() { impl_->Drain(); }
+void Server::Wait() { impl_->Wait(); }
+bool Server::draining() const { return impl_->draining(); }
+ServerCounters Server::counters() const { return impl_->counters(); }
+
+}  // namespace hyrise_nv::net

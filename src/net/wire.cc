@@ -1,0 +1,217 @@
+#include "net/wire.h"
+
+#include "common/crc32.h"
+
+namespace hyrise_nv::net {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kHello:
+      return "hello";
+    case Opcode::kPing:
+      return "ping";
+    case Opcode::kBegin:
+      return "begin";
+    case Opcode::kCommit:
+      return "commit";
+    case Opcode::kAbort:
+      return "abort";
+    case Opcode::kInsert:
+      return "insert";
+    case Opcode::kUpdate:
+      return "update";
+    case Opcode::kDelete:
+      return "delete";
+    case Opcode::kScanEqual:
+      return "scan_equal";
+    case Opcode::kScanRange:
+      return "scan_range";
+    case Opcode::kCount:
+      return "count";
+    case Opcode::kCreateTable:
+      return "create_table";
+    case Opcode::kCreateIndex:
+      return "create_index";
+    case Opcode::kStats:
+      return "stats";
+    case Opcode::kRecoveryInfo:
+      return "recovery_info";
+    case Opcode::kCheckpoint:
+      return "checkpoint";
+    case Opcode::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+bool IsKnownOpcode(uint8_t op) {
+  return op >= static_cast<uint8_t>(Opcode::kHello) &&
+         op <= static_cast<uint8_t>(Opcode::kDrain);
+}
+
+WireCode WireCodeFromStatus(const Status& status) {
+  // StatusCode values 0..10 are the wire format for engine errors; the
+  // static_asserts pin the correspondence so a StatusCode edit cannot
+  // silently shift what peers see.
+  static_assert(static_cast<int>(StatusCode::kOk) ==
+                static_cast<int>(WireCode::kOk));
+  static_assert(static_cast<int>(StatusCode::kInternal) ==
+                static_cast<int>(WireCode::kInternal));
+  return static_cast<WireCode>(static_cast<uint8_t>(status.code()));
+}
+
+Status StatusFromWire(WireCode code, const std::string& message) {
+  switch (code) {
+    case WireCode::kOk:
+      return Status::OK();
+    case WireCode::kOverloaded:
+      return Status::IOError("overloaded: " + message);
+    case WireCode::kDraining:
+      return Status::IOError("draining: " + message);
+    case WireCode::kProtocolError:
+      return Status::InvalidArgument("protocol error: " + message);
+    default:
+      break;
+  }
+  const auto raw = static_cast<uint8_t>(code);
+  if (raw > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal("unknown wire code " + std::to_string(raw) +
+                            ": " + message);
+  }
+  return Status(static_cast<StatusCode>(raw), message);
+}
+
+bool IsRetryableWireCode(WireCode code) {
+  return code == WireCode::kOverloaded || code == WireCode::kDraining;
+}
+
+const char* WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOverloaded:
+      return "Overloaded";
+    case WireCode::kDraining:
+      return "Draining";
+    case WireCode::kProtocolError:
+      return "ProtocolError";
+    default:
+      return StatusCodeName(static_cast<StatusCode>(code));
+  }
+}
+
+void WireWriter::Value(const storage::Value& v) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    U8(1);
+    U64(static_cast<uint64_t>(*i));
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    U8(2);
+    F64(*d);
+  } else {
+    U8(3);
+    Str(std::get<std::string>(v));
+  }
+}
+
+void WireWriter::Row(const std::vector<storage::Value>& row) {
+  U16(static_cast<uint16_t>(row.size()));
+  for (const auto& v : row) Value(v);
+}
+
+std::string WireReader::Str() {
+  const uint32_t n = U32();
+  if (error_ || len_ - pos_ < n) {
+    error_ = true;
+    return std::string();
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+storage::Value WireReader::Value() {
+  switch (U8()) {
+    case 1:
+      return storage::Value(static_cast<int64_t>(U64()));
+    case 2:
+      return storage::Value(F64());
+    case 3:
+      return storage::Value(Str());
+    default:
+      error_ = true;
+      return storage::Value(int64_t{0});
+  }
+}
+
+std::vector<storage::Value> WireReader::Row() {
+  const uint16_t n = U16();
+  std::vector<storage::Value> row;
+  // A malicious count cannot make us allocate past the frame: each value
+  // is at least 2 bytes on the wire, so cap the reserve by what is left.
+  if (error_ || n > remaining()) {
+    error_ = true;
+    return row;
+  }
+  row.reserve(n);
+  for (uint16_t i = 0; i < n && !error_; ++i) row.push_back(Value());
+  return row;
+}
+
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  WireWriter writer(&frame);
+  writer.U32(static_cast<uint32_t>(payload.size()));
+  writer.U32(MaskCrc(Crc32c(payload.data(), payload.size())));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+Result<uint32_t> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                                   uint32_t max_payload) {
+  uint32_t len;
+  std::memcpy(&len, header, sizeof(len));
+  if (len > max_payload) {
+    return Status::InvalidArgument(
+        "frame announces " + std::to_string(len) + " bytes (cap " +
+        std::to_string(max_payload) + ")");
+  }
+  if (len == 0) {
+    return Status::InvalidArgument("empty frame (no opcode)");
+  }
+  return len;
+}
+
+Status CheckFrameCrc(const uint8_t header[kFrameHeaderBytes],
+                     const uint8_t* payload, uint32_t len) {
+  uint32_t masked;
+  std::memcpy(&masked, header + 4, sizeof(masked));
+  const uint32_t expected = UnmaskCrc(masked);
+  const uint32_t actual = Crc32c(payload, len);
+  if (expected != actual) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> MakeErrorPayload(Opcode op, WireCode code,
+                                      const std::string& message) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(op));
+  writer.U8(static_cast<uint8_t>(code));
+  writer.Str(message);
+  return payload;
+}
+
+std::vector<uint8_t> MakeStatusPayload(Opcode op, const Status& status) {
+  if (!status.ok()) {
+    return MakeErrorPayload(op, WireCodeFromStatus(status),
+                            status.message());
+  }
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(op));
+  writer.U8(static_cast<uint8_t>(WireCode::kOk));
+  return payload;
+}
+
+}  // namespace hyrise_nv::net

@@ -1,0 +1,225 @@
+#ifndef HYRISE_NV_NET_WIRE_H_
+#define HYRISE_NV_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::net {
+
+/// Binary wire protocol for the serving layer (DESIGN.md §10).
+///
+/// Every message travels in a frame:
+///
+///   [u32 payload_len][u32 masked CRC32C(payload)][payload bytes]
+///
+/// Integers are little-endian. The CRC is masked (LevelDB-style, same as
+/// the storage seals) so a frame whose payload itself carries CRCs never
+/// accidentally verifies. `payload_len` is bounded by kMaxFrameBytes; a
+/// peer announcing more is a protocol error and the connection is closed
+/// without reading the body.
+///
+/// Request payload:  [u8 opcode][body...]
+/// Response payload: [u8 opcode (echoed)][u8 wire code][body... | error msg]
+///
+/// A non-OK wire code carries a length-prefixed UTF-8 message as its
+/// body. The wire code space is the engine's StatusCode byte-for-byte,
+/// plus serving-layer-only codes (kOverloaded, kDraining) that map back
+/// to richer Status messages in the client (DESIGN.md §10.2).
+///
+/// The first frame on a connection must be kHello (protocol version
+/// negotiation). Everything else before a successful handshake is a
+/// protocol error.
+
+// --- Protocol constants ---------------------------------------------------
+
+constexpr uint32_t kHelloMagic = 0x4C51564E;  // "NVQL" little-endian
+constexpr uint16_t kProtocolVersionMin = 1;
+constexpr uint16_t kProtocolVersionMax = 1;
+constexpr uint32_t kFrameHeaderBytes = 8;
+constexpr uint32_t kMaxFrameBytes = 8u << 20;  // 8 MiB payload cap
+
+/// Request opcodes. Values are wire format; append only.
+enum class Opcode : uint8_t {
+  kHello = 1,
+  kPing = 2,
+  kBegin = 3,
+  kCommit = 4,
+  kAbort = 5,
+  kInsert = 6,
+  kUpdate = 7,
+  kDelete = 8,
+  kScanEqual = 9,
+  kScanRange = 10,
+  kCount = 11,
+  kCreateTable = 12,
+  kCreateIndex = 13,
+  kStats = 14,
+  kRecoveryInfo = 15,
+  kCheckpoint = 16,
+  kDrain = 17,
+};
+
+const char* OpcodeName(Opcode op);
+bool IsKnownOpcode(uint8_t op);
+
+/// Wire error codes. 0..10 mirror StatusCode values exactly; the serving
+/// layer appends its own codes above them.
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kCorruption = 4,
+  kIOError = 5,
+  kOutOfMemory = 6,
+  kTransactionConflict = 7,
+  kAborted = 8,
+  kNotSupported = 9,
+  kInternal = 10,
+  // Serving-layer codes (no StatusCode twin).
+  kOverloaded = 32,  // 503-style admission-control rejection; retryable
+  kDraining = 33,    // server is shutting down gracefully; retryable
+  kProtocolError = 34,  // malformed frame/handshake; connection closes
+};
+
+/// Status → wire code. Every engine StatusCode maps byte-for-byte.
+WireCode WireCodeFromStatus(const Status& status);
+/// Wire code + message → Status. Serving-layer codes come back as
+/// kIOError ("overloaded: ...", "draining: ...") so existing retry
+/// logic branching on StatusCode keeps working; IsRetryableWireCode
+/// tells transient rejections apart from hard failures.
+Status StatusFromWire(WireCode code, const std::string& message);
+bool IsRetryableWireCode(WireCode code);
+const char* WireCodeName(WireCode code);
+
+// --- Serialization primitives ---------------------------------------------
+
+/// Append-only little-endian encoder over a byte vector.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Value(const storage::Value& v);
+  void Row(const std::vector<storage::Value>& row);
+  void Loc(storage::RowLocation loc) {
+    U8(loc.in_main ? 1 : 0);
+    U64(loc.row);
+  }
+
+ private:
+  void Raw(const void* data, size_t len) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), bytes, bytes + len);
+  }
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian decoder. Any out-of-bounds read latches
+/// the error flag and returns zero values; callers check ok() once at the
+/// end instead of after every field. Never reads past the buffer.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint16_t U16() {
+    uint16_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    Raw(&v, sizeof(v));
+    return v;
+  }
+  std::string Str();
+  storage::Value Value();
+  std::vector<storage::Value> Row();
+  storage::RowLocation Loc() {
+    storage::RowLocation loc;
+    loc.in_main = U8() != 0;
+    loc.row = U64();
+    return loc;
+  }
+
+  bool ok() const { return !error_; }
+  /// True when the whole buffer was consumed and no read overran.
+  bool Exhausted() const { return ok() && pos_ == len_; }
+  size_t remaining() const { return len_ - pos_; }
+
+ private:
+  void Raw(void* out, size_t n) {
+    if (error_ || len_ - pos_ < n) {
+      error_ = true;
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool error_ = false;
+};
+
+// --- Framing --------------------------------------------------------------
+
+/// Wraps `payload` in a frame (length prefix + masked CRC).
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
+
+/// Parses the 8-byte frame header. Fails with InvalidArgument when the
+/// announced length exceeds `max_payload` (oversized frames are rejected
+/// before any body byte is read).
+Result<uint32_t> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
+                                   uint32_t max_payload = kMaxFrameBytes);
+
+/// Verifies the payload against the masked CRC from the frame header.
+Status CheckFrameCrc(const uint8_t header[kFrameHeaderBytes],
+                     const uint8_t* payload, uint32_t len);
+
+// --- Message helpers ------------------------------------------------------
+
+/// Builds a response payload: opcode echo + wire code (+ error message
+/// for non-OK codes). OK responses append their body via the returned
+/// WireWriter by the caller.
+std::vector<uint8_t> MakeErrorPayload(Opcode op, WireCode code,
+                                      const std::string& message);
+std::vector<uint8_t> MakeStatusPayload(Opcode op, const Status& status);
+
+/// One scanned row on the wire: location + materialised values.
+struct WireRow {
+  storage::RowLocation loc;
+  std::vector<storage::Value> values;
+};
+
+}  // namespace hyrise_nv::net
+
+#endif  // HYRISE_NV_NET_WIRE_H_

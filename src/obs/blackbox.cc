@@ -108,6 +108,12 @@ const char* BlackboxEventName(uint16_t type) {
       return "crash_signal";
     case BlackboxEventType::kRecorderReset:
       return "recorder_reset";
+    case BlackboxEventType::kConnOpen:
+      return "conn_open";
+    case BlackboxEventType::kConnClose:
+      return "conn_close";
+    case BlackboxEventType::kDrain:
+      return "drain";
   }
   return "unknown";
 }
@@ -464,6 +470,18 @@ std::string BlackboxEventDetail(const BlackboxDecodedEvent& ev) {
     case BlackboxEventType::kRecorderReset:
       std::snprintf(buf, sizeof(buf),
                     "corrupt recorder header quarantined");
+      break;
+    case BlackboxEventType::kConnOpen:
+      std::snprintf(buf, sizeof(buf), "conn=%llu open_after=%llu",
+                    static_cast<ULL>(ev.a), static_cast<ULL>(ev.b));
+      break;
+    case BlackboxEventType::kConnClose:
+      std::snprintf(buf, sizeof(buf), "conn=%llu aborted_txn=%llu",
+                    static_cast<ULL>(ev.a), static_cast<ULL>(ev.b));
+      break;
+    case BlackboxEventType::kDrain:
+      std::snprintf(buf, sizeof(buf), "open_connections=%llu",
+                    static_cast<ULL>(ev.a));
       break;
     default:
       std::snprintf(buf, sizeof(buf),

@@ -88,6 +88,9 @@ enum class BlackboxEventType : uint16_t {
                        // e=total ns (sampled span tree, compressed)
   kCrashSignal = 14,   // a=signal number
   kRecorderReset = 15, // a=1 corrupt header quarantined
+  kConnOpen = 16,      // a=connection id, b=open connections after
+  kConnClose = 17,     // a=connection id, b=1 if a txn was aborted
+  kDrain = 18,         // a=open connections at drain start
 };
 
 const char* BlackboxEventName(uint16_t type);

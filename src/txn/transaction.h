@@ -2,6 +2,7 @@
 #define HYRISE_NV_TXN_TRANSACTION_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "storage/table.h"
@@ -18,52 +19,74 @@ struct Write {
 
 enum class TxnState { kActive, kCommitted, kAborted };
 
-/// Volatile per-transaction context. All durable effects live in the
+/// Volatile per-transaction state. All durable effects live in the
 /// tables' MVCC entries and the commit table; the context only tracks the
 /// write set for commit stamping / abort rollback.
+///
+/// Shared between every Transaction handle for the same transaction and
+/// the TxnManager's active registry — which is what lets the manager
+/// abort transactions whose owners went away (a serving session whose
+/// client died, or a Database::Close with work still open).
+struct TxnContext {
+  storage::Tid tid = storage::kTidNone;
+  storage::Cid snapshot = 0;
+  storage::Cid commit_cid = 0;
+  TxnState state = TxnState::kActive;
+  bool sampled = false;
+  uint64_t begin_ticks = 0;
+  std::vector<Write> writes;
+};
+
+/// Handle to a transaction. Copies alias the same TxnContext, so a
+/// Transaction can be passed around by value while the TxnManager keeps
+/// its own reference for forced aborts. A default-constructed handle is
+/// inactive and safe to query (tid() == kTidNone, active() == false).
 class Transaction {
  public:
   Transaction() = default;
-  Transaction(storage::Tid tid, storage::Cid snapshot)
-      : tid_(tid), snapshot_(snapshot) {}
+  explicit Transaction(std::shared_ptr<TxnContext> ctx)
+      : ctx_(std::move(ctx)) {}
 
-  storage::Tid tid() const { return tid_; }
-  storage::Cid snapshot() const { return snapshot_; }
-  TxnState state() const { return state_; }
-  bool active() const { return state_ == TxnState::kActive; }
+  bool valid() const { return ctx_ != nullptr; }
 
-  const std::vector<Write>& writes() const { return writes_; }
-  bool read_only() const { return writes_.empty(); }
+  storage::Tid tid() const {
+    return ctx_ ? ctx_->tid : storage::kTidNone;
+  }
+  storage::Cid snapshot() const { return ctx_ ? ctx_->snapshot : 0; }
+  TxnState state() const {
+    return ctx_ ? ctx_->state : TxnState::kAborted;
+  }
+  bool active() const { return ctx_ && ctx_->state == TxnState::kActive; }
+
+  const std::vector<Write>& writes() const {
+    static const std::vector<Write> kEmpty;
+    return ctx_ ? ctx_->writes : kEmpty;
+  }
+  bool read_only() const { return writes().empty(); }
 
   void RecordInsert(storage::Table* table, storage::RowLocation loc) {
-    writes_.push_back(Write{table, loc, false});
+    ctx_->writes.push_back(Write{table, loc, false});
   }
   void RecordInvalidate(storage::Table* table, storage::RowLocation loc) {
-    writes_.push_back(Write{table, loc, true});
+    ctx_->writes.push_back(Write{table, loc, true});
   }
 
   /// Set by the transaction manager on commit/abort.
-  void set_state(TxnState state) { state_ = state; }
-  void set_commit_cid(storage::Cid cid) { commit_cid_ = cid; }
-  storage::Cid commit_cid() const { return commit_cid_; }
+  void set_state(TxnState state) { ctx_->state = state; }
+  void set_commit_cid(storage::Cid cid) { ctx_->commit_cid = cid; }
+  storage::Cid commit_cid() const { return ctx_ ? ctx_->commit_cid : 0; }
 
   /// Marks this transaction as trace-sampled: the manager records a span
   /// tree of its commit phases (begin→write-set→persist→publish).
   void MarkSampled(uint64_t begin_ticks) {
-    sampled_ = true;
-    begin_ticks_ = begin_ticks;
+    ctx_->sampled = true;
+    ctx_->begin_ticks = begin_ticks;
   }
-  bool sampled() const { return sampled_; }
-  uint64_t begin_ticks() const { return begin_ticks_; }
+  bool sampled() const { return ctx_ && ctx_->sampled; }
+  uint64_t begin_ticks() const { return ctx_ ? ctx_->begin_ticks : 0; }
 
  private:
-  storage::Tid tid_ = storage::kTidNone;
-  storage::Cid snapshot_ = 0;
-  storage::Cid commit_cid_ = 0;
-  TxnState state_ = TxnState::kActive;
-  bool sampled_ = false;
-  uint64_t begin_ticks_ = 0;
-  std::vector<Write> writes_;
+  std::shared_ptr<TxnContext> ctx_;
 };
 
 }  // namespace hyrise_nv::txn

@@ -37,11 +37,14 @@ Result<Transaction> TxnManager::Begin() {
     }
     tid = next_tid_++;
   }
+  auto ctx = std::make_shared<TxnContext>();
+  ctx->tid = tid;
+  ctx->snapshot = commit_table_->watermark();
   {
     std::lock_guard<std::mutex> guard(active_mutex_);
-    active_tids_.insert(tid);
+    active_txns_.emplace(tid, ctx);
   }
-  Transaction tx(tid, commit_table_->watermark());
+  Transaction tx(std::move(ctx));
 #if HYRISE_NV_METRICS_ENABLED
   static obs::Counter& begin_count =
       obs::MetricsRegistry::Instance().GetCounter("txn.begin.count");
@@ -61,7 +64,41 @@ Result<Transaction> TxnManager::Begin() {
 
 bool TxnManager::IsActive(storage::Tid tid) const {
   std::lock_guard<std::mutex> guard(active_mutex_);
-  return active_tids_.count(tid) > 0;
+  return active_txns_.count(tid) > 0;
+}
+
+size_t TxnManager::ActiveCount() const {
+  std::lock_guard<std::mutex> guard(active_mutex_);
+  return active_txns_.size();
+}
+
+size_t TxnManager::AbortAllActive() {
+  size_t aborted = 0;
+  while (true) {
+    std::shared_ptr<TxnContext> ctx;
+    {
+      std::lock_guard<std::mutex> guard(active_mutex_);
+      if (active_txns_.empty()) break;
+      ctx = active_txns_.begin()->second;
+    }
+    Transaction tx(ctx);
+    Status status = Abort(tx);
+    if (status.ok()) {
+      ++aborted;
+      continue;
+    }
+    HYRISE_NV_LOG(kWarn) << "forced abort of tid " << ctx->tid
+                         << " failed: " << status.ToString();
+    // Guarantee progress: drop the registry entry even when the abort
+    // path failed, or this loop would spin on the same transaction.
+    std::lock_guard<std::mutex> guard(active_mutex_);
+    active_txns_.erase(ctx->tid);
+  }
+  if (aborted > 0) {
+    HYRISE_NV_LOG(kInfo) << "force-aborted " << aborted
+                         << " still-active transaction(s)";
+  }
+  return aborted;
 }
 
 void TxnManager::StampWrites(const std::vector<Write>& writes,
@@ -97,7 +134,7 @@ Status TxnManager::Commit(Transaction& tx) {
   if (tx.read_only()) {
     tx.set_state(TxnState::kCommitted);
     std::lock_guard<std::mutex> guard(active_mutex_);
-    active_tids_.erase(tx.tid());
+    active_txns_.erase(tx.tid());
     return Status::OK();
   }
 
@@ -152,7 +189,7 @@ Status TxnManager::Commit(Transaction& tx) {
   tx.set_state(TxnState::kCommitted);
   {
     std::lock_guard<std::mutex> guard(active_mutex_);
-    active_tids_.erase(tx.tid());
+    active_txns_.erase(tx.tid());
   }
 #if HYRISE_NV_METRICS_ENABLED
   // Covers the full durable-commit path: CID allocation, commit-slot
@@ -281,7 +318,7 @@ Status TxnManager::Abort(Transaction& tx) {
   }
 #endif
   std::lock_guard<std::mutex> guard(active_mutex_);
-  active_tids_.erase(tx.tid());
+  active_txns_.erase(tx.tid());
   return Status::OK();
 }
 

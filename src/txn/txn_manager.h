@@ -4,7 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "obs/trace.h"
 #include "storage/catalog.h"
@@ -65,6 +65,16 @@ class TxnManager {
   /// Whether `tid` belongs to a currently active transaction.
   bool IsActive(storage::Tid tid) const;
 
+  /// Number of currently active transactions.
+  size_t ActiveCount() const;
+
+  /// Force-aborts every active transaction (claims released, own inserts
+  /// tombstoned) — the shutdown/drain path: after it returns no
+  /// transaction is active and Close() can seal a clean image. Returns
+  /// the number aborted; individual abort failures are logged, counted,
+  /// and do not stop the sweep.
+  size_t AbortAllActive();
+
   storage::Cid watermark() const { return commit_table_->watermark(); }
 
   /// A snapshot for ad-hoc reads outside a transaction.
@@ -107,8 +117,12 @@ class TxnManager {
   std::unique_ptr<CommitTable> commit_table_;
   CommitHook* hook_ = nullptr;
 
+  /// Registry of active transactions. Holding the shared context (not
+  /// just the tid) lets AbortAllActive roll back write sets whose
+  /// Transaction handles live elsewhere (or nowhere — a dead client).
   mutable std::mutex active_mutex_;
-  std::unordered_set<storage::Tid> active_tids_;
+  std::unordered_map<storage::Tid, std::shared_ptr<TxnContext>>
+      active_txns_;
 
   std::mutex alloc_mutex_;
   storage::Tid next_tid_ = 0;

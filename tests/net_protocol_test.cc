@@ -1,0 +1,377 @@
+// Wire protocol tests: framing, serialization primitives, status
+// mapping, and the server-facing corruption matrix — truncated frames,
+// oversized lengths, CRC mismatches, unknown opcodes, and cross-version
+// handshakes must each produce a clean error, never a crash.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/database.h"
+#include "net/client.h"
+#include "net/net_util.h"
+#include "net/server.h"
+#include "nvm/nvm_env.h"
+
+namespace hyrise_nv::net {
+namespace {
+
+using storage::DataType;
+using storage::RowLocation;
+using storage::Value;
+
+// --- Pure wire-format tests -----------------------------------------------
+
+TEST(WireFormatTest, RoundtripPrimitives) {
+  std::vector<uint8_t> buf;
+  WireWriter writer(&buf);
+  writer.U8(7);
+  writer.U16(0xBEEF);
+  writer.U32(0xDEADBEEF);
+  writer.U64(0x0123456789ABCDEFull);
+  writer.F64(3.25);
+  writer.Str("hello");
+  writer.Value(Value(int64_t{-42}));
+  writer.Value(Value(2.5));
+  writer.Value(Value(std::string("world")));
+  writer.Row({Value(int64_t{1}), Value(std::string("x"))});
+  writer.Loc(RowLocation{false, 17});
+
+  WireReader reader(buf.data(), buf.size());
+  EXPECT_EQ(reader.U8(), 7);
+  EXPECT_EQ(reader.U16(), 0xBEEF);
+  EXPECT_EQ(reader.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.F64(), 3.25);
+  EXPECT_EQ(reader.Str(), "hello");
+  EXPECT_EQ(std::get<int64_t>(reader.Value()), -42);
+  EXPECT_EQ(std::get<double>(reader.Value()), 2.5);
+  EXPECT_EQ(std::get<std::string>(reader.Value()), "world");
+  const auto row = reader.Row();
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(std::get<int64_t>(row[0]), 1);
+  const RowLocation loc = reader.Loc();
+  EXPECT_FALSE(loc.in_main);
+  EXPECT_EQ(loc.row, 17u);
+  EXPECT_TRUE(reader.Exhausted());
+}
+
+TEST(WireFormatTest, ReaderLatchesOnOverrun) {
+  std::vector<uint8_t> buf;
+  WireWriter writer(&buf);
+  writer.U32(5);
+  WireReader reader(buf.data(), buf.size());
+  (void)reader.U32();
+  (void)reader.U64();  // overruns
+  EXPECT_FALSE(reader.ok());
+  // Latched: every further read stays zero and keeps the error.
+  EXPECT_EQ(reader.U8(), 0);
+  EXPECT_EQ(reader.Str(), "");
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireFormatTest, ReaderSurvivesTruncationFuzz) {
+  // Build a full valid request payload, then decode every prefix of it:
+  // no prefix may crash, and all but the full length must latch error
+  // or end mid-payload without overrun.
+  std::vector<uint8_t> buf;
+  WireWriter writer(&buf);
+  writer.U8(static_cast<uint8_t>(Opcode::kInsert));
+  writer.U64(12);
+  writer.Str("orders");
+  writer.Row({Value(int64_t{5}), Value(1.5), Value(std::string("abc"))});
+  for (size_t len = 0; len <= buf.size(); ++len) {
+    WireReader reader(buf.data(), len);
+    (void)reader.U8();
+    (void)reader.U64();
+    (void)reader.Str();
+    const auto row = reader.Row();
+    if (len == buf.size()) {
+      EXPECT_TRUE(reader.ok());
+      EXPECT_EQ(row.size(), 3u);
+    }
+  }
+}
+
+TEST(WireFormatTest, RowCountCannotOverallocate) {
+  // A row header claiming 65535 values inside a 4-byte body must fail
+  // cleanly instead of reserving gigabytes.
+  std::vector<uint8_t> buf;
+  WireWriter writer(&buf);
+  writer.U16(0xFFFF);
+  writer.U8(1);
+  writer.U8(0);
+  WireReader reader(buf.data(), buf.size());
+  const auto row = reader.Row();
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(row.empty());
+}
+
+TEST(WireFormatTest, FrameRoundtripAndCrc) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> frame = EncodeFrame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  auto len_result = DecodeFrameHeader(frame.data());
+  ASSERT_TRUE(len_result.ok());
+  EXPECT_EQ(*len_result, payload.size());
+  EXPECT_TRUE(CheckFrameCrc(frame.data(), frame.data() + kFrameHeaderBytes,
+                            *len_result)
+                  .ok());
+  // Flip one payload bit: CRC must catch it.
+  frame[kFrameHeaderBytes + 2] ^= 0x40;
+  EXPECT_TRUE(CheckFrameCrc(frame.data(), frame.data() + kFrameHeaderBytes,
+                            *len_result)
+                  .IsCorruption());
+}
+
+TEST(WireFormatTest, OversizedAndEmptyFramesRejected) {
+  uint8_t header[kFrameHeaderBytes] = {};
+  uint32_t len = kMaxFrameBytes + 1;
+  std::memcpy(header, &len, sizeof(len));
+  EXPECT_FALSE(DecodeFrameHeader(header).ok());
+  len = 0;
+  std::memcpy(header, &len, sizeof(len));
+  EXPECT_FALSE(DecodeFrameHeader(header).ok());
+  len = 16;
+  std::memcpy(header, &len, sizeof(len));
+  EXPECT_TRUE(DecodeFrameHeader(header).ok());
+  EXPECT_FALSE(DecodeFrameHeader(header, 8).ok());  // per-server cap
+}
+
+TEST(WireFormatTest, StatusMappingIsByteStable) {
+  // Every engine StatusCode survives the wire byte-for-byte.
+  for (int code = 0; code <= 10; ++code) {
+    const Status status(static_cast<StatusCode>(code), "m");
+    const WireCode wire = WireCodeFromStatus(status);
+    EXPECT_EQ(static_cast<int>(wire), code);
+    const Status back = StatusFromWire(wire, "m");
+    EXPECT_EQ(back.code(), status.code());
+  }
+  // Serving-layer codes come back as retryable IOError.
+  EXPECT_TRUE(IsRetryableWireCode(WireCode::kOverloaded));
+  EXPECT_TRUE(IsRetryableWireCode(WireCode::kDraining));
+  EXPECT_FALSE(IsRetryableWireCode(WireCode::kProtocolError));
+  EXPECT_EQ(StatusFromWire(WireCode::kOverloaded, "x").code(),
+            StatusCode::kIOError);
+}
+
+// --- Server-facing corruption matrix --------------------------------------
+
+class CorruptionMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = nvm::TempPath("net_proto_test");
+    std::filesystem::create_directories(dir_);
+    core::DatabaseOptions options;
+    options.mode = core::DurabilityMode::kNvm;
+    options.region_size = 64 << 20;
+    options.data_dir = dir_;
+    auto db_result = core::Database::Create(options);
+    ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+    db_ = std::move(*db_result);
+    ServerOptions server_options;
+    server_options.num_workers = 1;
+    auto server_result = Server::Start(db_.get(), server_options);
+    ASSERT_TRUE(server_result.ok()) << server_result.status().ToString();
+    server_ = std::move(*server_result);
+  }
+
+  void TearDown() override {
+    server_->Drain();
+    server_->Wait();
+    server_.reset();
+    ASSERT_TRUE(db_->Close().ok());
+    db_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Result<OwnedFd> Dial() {
+    return ConnectTcp("127.0.0.1", server_->port(), 2000);
+  }
+
+  /// Performs a valid handshake on `fd`.
+  void Handshake(int fd) {
+    std::vector<uint8_t> hello;
+    WireWriter writer(&hello);
+    writer.U8(static_cast<uint8_t>(Opcode::kHello));
+    writer.U32(kHelloMagic);
+    writer.U16(kProtocolVersionMin);
+    writer.U16(kProtocolVersionMax);
+    ASSERT_TRUE(WriteFrame(fd, hello).ok());
+    auto resp = ReadFrame(fd, 2000);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_GE(resp->size(), 2u);
+    EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kOk));
+  }
+
+  /// The server must still answer a fresh, well-formed connection.
+  void ExpectServerAlive() {
+    ClientOptions options;
+    options.port = server_->port();
+    Client client(options);
+    ASSERT_TRUE(client.ConnectOnce().ok());
+    EXPECT_TRUE(client.Ping().ok());
+  }
+
+  std::string dir_;
+  std::unique_ptr<core::Database> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(CorruptionMatrixTest, TruncatedFrameClosesConnectionCleanly) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  Handshake(fd_result->get());
+  // Announce 100 bytes, send 3, hang up. The server must drop the
+  // connection without stalling or crashing.
+  std::vector<uint8_t> partial = {100, 0, 0, 0, 1, 2, 3, 4, 9, 9, 9};
+  ASSERT_TRUE(SendAll(fd_result->get(), partial.data(), partial.size()).ok());
+  fd_result->Reset();
+  ExpectServerAlive();
+}
+
+TEST_F(CorruptionMatrixTest, OversizedLengthRejected) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  Handshake(fd_result->get());
+  uint8_t header[kFrameHeaderBytes] = {};
+  const uint32_t len = kMaxFrameBytes + 1;
+  std::memcpy(header, &len, sizeof(len));
+  ASSERT_TRUE(SendAll(fd_result->get(), header, sizeof(header)).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_GE(resp->size(), 2u);
+  EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kProtocolError));
+  // Connection closes after the error frame.
+  uint8_t byte;
+  EXPECT_FALSE(RecvAll(fd_result->get(), &byte, 1, 2000).ok());
+  ExpectServerAlive();
+}
+
+TEST_F(CorruptionMatrixTest, BadCrcRejected) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  Handshake(fd_result->get());
+  std::vector<uint8_t> ping;
+  WireWriter writer(&ping);
+  writer.U8(static_cast<uint8_t>(Opcode::kPing));
+  std::vector<uint8_t> frame = EncodeFrame(ping);
+  frame[4] ^= 0xFF;  // corrupt the CRC field
+  ASSERT_TRUE(SendAll(fd_result->get(), frame.data(), frame.size()).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kProtocolError));
+  ExpectServerAlive();
+}
+
+TEST_F(CorruptionMatrixTest, UnknownOpcodeKeepsConnection) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  Handshake(fd_result->get());
+  std::vector<uint8_t> bogus = {0xEE, 1, 2, 3};
+  ASSERT_TRUE(WriteFrame(fd_result->get(), bogus).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kNotSupported));
+  // Frame boundary was intact, so the connection survives.
+  std::vector<uint8_t> ping;
+  WireWriter writer(&ping);
+  writer.U8(static_cast<uint8_t>(Opcode::kPing));
+  ASSERT_TRUE(WriteFrame(fd_result->get(), ping).ok());
+  auto pong = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ((*pong)[1], static_cast<uint8_t>(WireCode::kOk));
+}
+
+TEST_F(CorruptionMatrixTest, CrossVersionHandshakeFailsCleanly) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  std::vector<uint8_t> hello;
+  WireWriter writer(&hello);
+  writer.U8(static_cast<uint8_t>(Opcode::kHello));
+  writer.U32(kHelloMagic);
+  writer.U16(kProtocolVersionMax + 1);  // client requires a future version
+  writer.U16(kProtocolVersionMax + 5);
+  ASSERT_TRUE(WriteFrame(fd_result->get(), hello).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_GE(resp->size(), 2u);
+  EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kNotSupported));
+  WireReader reader(resp->data() + 2, resp->size() - 2);
+  const std::string message = reader.Str();
+  EXPECT_NE(message.find("no common protocol version"), std::string::npos);
+  ExpectServerAlive();
+}
+
+TEST_F(CorruptionMatrixTest, BadMagicIsProtocolError) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  std::vector<uint8_t> hello;
+  WireWriter writer(&hello);
+  writer.U8(static_cast<uint8_t>(Opcode::kHello));
+  writer.U32(0x12345678);
+  writer.U16(1);
+  writer.U16(1);
+  ASSERT_TRUE(WriteFrame(fd_result->get(), hello).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kProtocolError));
+  ExpectServerAlive();
+}
+
+TEST_F(CorruptionMatrixTest, RequestBeforeHandshakeRejected) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  std::vector<uint8_t> ping;
+  WireWriter writer(&ping);
+  writer.U8(static_cast<uint8_t>(Opcode::kPing));
+  ASSERT_TRUE(WriteFrame(fd_result->get(), ping).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kProtocolError));
+  ExpectServerAlive();
+}
+
+TEST_F(CorruptionMatrixTest, MalformedBodyKeepsConnection) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  Handshake(fd_result->get());
+  // A kInsert with a 2-byte body (needs tid + table + row).
+  std::vector<uint8_t> garbage = {static_cast<uint8_t>(Opcode::kInsert), 7};
+  ASSERT_TRUE(WriteFrame(fd_result->get(), garbage).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ((*resp)[1],
+            static_cast<uint8_t>(WireCode::kInvalidArgument));
+  // Still usable.
+  std::vector<uint8_t> ping;
+  WireWriter writer(&ping);
+  writer.U8(static_cast<uint8_t>(Opcode::kPing));
+  ASSERT_TRUE(WriteFrame(fd_result->get(), ping).ok());
+  EXPECT_TRUE(ReadFrame(fd_result->get(), 2000).ok());
+}
+
+TEST_F(CorruptionMatrixTest, GarbageByteStormNeverCrashes) {
+  // Deterministic pseudo-random garbage straight onto the socket; the
+  // server must reject and close without dying.
+  uint64_t rng = 0x9E3779B97F4A7C15ull;
+  for (int round = 0; round < 8; ++round) {
+    auto fd_result = Dial();
+    ASSERT_TRUE(fd_result.ok());
+    std::vector<uint8_t> noise(256 + round * 64);
+    for (auto& byte : noise) {
+      rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+      byte = static_cast<uint8_t>(rng >> 33);
+    }
+    (void)SendAll(fd_result->get(), noise.data(), noise.size());
+    fd_result->Reset();
+  }
+  ExpectServerAlive();
+  EXPECT_GE(server_->counters().protocol_errors, 1u);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::net

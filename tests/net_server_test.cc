@@ -1,0 +1,355 @@
+// Serving-layer tests: CRUD over the client library, session transaction
+// lifetime (mid-transaction disconnects must abort, not leak), graceful
+// drain, admission control, and client reconnect across a server
+// restart.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "core/database.h"
+#include "net/client.h"
+#include "net/net_util.h"
+#include "nvm/nvm_env.h"
+
+namespace hyrise_nv::net {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = nvm::TempPath("net_server_test");
+    std::filesystem::create_directories(dir_);
+    StartDb(/*create=*/true);
+  }
+
+  void StartDb(bool create, ServerOptions server_options = {}) {
+    core::DatabaseOptions options;
+    options.mode = core::DurabilityMode::kNvm;
+    options.region_size = 64 << 20;
+    options.data_dir = dir_;
+    auto db_result = create ? core::Database::Create(options)
+                            : core::Database::Open(options);
+    ASSERT_TRUE(db_result.ok()) << db_result.status().ToString();
+    db_ = std::move(*db_result);
+    server_options.num_workers = 2;
+    auto server_result = Server::Start(db_.get(), server_options);
+    ASSERT_TRUE(server_result.ok()) << server_result.status().ToString();
+    server_ = std::move(*server_result);
+  }
+
+  void StopDb() {
+    if (server_) {
+      server_->Drain();
+      server_->Wait();
+      server_.reset();
+    }
+    if (db_) {
+      ASSERT_TRUE(db_->Close().ok());
+      db_.reset();
+    }
+  }
+
+  void TearDown() override {
+    StopDb();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Client MakeClient(int max_retries = 3) {
+    ClientOptions options;
+    options.port = server_->port();
+    options.max_retries = max_retries;
+    options.retry_base_ms = 5;
+    return Client(options);
+  }
+
+  std::string dir_;
+  std::unique_ptr<core::Database> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetServerTest, HandshakeReportsModeAndSession) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.protocol_version(), kProtocolVersionMax);
+  EXPECT_EQ(client.server_mode(),
+            static_cast<uint8_t>(core::DurabilityMode::kNvm));
+  EXPECT_NE(client.session_id(), 0u);
+}
+
+TEST_F(NetServerTest, CrudRoundtrip) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Connect().ok());
+  auto id_result = client.CreateTable(
+      "orders", {{"id", DataType::kInt64},
+                 {"amount", DataType::kDouble},
+                 {"customer", DataType::kString}});
+  ASSERT_TRUE(id_result.ok()) << id_result.status().ToString();
+  ASSERT_TRUE(client.CreateIndex("orders", 0).ok());
+
+  ASSERT_TRUE(client.Begin().ok());
+  auto loc1 = client.Insert(
+      "orders", {Value(int64_t{1}), Value(9.5), Value(std::string("ada"))});
+  ASSERT_TRUE(loc1.ok()) << loc1.status().ToString();
+  auto loc2 = client.Insert(
+      "orders", {Value(int64_t{2}), Value(1.5), Value(std::string("bob"))});
+  ASSERT_TRUE(loc2.ok());
+  auto cid = client.Commit();
+  ASSERT_TRUE(cid.ok()) << cid.status().ToString();
+  EXPECT_NE(*cid, 0u);
+
+  auto count = client.Count("orders");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+
+  auto scan = client.ScanEqual("orders", 0, Value(int64_t{1}));
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->rows.size(), 1u);
+  EXPECT_EQ(std::get<std::string>(scan->rows[0].values[2]), "ada");
+
+  // Update within a transaction, visible after commit.
+  ASSERT_TRUE(client.Begin().ok());
+  auto new_loc = client.Update(
+      "orders", scan->rows[0].loc,
+      {Value(int64_t{1}), Value(20.0), Value(std::string("ada"))});
+  ASSERT_TRUE(new_loc.ok()) << new_loc.status().ToString();
+  ASSERT_TRUE(client.Commit().ok());
+  auto rescan = client.ScanEqual("orders", 0, Value(int64_t{1}));
+  ASSERT_TRUE(rescan.ok());
+  ASSERT_EQ(rescan->rows.size(), 1u);
+  EXPECT_EQ(std::get<double>(rescan->rows[0].values[1]), 20.0);
+
+  // Delete, then range over the remainder.
+  ASSERT_TRUE(client.Begin().ok());
+  ASSERT_TRUE(client.Delete("orders", rescan->rows[0].loc).ok());
+  ASSERT_TRUE(client.Commit().ok());
+  auto range = client.ScanRange("orders", 0, Value(int64_t{0}),
+                                Value(int64_t{100}));
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range->rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(range->rows[0].values[0]), 2);
+}
+
+TEST_F(NetServerTest, AbortRollsBackSessionTransaction) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.CreateTable("t", {{"k", DataType::kInt64}}).ok());
+  ASSERT_TRUE(client.Begin().ok());
+  ASSERT_TRUE(client.Insert("t", {Value(int64_t{7})}).ok());
+  ASSERT_TRUE(client.Abort().ok());
+  auto count = client.Count("t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(NetServerTest, MidTransactionDisconnectAbortsAndStaysInvisible) {
+  Client writer = MakeClient();
+  ASSERT_TRUE(writer.Connect().ok());
+  ASSERT_TRUE(writer.CreateTable("t", {{"k", DataType::kInt64}}).ok());
+  ASSERT_TRUE(writer.Begin().ok());
+  ASSERT_TRUE(writer.Insert("t", {Value(int64_t{42})}).ok());
+  ASSERT_EQ(db_->txn_manager().ActiveCount(), 1u);
+
+  // Hard disconnect mid-transaction: the server must abort the session's
+  // transaction.
+  writer.Close();
+  for (int i = 0; i < 200 && db_->txn_manager().ActiveCount() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(db_->txn_manager().ActiveCount(), 0u);
+
+  // The aborted insert is invisible to a fresh reader.
+  Client reader = MakeClient();
+  ASSERT_TRUE(reader.Connect().ok());
+  auto count = reader.Count("t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  auto scan = reader.ScanEqual("t", 0, Value(int64_t{42}));
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->rows.empty());
+}
+
+TEST_F(NetServerTest, SecondBeginOnSessionRejected) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.Begin().ok());
+  auto second = client.Begin();
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.Abort().ok());
+}
+
+TEST_F(NetServerTest, DrainAbortsOpenTransactionsAndRefusesNewWork) {
+  Client client = MakeClient(/*max_retries=*/0);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.CreateTable("t", {{"k", DataType::kInt64}}).ok());
+  ASSERT_TRUE(client.Begin().ok());
+  ASSERT_TRUE(client.Insert("t", {Value(int64_t{1})}).ok());
+
+  server_->Drain();
+  server_->Wait();
+  EXPECT_EQ(server_->counters().open_connections, 0);
+  EXPECT_EQ(db_->txn_manager().ActiveCount(), 0u);
+
+  // New connections are refused outright.
+  ClientOptions options;
+  options.port = server_->port();
+  options.max_retries = 0;
+  Client late(options);
+  EXPECT_FALSE(late.ConnectOnce().ok());
+}
+
+TEST_F(NetServerTest, OverloadRejectionIsRetryableCode) {
+  // max_inflight=0 rejects every (non-hello) request with kOverloaded.
+  StopDb();
+  ServerOptions options;
+  options.max_inflight = 0;
+  StartDb(/*create=*/false, options);
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Connect().ok());
+  Status status = client.Ping();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(client.last_wire_code(), WireCode::kOverloaded);
+  EXPECT_TRUE(IsRetryableWireCode(client.last_wire_code()));
+  EXPECT_GE(server_->counters().overload_rejected, 1u);
+}
+
+TEST_F(NetServerTest, ConnectionCapRejectsExtraClients) {
+  StopDb();
+  ServerOptions options;
+  options.max_connections = 1;
+  StartDb(/*create=*/false, options);
+  Client first = MakeClient();
+  ASSERT_TRUE(first.Connect().ok());
+  ClientOptions client_options;
+  client_options.port = server_->port();
+  client_options.max_retries = 0;
+  Client second(client_options);
+  Status status = second.ConnectOnce();
+  EXPECT_FALSE(status.ok());
+  // First client is unaffected.
+  EXPECT_TRUE(first.Ping().ok());
+}
+
+TEST_F(NetServerTest, ClientReconnectsAfterServerRestart) {
+  Client client = MakeClient(/*max_retries=*/50);
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.CreateTable("t", {{"k", DataType::kInt64}}).ok());
+  ASSERT_TRUE(client.Begin().ok());
+  ASSERT_TRUE(client.Insert("t", {Value(int64_t{1})}).ok());
+  ASSERT_TRUE(client.Commit().ok());
+  const uint16_t port = server_->port();
+
+  // Stop serving, close, reopen on the same port: the client's next
+  // request fails (connection died), then its auto-reconnect retries
+  // until the restarted server answers.
+  StopDb();
+  ServerOptions options;
+  options.port = port;
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    StartDb(/*create=*/false, options);
+  });
+  ClientOptions client_options;
+  client_options.port = port;
+  client_options.max_retries = 100;
+  client_options.retry_base_ms = 10;
+  Client reconnecting(client_options);
+  Status status = reconnecting.Connect();
+  restarter.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GE(reconnecting.last_connect_attempts(), 1);
+  auto count = reconnecting.Count("t");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 1u);
+}
+
+TEST_F(NetServerTest, StatsAndRecoveryInfoServeJson) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Connect().ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"server\""), std::string::npos);
+  EXPECT_NE(stats->find("\"metrics\""), std::string::npos);
+  auto recovery = client.RecoveryInfo();
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_NE(recovery->find("\"mode\":\"nvm\""), std::string::npos);
+}
+
+TEST_F(NetServerTest, BadRowLocationRejectedNotCrashed) {
+  Client client = MakeClient();
+  ASSERT_TRUE(client.Connect().ok());
+  ASSERT_TRUE(client.CreateTable("t", {{"k", DataType::kInt64}}).ok());
+  ASSERT_TRUE(client.Begin().ok());
+  // Out-of-range row locations come from an untrusted peer and must be
+  // bounds-checked before touching MVCC arrays.
+  Status status =
+      client.Delete("t", storage::RowLocation{false, 1'000'000});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(client.Abort().ok());
+}
+
+// --- Engine-level regression: Close() with open transactions --------------
+
+TEST(DatabaseShutdownTest, CloseAbortsOpenTransactions) {
+  const std::string dir = nvm::TempPath("close_open_txn_test");
+  std::filesystem::create_directories(dir);
+  core::DatabaseOptions options;
+  options.mode = core::DurabilityMode::kNvm;
+  options.region_size = 64 << 20;
+  options.data_dir = dir;
+  auto db_result = core::Database::Create(options);
+  ASSERT_TRUE(db_result.ok());
+  auto db = std::move(*db_result);
+  auto schema = *storage::Schema::Make({{"k", DataType::kInt64}});
+  auto table_result = db->CreateTable("t", schema);
+  ASSERT_TRUE(table_result.ok());
+
+  // Commit one row, leave a second transaction open across Close().
+  ASSERT_TRUE(db->InsertAutoCommit(*table_result, {Value(int64_t{1})}).ok());
+  auto tx_result = db->Begin();
+  ASSERT_TRUE(tx_result.ok());
+  txn::Transaction tx = *tx_result;
+  ASSERT_TRUE(db->Insert(tx, *table_result, {Value(int64_t{2})}).ok());
+  ASSERT_EQ(db->txn_manager().ActiveCount(), 1u);
+
+  // Close must abort (not leak) the open transaction and still seal a
+  // clean image.
+  ASSERT_TRUE(db->Close().ok());
+  EXPECT_EQ(db->txn_manager().ActiveCount(), 0u);
+  EXPECT_FALSE(tx.active());
+  db.reset();
+
+  // Reopen: only the committed row is visible, and recovery treats the
+  // image as a clean shutdown.
+  auto reopen_result = core::Database::Open(options);
+  ASSERT_TRUE(reopen_result.ok()) << reopen_result.status().ToString();
+  auto reopened = std::move(*reopen_result);
+  auto table2 = reopened->GetTable("t");
+  ASSERT_TRUE(table2.ok());
+  auto scan = reopened->ScanEqual(*table2, 0, Value(int64_t{2}),
+                                  reopened->ReadSnapshot(),
+                                  storage::kTidNone);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->empty());
+  auto scan1 = reopened->ScanEqual(*table2, 0, Value(int64_t{1}),
+                                   reopened->ReadSnapshot(),
+                                   storage::kTidNone);
+  ASSERT_TRUE(scan1.ok());
+  EXPECT_EQ(scan1->size(), 1u);
+  ASSERT_TRUE(reopened->Close().ok());
+  reopened.reset();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::net
