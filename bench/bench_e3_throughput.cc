@@ -4,8 +4,19 @@
 // no-durability ceiling. Besides throughput, each mode reports commit
 // tail latencies from the engine's own metrics registry (the same
 // histograms `dbinspect stats` exports).
+//
+// Part two sweeps client threads (1/2/4/8) over the concurrent commit
+// pipeline for the NVM and WAL engines: per-thread TpccRunners bound to
+// one shared database, committed-txn throughput measured in wall-clock
+// time, plus the commit-group-size distribution the ordered publisher
+// and the WAL group commit produced.
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "obs/metrics.h"
@@ -71,6 +82,120 @@ void PrintMode(const char* name, const ModeResult& result,
       static_cast<unsigned long long>(fsyncs));
 }
 
+// --- thread sweep over the concurrent commit pipeline -----------------
+
+struct SweepResult {
+  double tps = 0;
+  uint64_t committed = 0;
+  uint64_t aborts = 0;
+  obs::MetricsSnapshot metrics;
+};
+
+/// One shared database, `threads` TpccRunners bound to it (distinct seed
+/// + history-id range per thread), committed-txn/s over wall-clock time.
+SweepResult RunSweep(core::DurabilityMode mode, unsigned threads,
+                     uint64_t total_txns) {
+  const std::string dir = bench::MakeBenchDir("e3s");
+  auto options = bench::EngineOptions(mode, dir, size_t{512} << 20);
+  options.tracking = nvm::TrackingMode::kNone;
+  if (mode == core::DurabilityMode::kNone) options.data_dir.clear();
+  auto db = bench::Unwrap(core::Database::Create(options), "create");
+
+  workload::TpccConfig base_config;
+  base_config.warehouses = 8;  // enough districts to spread contention
+  base_config.items = 500;
+  workload::TpccRunner loader(db.get(), base_config);
+  bench::Die(loader.Load(), "load");
+
+  std::vector<std::unique_ptr<workload::TpccRunner>> runners;
+  for (unsigned t = 0; t < threads; ++t) {
+    workload::TpccConfig config = base_config;
+    config.seed = 1000 + 77 * t;
+    runners.push_back(
+        std::make_unique<workload::TpccRunner>(db.get(), config));
+    bench::Die(
+        runners.back()->Bind((static_cast<int64_t>(t) + 1) << 40),
+        "bind");
+  }
+
+  const uint64_t per_thread = total_txns / threads + 1;
+  auto run_all = [&](uint64_t txns_each,
+                     std::vector<workload::TpccStats>* stats_out) {
+    std::vector<std::thread> workers;
+    stats_out->assign(threads, {});
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        (*stats_out)[t] =
+            bench::Unwrap(runners[t]->Run(txns_each), "sweep run");
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+
+  std::vector<workload::TpccStats> stats;
+  run_all(per_thread / 10 + 1, &stats);  // warm-up
+  obs::MetricsRegistry::Instance().ResetAll();
+  const auto start = std::chrono::steady_clock::now();
+  run_all(per_thread, &stats);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+
+  SweepResult result;
+  for (const auto& s : stats) {
+    result.committed += s.transactions();
+    result.aborts += s.aborts;
+  }
+  result.tps = seconds > 0 ? result.committed / seconds : 0;
+  result.metrics = db->MetricsSnapshot();
+  bench::RemoveBenchDir(dir);
+  return result;
+}
+
+void PrintSweep(const char* engine, unsigned threads,
+                const SweepResult& result, double one_thread_tps) {
+  const obs::HistogramSnapshot* group =
+      result.metrics.FindHistogram("txn.commit.group_size");
+  const obs::HistogramSnapshot* wait =
+      result.metrics.FindHistogram("txn.commit.queue_wait_ns");
+  const double group_mean = group != nullptr ? group->mean : 0;
+  const double wait_p95_us = wait != nullptr ? wait->p95 / 1e3 : 0;
+  const uint64_t fsyncs = result.metrics.CounterValue("wal.fsync.count");
+  std::printf("%-12s %7u %12.0f %8.2fx %10.2f %12.1f %9llu %9llu\n",
+              engine, threads, result.tps,
+              one_thread_tps > 0 ? result.tps / one_thread_tps : 0,
+              group_mean, wait_p95_us,
+              static_cast<unsigned long long>(fsyncs),
+              static_cast<unsigned long long>(result.aborts));
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e3\",\"engine\":\"%s\",\"threads\":%u,"
+      "\"txn_per_sec\":%.1f,\"speedup_vs_1t\":%.3f,"
+      "\"commit_group_mean\":%.2f,\"queue_wait_p95_us\":%.2f,"
+      "\"wal_fsyncs\":%llu,\"aborts\":%llu}\n",
+      engine, threads, result.tps,
+      one_thread_tps > 0 ? result.tps / one_thread_tps : 0, group_mean,
+      wait_p95_us, static_cast<unsigned long long>(fsyncs),
+      static_cast<unsigned long long>(result.aborts));
+}
+
+void DumpGroupSizeHistogram(const char* engine,
+                            const obs::MetricsSnapshot& metrics,
+                            const char* histogram_name) {
+  const obs::HistogramSnapshot* h = metrics.FindHistogram(histogram_name);
+  if (h == nullptr || h->count == 0) return;
+  std::printf("  %s %s: count=%llu mean=%.2f max=%llu\n", engine,
+              histogram_name, static_cast<unsigned long long>(h->count),
+              h->mean, static_cast<unsigned long long>(h->max));
+  uint64_t prev = 0;
+  for (const auto& [upper, cumulative] : h->cumulative_buckets) {
+    std::printf("    le=%-8llu %llu\n",
+                static_cast<unsigned long long>(upper),
+                static_cast<unsigned long long>(cumulative - prev));
+    prev = cumulative;
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -94,5 +219,41 @@ int main() {
               "volatile ceiling and the log-based baselines — it pays "
               "persist barriers but no logging I/O, and is the only one "
               "with instant restart\n");
+
+  std::printf("\nE3b — thread sweep over the concurrent commit pipeline "
+              "(shared db, %llu txns total per point)\n",
+              static_cast<unsigned long long>(txns));
+  std::printf("%-12s %7s %12s %9s %10s %12s %9s %9s\n", "engine",
+              "threads", "txn/s", "speedup", "grp mean", "wait p95 us",
+              "fsyncs", "aborts");
+  const unsigned kThreadCounts[] = {1, 2, 4, 8};
+  struct SweepMode {
+    core::DurabilityMode mode;
+    const char* name;
+    const char* group_histogram;
+  };
+  const SweepMode kSweepModes[] = {
+      {core::DurabilityMode::kNvm, "nvm", "txn.commit.group_size"},
+      {core::DurabilityMode::kWalValue, "wal-value",
+       "wal.group_commit.size"},
+  };
+  for (const SweepMode& sweep : kSweepModes) {
+    double one_thread_tps = 0;
+    obs::MetricsSnapshot last_metrics;
+    for (const unsigned threads : kThreadCounts) {
+      const SweepResult result = RunSweep(sweep.mode, threads, txns);
+      if (threads == 1) one_thread_tps = result.tps;
+      PrintSweep(sweep.name, threads, result, one_thread_tps);
+      last_metrics = result.metrics;
+    }
+    std::printf("  commit-group-size distribution at 8 threads:\n");
+    DumpGroupSizeHistogram(sweep.name, last_metrics,
+                           sweep.group_histogram);
+    if (std::string_view(sweep.group_histogram) !=
+        "txn.commit.group_size") {
+      DumpGroupSizeHistogram(sweep.name, last_metrics,
+                             "txn.commit.group_size");
+    }
+  }
   return 0;
 }

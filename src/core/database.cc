@@ -391,6 +391,10 @@ Result<storage::RowLocation> Database::Insert(
   if (!tx.active()) {
     return Status::InvalidArgument("transaction not active");
   }
+  // One writer per table at a time: the delta append, index insert, and
+  // dict-encoded WAL logging all touch single-writer structures. Writers
+  // on different tables proceed in parallel.
+  std::lock_guard<std::mutex> write_guard(table->write_mutex());
   auto loc_result = table->AppendRow(row, tx.tid());
   if (!loc_result.ok()) return loc_result;
   tx.RecordInsert(table, *loc_result);

@@ -743,6 +743,11 @@ class ServerImpl {
     return Status::OK();
   }
 
+  // Sessions on different worker threads commit through the engine's
+  // concurrent pipeline — no global commit lock: persists and row
+  // stamping run in parallel, only visibility publication is serialised
+  // (in CID order, batched). The WAL engines additionally fold
+  // concurrent sessions' fsyncs into one group commit.
   std::vector<uint8_t> ExecCommit(Connection* conn, WireReader& reader) {
     const uint64_t tid = reader.U64();
     if (!reader.ok()) {

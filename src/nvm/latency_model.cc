@@ -1,6 +1,7 @@
 #include "nvm/latency_model.h"
 
 #include <chrono>
+#include <thread>
 
 namespace hyrise_nv::nvm {
 
@@ -14,6 +15,18 @@ void SpinDelayNanos(uint64_t ns) {
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_ia32_pause();
 #endif
+  }
+}
+
+void BlockingDelayNanos(uint64_t ns) {
+  if (ns == 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  // sleep_until would round up to scheduler granularity (huge for µs-scale
+  // device latencies); yielding keeps the wait close to `ns` while still
+  // letting other runnable threads use the core, like a kernel block does.
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
   }
 }
 

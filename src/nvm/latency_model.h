@@ -45,6 +45,14 @@ struct NvmLatencyModel {
 /// charged to the calling thread exactly like a stalled store would be.
 void SpinDelayNanos(uint64_t ns);
 
+/// Waits approximately `ns` nanoseconds while yielding the CPU to other
+/// runnable threads. Use for *device* latencies (block-device write
+/// throttle, fsync): on real hardware those block in the kernel and free
+/// the core, so modelling them as spins would serialise unrelated threads
+/// on machines with few cores. NVM store stalls keep SpinDelayNanos —
+/// a stalled store really does occupy its core.
+void BlockingDelayNanos(uint64_t ns);
+
 /// Counters for persist-path activity. All counters are cumulative and
 /// thread-safe; benchmarks snapshot-and-diff them.
 struct NvmStats {

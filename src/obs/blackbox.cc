@@ -114,6 +114,8 @@ const char* BlackboxEventName(uint16_t type) {
       return "conn_close";
     case BlackboxEventType::kDrain:
       return "drain";
+    case BlackboxEventType::kTxnPublishBatch:
+      return "txn_publish_batch";
   }
   return "unknown";
 }
@@ -482,6 +484,12 @@ std::string BlackboxEventDetail(const BlackboxDecodedEvent& ev) {
     case BlackboxEventType::kDrain:
       std::snprintf(buf, sizeof(buf), "open_connections=%llu",
                     static_cast<ULL>(ev.a));
+      break;
+    case BlackboxEventType::kTxnPublishBatch:
+      std::snprintf(buf, sizeof(buf),
+                    "published=%llu watermark=%llu skipped=%llu",
+                    static_cast<ULL>(ev.a), static_cast<ULL>(ev.b),
+                    static_cast<ULL>(ev.c));
       break;
     default:
       std::snprintf(buf, sizeof(buf),

@@ -91,6 +91,7 @@ enum class BlackboxEventType : uint16_t {
   kConnOpen = 16,      // a=connection id, b=open connections after
   kConnClose = 17,     // a=connection id, b=1 if a txn was aborted
   kDrain = 18,         // a=open connections at drain start
+  kTxnPublishBatch = 19,  // a=commits published, b=watermark cid, c=skips
 };
 
 const char* BlackboxEventName(uint16_t type);

@@ -2,6 +2,7 @@
 #define HYRISE_NV_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,10 +23,11 @@ namespace hyrise_nv::storage {
 ///
 /// The Table object is a volatile handle; every byte of state lives on
 /// NVM. Attach() rebinds after restart. Thread safety: concurrent readers
-/// and a single writer per table (the transaction layer serialises writes
-/// per table with a latch; scans are safe against concurrent appends
-/// because row visibility gates on the MVCC vector, which grows strictly
-/// after row payloads are in place).
+/// and a single writer per table at a time — writers from different
+/// threads serialise on write_mutex() (Database::Insert holds it across
+/// the delta append, index maintenance, and WAL logging); scans are safe
+/// against concurrent appends because row visibility gates on the MVCC
+/// vector, which grows strictly after row payloads are in place.
 class Table {
  public:
   /// Allocates and formats a fresh table (meta + group + schema blob) on
@@ -112,6 +114,11 @@ class Table {
   /// Rebinds the handle to the current group (after a merge swap).
   Status ReattachGroup();
 
+  /// Serialises writers appending to this table (delta append + index
+  /// maintenance + dictionary-encoded logging share the structures this
+  /// guards). Volatile — never part of the NVM image.
+  std::mutex& write_mutex() { return write_mutex_; }
+
  private:
   Table(alloc::PHeap& heap, uint64_t meta_offset)
       : heap_(&heap), meta_offset_(meta_offset) {}
@@ -126,6 +133,7 @@ class Table {
   Schema schema_;
   MainPartition main_;
   DeltaPartition delta_;
+  std::mutex write_mutex_;
 };
 
 }  // namespace hyrise_nv::storage

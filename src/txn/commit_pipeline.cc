@@ -1,0 +1,108 @@
+#include "txn/commit_pipeline.h"
+
+#include "obs/blackbox.h"
+#include "obs/metrics.h"
+
+namespace hyrise_nv::txn {
+
+void OrderedPublisher::Prime(storage::Cid first_cid) {
+  std::lock_guard<std::mutex> guard(mu_);
+  HYRISE_NV_DCHECK(frontier_ == 0, "publisher primed twice");
+  HYRISE_NV_DCHECK(first_cid != 0, "CID 0 is never issued");
+  frontier_ = first_cid;
+}
+
+bool OrderedPublisher::primed() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return frontier_ != 0;
+}
+
+storage::Cid OrderedPublisher::frontier() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return frontier_;
+}
+
+bool OrderedPublisher::EnqueueLocked(storage::Cid cid, bool stamped,
+                                     CommitTable& table,
+                                     obs::BlackboxWriter* bb) {
+  HYRISE_NV_DCHECK(frontier_ != 0, "publisher not primed");
+  HYRISE_NV_DCHECK(cid >= frontier_, "CID published twice");
+  pending_.emplace(cid, stamped);
+  if (cid != frontier_) return false;
+
+  // This commit is the frontier: drain the run of consecutive CIDs that
+  // already reached the publish stage, advance the watermark once to the
+  // highest *stamped* CID of the run (skipped CIDs are retired without a
+  // watermark step — nothing was stamped with them), and wake everyone
+  // who was waiting inside the run.
+  storage::Cid last_stamped = 0;
+  uint64_t published = 0;
+  uint64_t skipped = 0;
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first == frontier_) {
+    if (it->second) {
+      last_stamped = it->first;
+      ++published;
+    } else {
+      ++skipped;
+    }
+    ++frontier_;
+    it = pending_.erase(it);
+  }
+  if (last_stamped != 0) {
+    // The single ordered persist of the pipeline. Batching it over the
+    // whole run is what amortises the publish cost under load.
+    table.AdvanceWatermark(last_stamped);
+  }
+#if HYRISE_NV_METRICS_ENABLED
+  if (published > 0) {
+    static obs::Histogram& group_size =
+        obs::MetricsRegistry::Instance().GetHistogram(
+            "txn.commit.group_size");
+    group_size.Record(published);
+    if (bb != nullptr) {
+      bb->Record(obs::BlackboxEventType::kTxnPublishBatch, published,
+                 last_stamped, skipped);
+    }
+  }
+#else
+  (void)bb;
+#endif
+  cv_.notify_all();
+  return true;
+}
+
+uint64_t OrderedPublisher::Publish(storage::Cid cid, CommitTable& table,
+                                   obs::BlackboxWriter* bb) {
+#if HYRISE_NV_METRICS_ENABLED
+  const uint64_t start_ticks = obs::FastClock::NowTicks();
+#endif
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!EnqueueLocked(cid, /*stamped=*/true, table, bb)) {
+      // A predecessor is still stamping; its drain will cover us. Block
+      // until then — Commit() must not return before the commit is
+      // visible (read-your-writes).
+      cv_.wait(lock, [&] { return frontier_ > cid; });
+    }
+  }
+#if HYRISE_NV_METRICS_ENABLED
+  const uint64_t wait_ns = obs::FastClock::TicksToNanos(
+      static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks));
+  static obs::Histogram& queue_wait =
+      obs::MetricsRegistry::Instance().GetHistogram(
+          "txn.commit.queue_wait_ns");
+  queue_wait.Record(wait_ns);
+  return wait_ns;
+#else
+  return 0;
+#endif
+}
+
+void OrderedPublisher::Skip(storage::Cid cid, CommitTable& table,
+                            obs::BlackboxWriter* bb) {
+  std::lock_guard<std::mutex> guard(mu_);
+  EnqueueLocked(cid, /*stamped=*/false, table, bb);
+}
+
+}  // namespace hyrise_nv::txn

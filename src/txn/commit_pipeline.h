@@ -1,0 +1,148 @@
+#ifndef HYRISE_NV_TXN_COMMIT_PIPELINE_H_
+#define HYRISE_NV_TXN_COMMIT_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "common/status.h"
+#include "storage/types.h"
+#include "txn/commit_table.h"
+
+namespace hyrise_nv::obs {
+class BlackboxWriter;
+}  // namespace hyrise_nv::obs
+
+namespace hyrise_nv::txn {
+
+/// Lock-free allocator over persisted, contiguous ID blocks.
+///
+/// The per-ID fast path is a single relaxed fetch_add; the claim callback
+/// (which persists the next-block cursor on NVM) runs under a refill
+/// mutex once per `block_size` IDs. Correctness rests on two properties
+/// of the commit table's block cursors:
+///
+///  1. Blocks are contiguous within a process lifetime: each claim
+///     returns exactly the previous claim's end, because only this
+///     allocator draws from the persisted cursor. The cursor `next_` is
+///     therefore never reset — a refill only *extends* `end_` — so no ID
+///     is ever handed out twice, even with claimers racing the refill.
+///  2. Across a crash the cursor resumes at a block boundary at or past
+///     everything ever issued, so restart never reuses an ID (the gap to
+///     the boundary is simply skipped).
+///
+/// IDs are issued densely and in monotonically increasing order, which is
+/// what lets the OrderedPublisher below treat "the next CID to publish"
+/// as a simple frontier counter.
+class IdAllocator {
+ public:
+  /// Sentinel for `abandoned` below: no ID was abandoned.
+  static constexpr uint64_t kNone = UINT64_MAX;
+
+  explicit IdAllocator(uint64_t block_size) : block_size_(block_size) {}
+
+  /// Allocates one ID. `claim` is `Result<uint64_t>()` returning the
+  /// first ID of a freshly persisted block; it runs under the refill
+  /// mutex. If a refill fails *after* this call consumed an ID from the
+  /// monotone cursor, that ID is dead — it is reported through
+  /// `abandoned` (when non-null) so the caller can retire it (the
+  /// ordered publisher must not wait for a CID nobody will ever stamp).
+  template <typename ClaimFn>
+  Result<uint64_t> Alloc(ClaimFn&& claim, uint64_t* abandoned = nullptr) {
+    if (abandoned != nullptr) *abandoned = kNone;
+    if (!primed_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> guard(refill_mutex_);
+      if (!primed_.load(std::memory_order_relaxed)) {
+        auto first_result = claim();
+        if (!first_result.ok()) return first_result.status();
+        next_.store(*first_result, std::memory_order_relaxed);
+        end_.store(*first_result + block_size_, std::memory_order_relaxed);
+        // Release: a thread that observes primed_ == true also observes
+        // the cursor pointing into the claimed block.
+        primed_.store(true, std::memory_order_release);
+      }
+    }
+    const uint64_t id = next_.fetch_add(1, std::memory_order_relaxed);
+    if (id < end_.load(std::memory_order_acquire)) return id;
+    std::lock_guard<std::mutex> guard(refill_mutex_);
+    while (id >= end_.load(std::memory_order_relaxed)) {
+      auto block_result = claim();
+      if (!block_result.ok()) {
+        if (abandoned != nullptr) *abandoned = id;
+        return block_result.status();
+      }
+      HYRISE_NV_DCHECK(*block_result == end_.load(std::memory_order_relaxed),
+                       "ID blocks must be contiguous within a process");
+      end_.store(*block_result + block_size_, std::memory_order_release);
+    }
+    return id;
+  }
+
+ private:
+  const uint64_t block_size_;
+  std::atomic<bool> primed_{false};
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> end_{0};
+  std::mutex refill_mutex_;
+};
+
+/// In-order commit publication over out-of-order stamping (DESIGN.md
+/// §12). Committers persist their commit slots, run the durability hook,
+/// and stamp rows fully in parallel; only the final visibility step — the
+/// persisted watermark advance — is ordered. The publisher tracks a
+/// frontier (the lowest issued-but-unpublished CID; CIDs are issued
+/// densely by IdAllocator) and a pending map of commits that finished
+/// stamping ahead of their predecessors:
+///
+///   - Publish(cid) enqueues a fully stamped commit. If `cid` is the
+///     frontier, the caller drains the run of consecutive pending CIDs,
+///     advances the watermark once to the highest stamped CID of the run
+///     (a batched publish), and wakes the drained committers. Otherwise
+///     it blocks until a predecessor drains past `cid`.
+///   - Skip(cid) retires a CID whose commit failed before stamping
+///     (hook error): the frontier may pass it, no watermark advance is
+///     made on its behalf, and the caller never blocks.
+///
+/// Invariant: the watermark never advances past a CID that is not fully
+/// stamped — a snapshot can therefore never observe half a commit.
+/// Crash-safety is unchanged from the serial protocol: every unpublished
+/// commit still holds a kCommitting slot, so recovery rolls the whole
+/// tail forward in CID order and re-derives the same watermark.
+class OrderedPublisher {
+ public:
+  /// Sets the initial frontier. Called once, from the first CID block
+  /// claim, before any CID reaches Publish/Skip.
+  void Prime(storage::Cid first_cid);
+  bool primed() const;
+
+  /// Enqueues a fully stamped commit and blocks until the watermark
+  /// covers `cid`. Returns the nanoseconds spent waiting on (or
+  /// draining) the queue.
+  uint64_t Publish(storage::Cid cid, CommitTable& table,
+                   obs::BlackboxWriter* bb);
+
+  /// Retires an issued CID that will never be stamped. Never blocks
+  /// beyond the drain itself.
+  void Skip(storage::Cid cid, CommitTable& table, obs::BlackboxWriter* bb);
+
+  /// Lowest issued-but-unpublished CID (diagnostics).
+  storage::Cid frontier() const;
+
+ private:
+  /// Inserts (cid, stamped) and drains if `cid` is the frontier. Caller
+  /// holds `lock`. Returns true when this call advanced the frontier.
+  bool EnqueueLocked(storage::Cid cid, bool stamped, CommitTable& table,
+                     obs::BlackboxWriter* bb);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  storage::Cid frontier_ = 0;  // 0 = unprimed (CID 0 is never issued)
+  /// Commits that reached the publish stage out of order: CID → fully
+  /// stamped (false = failed commit, retire without watermark advance).
+  std::map<storage::Cid, bool> pending_;
+};
+
+}  // namespace hyrise_nv::txn
+
+#endif  // HYRISE_NV_TXN_COMMIT_PIPELINE_H_

@@ -34,6 +34,13 @@ Result<std::unique_ptr<CommitTable>> CommitTable::Attach(
   if (table->block_->tid_block == 0 || table->block_->cid_block == 0) {
     return Status::Corruption("transaction state block corrupt");
   }
+  // Crashed commits hold their slots until recovery rolls them forward
+  // and releases them; don't hand those slots to new committers.
+  for (uint64_t i = 0; i < kCommitSlots; ++i) {
+    if (table->block_->slots[i].state != PCommitSlot::kFree) {
+      table->claimed_ |= uint64_t{1} << i;
+    }
+  }
   return table;
 }
 
@@ -65,30 +72,31 @@ Result<storage::Cid> CommitTable::ClaimCidBlock() {
   return first;
 }
 
-Result<PCommitSlot*> CommitTable::OpenCommit(
-    storage::Cid cid, const std::vector<TouchEntry>& touches) {
-  std::lock_guard<std::mutex> guard(mutex_);
-  PCommitSlot* slot = nullptr;
-  for (auto& s : block_->slots) {
-    if (s.state == PCommitSlot::kFree) {
-      slot = &s;
-      break;
-    }
+Result<PCommitSlot*> CommitTable::AcquireSlot(
+    const std::vector<TouchEntry>& touches) {
+  uint64_t idx = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_cv_.wait(lock, [&] { return claimed_ != ~uint64_t{0}; });
+    idx = static_cast<uint64_t>(__builtin_ctzll(~claimed_));
+    claimed_ |= uint64_t{1} << idx;
   }
-  if (slot == nullptr) {
-    return Status::OutOfMemory("all commit slots busy");
-  }
+  PCommitSlot* slot = &block_->slots[idx];
 
   // Grow the slot's touch buffer if this commit needs more room. The
   // slot is kFree here, so the buffer swap is not recovery-visible; the
-  // intent covers the new buffer until the slot references it.
+  // intent covers the new buffer until the slot references it. The
+  // allocator is internally synchronised, so concurrent growers are fine.
   if (touches.size() > slot->touch_capacity) {
     const uint64_t new_capacity =
         std::max<uint64_t>(touches.size() * 2, 64);
     alloc::IntentHandle intent;
     auto off_result = heap_->allocator().AllocWithIntent(
         new_capacity * sizeof(TouchEntry), &intent);
-    if (!off_result.ok()) return off_result.status();
+    if (!off_result.ok()) {
+      ReleaseSlot(slot);
+      return off_result.status();
+    }
     const uint64_t old_off = slot->touch_off;
     slot->touch_off = *off_result;
     slot->touch_capacity = new_capacity;
@@ -99,23 +107,33 @@ Result<PCommitSlot*> CommitTable::OpenCommit(
     }
   }
 
-  // Persist the touch list, then the slot header, then flip the state.
+  // Persist the touch list + count while the slot is still invisible.
   if (!touches.empty()) {
     std::memcpy(heap_->region().base() + slot->touch_off, touches.data(),
                 touches.size() * sizeof(TouchEntry));
     heap_->region().Persist(heap_->region().base() + slot->touch_off,
                             touches.size() * sizeof(TouchEntry));
   }
-  slot->cid = cid;
   slot->touch_count = touches.size();
-  heap_->region().Persist(slot, sizeof(PCommitSlot));
-  heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kCommitting);
   return slot;
 }
 
-void CommitTable::CloseCommit(PCommitSlot* slot) {
-  std::lock_guard<std::mutex> guard(mutex_);
+void CommitTable::SealSlot(PCommitSlot* slot, storage::Cid cid) {
+  // Touch list is already durable (AcquireSlot); persist the header with
+  // the CID, then flip the state. Recovery sees all-or-nothing.
+  slot->cid = cid;
+  heap_->region().Persist(slot, sizeof(PCommitSlot));
+  heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kCommitting);
+}
+
+void CommitTable::ReleaseSlot(PCommitSlot* slot) {
   heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kFree);
+  const uint64_t idx = static_cast<uint64_t>(slot - block_->slots);
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    claimed_ &= ~(uint64_t{1} << idx);
+  }
+  slot_cv_.notify_one();
 }
 
 Result<std::vector<CommitTable::InFlight>> CommitTable::FindInFlight() {

@@ -1,6 +1,7 @@
 #ifndef HYRISE_NV_TXN_COMMIT_TABLE_H_
 #define HYRISE_NV_TXN_COMMIT_TABLE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -77,19 +78,33 @@ struct PTxnStateBlock {
 /// Volatile handle over PTxnStateBlock: watermark, TID/CID block
 /// allocation, commit slots, and enumeration of in-flight commits for
 /// recovery.
+///
+/// Concurrency: slots are claimed through a volatile bitmask so multiple
+/// committers hold distinct slots at once. The slot lifecycle is split in
+/// three so only acquisition synchronises:
+///
+///   AcquireSlot(touches)  — blocks until a slot is free, claims it, and
+///                           persists the touch list while the slot is
+///                           still kFree (not yet recovery-visible);
+///   SealSlot(slot, cid)   — lock-free (the caller owns the slot):
+///                           persists the CID, then atomically flips the
+///                           state to kCommitting. Durability point.
+///   ReleaseSlot(slot)     — flips back to kFree and wakes one waiter.
 class CommitTable {
  public:
   /// Allocates and formats the state block; registers the root.
   static Result<std::unique_ptr<CommitTable>> Format(alloc::PHeap& heap);
 
-  /// Binds to an existing state block.
+  /// Binds to an existing state block. Slots found in kCommitting state
+  /// (crashed commits) start out claimed; recovery releases them.
   static Result<std::unique_ptr<CommitTable>> Attach(alloc::PHeap& heap);
 
   HYRISE_NV_DISALLOW_COPY_AND_MOVE(CommitTable);
 
   storage::Cid watermark() const { return block_->commit_watermark; }
 
-  /// Publishes `cid` as fully committed (single atomic persist).
+  /// Publishes `cid` as fully committed (single atomic persist). Callers
+  /// must externally order their advances (OrderedPublisher / recovery).
   void AdvanceWatermark(storage::Cid cid);
 
   /// Claims a fresh block of TIDs; returns its first TID. Persisted, so
@@ -101,14 +116,19 @@ class CommitTable {
   /// can never collide with CIDs issued after restart.
   Result<storage::Cid> ClaimCidBlock();
 
-  /// Finds a free commit slot, writes cid + touch list reference, and
-  /// flips it to kCommitting (in that persist order).
-  Result<PCommitSlot*> OpenCommit(storage::Cid cid,
-                                  const std::vector<TouchEntry>& touches);
+  /// Claims a free commit slot — blocking until one is available if all
+  /// kCommitSlots are held — and persists the touch list into it. The
+  /// slot stays kFree (invisible to recovery) until SealSlot.
+  Result<PCommitSlot*> AcquireSlot(const std::vector<TouchEntry>& touches);
 
-  /// Releases the slot (after stamping + watermark advance) and frees its
-  /// touch array.
-  void CloseCommit(PCommitSlot* slot);
+  /// Persists `cid` into the slot and flips it to kCommitting (in that
+  /// persist order). After this returns the commit survives a crash.
+  /// Lock-free: the slot is owned by the calling committer.
+  void SealSlot(PCommitSlot* slot, storage::Cid cid);
+
+  /// Returns the slot to the free pool (after publish, or on a failed
+  /// commit) and wakes one AcquireSlot waiter.
+  void ReleaseSlot(PCommitSlot* slot);
 
   /// In-flight commit found on NVM after a crash.
   struct InFlight {
@@ -128,6 +148,11 @@ class CommitTable {
   alloc::PHeap* heap_;
   PTxnStateBlock* block_ = nullptr;
   std::mutex mutex_;
+  std::condition_variable slot_cv_;
+  /// Volatile claim bitmask over block_->slots (bit i = slot i held by a
+  /// live committer). Guarded by mutex_. Superset of the kCommitting
+  /// slots; rebuilt from slot states at Attach.
+  uint64_t claimed_ = 0;
 };
 
 }  // namespace hyrise_nv::txn

@@ -34,6 +34,10 @@ struct TxnContext {
   TxnState state = TxnState::kActive;
   bool sampled = false;
   uint64_t begin_ticks = 0;
+  /// Nanoseconds this commit spent in the ordered-publish queue waiting
+  /// for predecessors (filled in by TxnManager::Commit; 0 when the
+  /// commit drained its own batch without blocking).
+  uint64_t commit_queue_wait_ns = 0;
   std::vector<Write> writes;
 };
 
@@ -75,6 +79,12 @@ class Transaction {
   void set_state(TxnState state) { ctx_->state = state; }
   void set_commit_cid(storage::Cid cid) { ctx_->commit_cid = cid; }
   storage::Cid commit_cid() const { return ctx_ ? ctx_->commit_cid : 0; }
+  void set_commit_queue_wait_ns(uint64_t ns) {
+    ctx_->commit_queue_wait_ns = ns;
+  }
+  uint64_t commit_queue_wait_ns() const {
+    return ctx_ ? ctx_->commit_queue_wait_ns : 0;
+  }
 
   /// Marks this transaction as trace-sampled: the manager records a span
   /// tree of its commit phases (begin→write-set→persist→publish).

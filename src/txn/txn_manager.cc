@@ -1,5 +1,7 @@
 #include "txn/txn_manager.h"
 
+#include <unordered_map>
+
 #include "common/logging.h"
 #include "obs/blackbox.h"
 #include "obs/metrics.h"
@@ -26,24 +28,14 @@ Result<std::unique_ptr<TxnManager>> TxnManager::Attach(alloc::PHeap& heap) {
 }
 
 Result<Transaction> TxnManager::Begin() {
-  storage::Tid tid;
-  {
-    std::lock_guard<std::mutex> guard(alloc_mutex_);
-    if (next_tid_ == tid_block_end_) {
-      auto block_result = commit_table_->ClaimTidBlock();
-      if (!block_result.ok()) return block_result.status();
-      next_tid_ = *block_result;
-      tid_block_end_ = next_tid_ + kTidBlockSize;
-    }
-    tid = next_tid_++;
-  }
+  auto tid_result =
+      tid_alloc_.Alloc([this] { return commit_table_->ClaimTidBlock(); });
+  if (!tid_result.ok()) return tid_result.status();
+  const storage::Tid tid = *tid_result;
   auto ctx = std::make_shared<TxnContext>();
   ctx->tid = tid;
   ctx->snapshot = commit_table_->watermark();
-  {
-    std::lock_guard<std::mutex> guard(active_mutex_);
-    active_txns_.emplace(tid, ctx);
-  }
+  active_.Insert(tid, ctx);
   Transaction tx(std::move(ctx));
 #if HYRISE_NV_METRICS_ENABLED
   static obs::Counter& begin_count =
@@ -63,24 +55,16 @@ Result<Transaction> TxnManager::Begin() {
 }
 
 bool TxnManager::IsActive(storage::Tid tid) const {
-  std::lock_guard<std::mutex> guard(active_mutex_);
-  return active_txns_.count(tid) > 0;
+  return active_.Contains(tid);
 }
 
-size_t TxnManager::ActiveCount() const {
-  std::lock_guard<std::mutex> guard(active_mutex_);
-  return active_txns_.size();
-}
+size_t TxnManager::ActiveCount() const { return active_.Count(); }
 
 size_t TxnManager::AbortAllActive() {
   size_t aborted = 0;
   while (true) {
-    std::shared_ptr<TxnContext> ctx;
-    {
-      std::lock_guard<std::mutex> guard(active_mutex_);
-      if (active_txns_.empty()) break;
-      ctx = active_txns_.begin()->second;
-    }
+    std::shared_ptr<TxnContext> ctx = active_.PeekAny();
+    if (ctx == nullptr) break;
     Transaction tx(ctx);
     Status status = Abort(tx);
     if (status.ok()) {
@@ -91,8 +75,7 @@ size_t TxnManager::AbortAllActive() {
                          << " failed: " << status.ToString();
     // Guarantee progress: drop the registry entry even when the abort
     // path failed, or this loop would spin on the same transaction.
-    std::lock_guard<std::mutex> guard(active_mutex_);
-    active_txns_.erase(ctx->tid);
+    active_.Erase(ctx->tid);
   }
   if (aborted > 0) {
     HYRISE_NV_LOG(kInfo) << "force-aborted " << aborted
@@ -104,9 +87,10 @@ size_t TxnManager::AbortAllActive() {
 void TxnManager::StampWrites(const std::vector<Write>& writes,
                              storage::Cid cid) {
   // CLWB batching: flush every stamped entry, then a single fence. The
-  // watermark advance (the caller's next persist) is what publishes the
-  // commit, so intra-batch ordering is irrelevant — only
-  // "all stamps before watermark" matters, which the fence guarantees.
+  // ordered publish (the caller's next step) is what makes the commit
+  // visible, so intra-batch ordering is irrelevant — only "all stamps
+  // before the watermark covers cid" matters, which the fence plus the
+  // publish queue guarantee.
   auto& region = heap_->region();
   for (const Write& write : writes) {
     storage::MvccEntry* entry = write.table->mvcc(write.loc);
@@ -121,6 +105,27 @@ void TxnManager::StampWrites(const std::vector<Write>& writes,
   region.Fence();
 }
 
+Result<storage::Cid> TxnManager::AllocCid() {
+  uint64_t abandoned = IdAllocator::kNone;
+  auto cid_result = cid_alloc_.Alloc(
+      [this]() -> Result<uint64_t> {
+        auto block_result = commit_table_->ClaimCidBlock();
+        if (block_result.ok() && !publisher_.primed()) {
+          // First block of this process: the lowest CID we will ever
+          // issue is the publisher's initial frontier.
+          publisher_.Prime(*block_result);
+        }
+        return block_result;
+      },
+      &abandoned);
+  if (!cid_result.ok() && abandoned != IdAllocator::kNone) {
+    // The failed refill consumed a CID nobody will ever stamp; retire it
+    // so the dense publish queue doesn't wait for it forever.
+    publisher_.Skip(abandoned, *commit_table_, heap_->blackbox());
+  }
+  return cid_result;
+}
+
 Status TxnManager::Commit(Transaction& tx) {
   if (!tx.active()) {
     return Status::InvalidArgument("commit of non-active transaction");
@@ -128,77 +133,102 @@ Status TxnManager::Commit(Transaction& tx) {
 #if HYRISE_NV_METRICS_ENABLED
   const uint64_t commit_start_ticks = obs::FastClock::NowTicks();
   const bool sampled = tx.sampled();
-  uint64_t write_set_end_ticks = 0;  // after the commit-slot persist
+  uint64_t write_set_end_ticks = 0;  // after the commit-slot seal
   uint64_t persist_end_ticks = 0;    // after hook + row stamping
+  static obs::Counter& commit_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.commit.count");
 #endif
   if (tx.read_only()) {
     tx.set_state(TxnState::kCommitted);
-    std::lock_guard<std::mutex> guard(active_mutex_);
-    active_txns_.erase(tx.tid());
+    active_.Erase(tx.tid());
+#if HYRISE_NV_METRICS_ENABLED
+    // Read-only commits skip the durable pipeline but still count: a
+    // served read workload must show up in txn.commit.count and the
+    // flight recorder (cid 0 = nothing published).
+    commit_count.Inc();
+    static obs::Counter& read_only_count =
+        obs::MetricsRegistry::Instance().GetCounter(
+            "txn.commit.read_only");
+    read_only_count.Inc();
+    if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+      bb->Record(obs::BlackboxEventType::kTxnCommit, tx.tid(), 0, 0, 0);
+    }
+#endif
     return Status::OK();
   }
 
-  std::lock_guard<std::mutex> commit_guard(commit_mutex_);
-
-  storage::Cid cid;
-  {
-    std::lock_guard<std::mutex> guard(alloc_mutex_);
-    if (next_cid_ == cid_block_end_) {
-      auto block_result = commit_table_->ClaimCidBlock();
-      if (!block_result.ok()) return block_result.status();
-      next_cid_ = *block_result;
-      cid_block_end_ = next_cid_ + kTidBlockSize;
-    }
-    cid = next_cid_++;
-  }
-
-  // Persist the touch list + commit intent (roll-forward information).
+  // Stage 1 — acquire a commit slot (may block when all kCommitSlots are
+  // held). Ordering note: the slot is acquired *before* the CID so that
+  // every issued CID is backed by a slot-holding committer that can make
+  // progress; the reverse order can deadlock (64 slot holders blocked in
+  // the publish queue on a predecessor CID whose owner is still waiting
+  // for a slot).
   std::vector<TouchEntry> touches;
   touches.reserve(tx.writes().size());
   for (const Write& write : tx.writes()) {
     touches.push_back(TouchEntry::Make(write.table->id(), write.loc,
                                        write.invalidate));
   }
-  auto slot_result = commit_table_->OpenCommit(cid, touches);
+  auto slot_result = commit_table_->AcquireSlot(touches);
   if (!slot_result.ok()) return slot_result.status();
   PCommitSlot* slot = *slot_result;
+
+  // Stage 2 — draw the CID (lock-free fast path).
+  auto cid_result = AllocCid();
+  if (!cid_result.ok()) {
+    commit_table_->ReleaseSlot(slot);
+    return cid_result.status();
+  }
+  const storage::Cid cid = *cid_result;
+
+  // Stage 3 — seal the slot: persist the CID and flip to kCommitting.
+  // Durability point; from here a crash rolls this commit forward.
+  commit_table_->SealSlot(slot, cid);
 #if HYRISE_NV_METRICS_ENABLED
   if (sampled) write_set_end_ticks = obs::FastClock::NowTicks();
 #endif
 
-  // Secondary durability hook (WAL engines write + sync their commit
-  // record here, before any stamp becomes visible).
+  // Stage 4 — secondary durability hook (WAL engines append their commit
+  // record and join a group fsync here, before any stamp is visible).
   if (hook_ != nullptr) {
     Status hook_status = hook_->OnCommit(cid, tx);
     if (!hook_status.ok()) {
-      commit_table_->CloseCommit(slot);
+      // Free the slot *before* retiring the CID: once the publish queue
+      // passes `cid` the watermark may advance over it, and a slot still
+      // in kCommitting state at a crash would roll this failed commit
+      // forward.
+      commit_table_->ReleaseSlot(slot);
+      publisher_.Skip(cid, *commit_table_, heap_->blackbox());
       return hook_status;
     }
   }
 
-  // Stamp all rows, then publish the CID. From here the commit is
-  // irrevocable; a crash rolls it forward.
+  // Stage 5 — stamp all rows (runs fully in parallel with other
+  // committers; stamps are per-row atomic releases).
   StampWrites(tx.writes(), cid);
 #if HYRISE_NV_METRICS_ENABLED
   if (sampled) persist_end_ticks = obs::FastClock::NowTicks();
 #endif
-  commit_table_->AdvanceWatermark(cid);
-  commit_table_->CloseCommit(slot);
 
+  // Stage 6 — ordered publish: the watermark advances strictly in CID
+  // order, batched over runs of finished commits. Blocks until the
+  // watermark covers `cid` (read-your-writes).
+  const uint64_t queue_wait_ns =
+      publisher_.Publish(cid, *commit_table_, heap_->blackbox());
+  tx.set_commit_queue_wait_ns(queue_wait_ns);
+
+  // Stage 7 — release the slot and retire the transaction.
+  commit_table_->ReleaseSlot(slot);
   tx.set_commit_cid(cid);
   tx.set_state(TxnState::kCommitted);
-  {
-    std::lock_guard<std::mutex> guard(active_mutex_);
-    active_txns_.erase(tx.tid());
-  }
+  active_.Erase(tx.tid());
 #if HYRISE_NV_METRICS_ENABLED
-  // Covers the full durable-commit path: CID allocation, commit-slot
-  // persist, the WAL hook (append + group sync), row stamping, and the
-  // watermark advance — the engine-side tail latency a client observes.
+  // Covers the full durable-commit path: slot acquisition, CID
+  // allocation, commit-slot persist, the WAL hook (append + group sync),
+  // row stamping, and the ordered publish — the engine-side tail latency
+  // a client observes.
   static obs::Histogram& commit_latency =
       obs::MetricsRegistry::Instance().GetHistogram("txn.commit.latency_ns");
-  static obs::Counter& commit_count =
-      obs::MetricsRegistry::Instance().GetCounter("txn.commit.count");
   const uint64_t commit_end_ticks = obs::FastClock::NowTicks();
   const uint64_t latency_ns = obs::FastClock::TicksToNanos(
       static_cast<int64_t>(commit_end_ticks - commit_start_ticks));
@@ -224,9 +254,10 @@ void TxnManager::RecordSampledTrace(const Transaction& tx,
                                     obs::BlackboxWriter* bb) {
 #if HYRISE_NV_METRICS_ENABLED
   using obs::FastClock;
-  // Phase spans of the commit protocol: begin→write-set (CID alloc +
-  // touch-list/commit-slot persist), persist (WAL hook + row stamping),
-  // commit-publish (watermark + slot close). Total runs from Begin().
+  // Phase spans of the commit pipeline: begin→write-set (slot acquire +
+  // CID alloc + touch-list/commit-slot persist), persist (WAL hook + row
+  // stamping), commit-publish (ordered publish + slot release) with its
+  // queue-wait portion as a child span. Total runs from Begin().
   const uint64_t begin = tx.begin_ticks();
   const uint64_t total_ns = FastClock::TicksToNanos(
       static_cast<int64_t>(commit_end - begin));
@@ -236,6 +267,7 @@ void TxnManager::RecordSampledTrace(const Transaction& tx,
       static_cast<int64_t>(persist_end - write_set_end));
   const uint64_t publish_ns = FastClock::TicksToNanos(
       static_cast<int64_t>(commit_end - persist_end));
+  const uint64_t queue_wait_ns = tx.commit_queue_wait_ns();
 
   static obs::Histogram& h_write_set =
       obs::MetricsRegistry::Instance().GetHistogram(
@@ -268,6 +300,10 @@ void TxnManager::RecordSampledTrace(const Transaction& tx,
   trace.children.push_back(child);
   child.name = "commit_publish";
   child.seconds = static_cast<double>(publish_ns) / 1e9;
+  obs::SpanNode queue_child;
+  queue_child.name = "queue_wait";
+  queue_child.seconds = static_cast<double>(queue_wait_ns) / 1e9;
+  child.children.push_back(std::move(queue_child));
   trace.children.push_back(std::move(child));
   std::lock_guard<std::mutex> guard(trace_mutex_);
   last_trace_ = std::move(trace);
@@ -317,8 +353,7 @@ Status TxnManager::Abort(Transaction& tx) {
                tx.writes().size());
   }
 #endif
-  std::lock_guard<std::mutex> guard(active_mutex_);
-  active_txns_.erase(tx.tid());
+  active_.Erase(tx.tid());
   return Status::OK();
 }
 
@@ -326,22 +361,24 @@ Status TxnManager::RecoverInFlight(storage::Catalog& catalog) {
   auto in_flight_result = commit_table_->FindInFlight();
   if (!in_flight_result.ok()) return in_flight_result.status();
   auto& region = heap_->region();
+  // Resolve table ids once: recovery cost stays O(tables + touches)
+  // instead of O(tables × touches).
+  std::unordered_map<uint64_t, storage::Table*> tables_by_id;
+  tables_by_id.reserve(catalog.tables().size());
+  for (const auto& t : catalog.tables()) {
+    tables_by_id.emplace(t->id(), t.get());
+  }
   for (auto& commit : *in_flight_result) {
     HYRISE_NV_LOG(kInfo) << "rolling forward in-flight commit cid="
                          << commit.cid << " with "
                          << commit.touches.size() << " touches";
     for (const TouchEntry& touch : commit.touches) {
-      storage::Table* table = nullptr;
-      for (const auto& t : catalog.tables()) {
-        if (t->id() == touch.table_id) {
-          table = t.get();
-          break;
-        }
-      }
-      if (table == nullptr) {
+      auto table_it = tables_by_id.find(touch.table_id);
+      if (table_it == tables_by_id.end()) {
         return Status::Corruption("in-flight commit references table id " +
                                   std::to_string(touch.table_id));
       }
+      storage::Table* table = table_it->second;
       const storage::RowLocation loc = touch.location();
       const uint64_t rows = loc.in_main ? table->main_row_count()
                                         : table->delta_row_count();
@@ -359,7 +396,7 @@ Status TxnManager::RecoverInFlight(storage::Catalog& catalog) {
     if (commit.cid > commit_table_->watermark()) {
       commit_table_->AdvanceWatermark(commit.cid);
     }
-    commit_table_->CloseCommit(commit.slot);
+    commit_table_->ReleaseSlot(commit.slot);
   }
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 
 #include "obs/trace.h"
 #include "storage/catalog.h"
+#include "txn/commit_pipeline.h"
 #include "txn/commit_table.h"
 #include "txn/transaction.h"
 
@@ -20,6 +21,10 @@ namespace hyrise_nv::txn {
 /// Hook invoked inside the commit/abort paths. The WAL engine implements
 /// it to write (and group-sync) commit records; the NVM engine runs
 /// without one — durability comes from the commit table itself.
+///
+/// OnCommit is called concurrently from parallel committers; hook
+/// implementations synchronise internally (the WAL hook batches callers
+/// into one group fsync).
 class CommitHook {
  public:
   virtual ~CommitHook() = default;
@@ -30,13 +35,74 @@ class CommitHook {
   virtual Status OnAbort(const Transaction& tx) = 0;
 };
 
+/// Registry of active transactions, sharded by TID so concurrent
+/// Begin/Commit/Abort don't contend on one mutex. TIDs are sequential,
+/// so `tid % kShards` round-robins neighbouring transactions onto
+/// different shards.
+///
+/// Holding the shared context (not just the tid) lets AbortAllActive
+/// roll back write sets whose Transaction handles live elsewhere (or
+/// nowhere — a dead client).
+class ActiveTxnRegistry {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Insert(storage::Tid tid, std::shared_ptr<TxnContext> ctx) {
+    Shard& s = shard(tid);
+    std::lock_guard<std::mutex> guard(s.mutex);
+    s.txns.emplace(tid, std::move(ctx));
+  }
+  void Erase(storage::Tid tid) {
+    Shard& s = shard(tid);
+    std::lock_guard<std::mutex> guard(s.mutex);
+    s.txns.erase(tid);
+  }
+  bool Contains(storage::Tid tid) const {
+    const Shard& s = shard(tid);
+    std::lock_guard<std::mutex> guard(s.mutex);
+    return s.txns.count(tid) > 0;
+  }
+  size_t Count() const {
+    size_t total = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> guard(s.mutex);
+      total += s.txns.size();
+    }
+    return total;
+  }
+  /// Any one active context, or nullptr when empty (AbortAllActive's
+  /// work loop).
+  std::shared_ptr<TxnContext> PeekAny() const {
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> guard(s.mutex);
+      if (!s.txns.empty()) return s.txns.begin()->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<storage::Tid, std::shared_ptr<TxnContext>> txns;
+  };
+  Shard& shard(storage::Tid tid) { return shards_[tid % kShards]; }
+  const Shard& shard(storage::Tid tid) const {
+    return shards_[tid % kShards];
+  }
+  Shard shards_[kShards];
+};
+
 /// MVCC transaction manager implementing the paper's NVM commit protocol
-/// (DESIGN.md §4.4):
+/// (DESIGN.md §4.4) as a concurrent pipeline (DESIGN.md §12):
 ///
 ///   1. writes leave rows claimed (tid) and unstamped (begin = ∞);
-///   2. Commit persists the touch list, flips a commit slot to
-///      kCommitting, stamps every touched row with the commit CID, and
-///      finally advances the persisted watermark;
+///   2. Commit acquires a commit slot, draws a CID from a lock-free
+///      block allocator, persists the touch list and flips the slot to
+///      kCommitting (durability point), runs the durability hook, stamps
+///      every touched row with the CID — all concurrently with other
+///      committers — and finally publishes through the ordered-publish
+///      queue, which advances the persisted watermark strictly in CID
+///      order (batched over whole runs of finished commits);
 ///   3. a crash at any point either rolls the commit forward (slot was
 ///      committing → recovery re-stamps, idempotently) or leaves the
 ///      transaction invisible (no slot → claims are stale, stolen later).
@@ -55,8 +121,9 @@ class TxnManager {
   /// Starts a transaction with a snapshot of the current watermark.
   Result<Transaction> Begin();
 
-  /// Commits: assigns a CID, persists the commit, stamps rows, advances
-  /// the watermark. Invokes `hook` (if set) before stamping.
+  /// Commits: assigns a CID, persists the commit, stamps rows, publishes
+  /// in CID order. Invokes `hook` (if set) before stamping. Safe to call
+  /// from many threads at once.
   Status Commit(Transaction& tx);
 
   /// Aborts: releases claims, tombstones own inserts.
@@ -107,6 +174,11 @@ class TxnManager {
   // Stamps all writes of a commit with `cid` and clears claims.
   void StampWrites(const std::vector<Write>& writes, storage::Cid cid);
 
+  // Draws one CID from the lock-free allocator, priming the ordered
+  // publisher with the first block, and retiring any CID abandoned by a
+  // failed block refill so the publish queue can't stall on it.
+  Result<storage::Cid> AllocCid();
+
   // Builds + publishes the span tree of a sampled commit and feeds the
   // txn.trace.* histograms and the flight recorder.
   void RecordSampledTrace(const Transaction& tx, uint64_t write_set_end,
@@ -117,20 +189,11 @@ class TxnManager {
   std::unique_ptr<CommitTable> commit_table_;
   CommitHook* hook_ = nullptr;
 
-  /// Registry of active transactions. Holding the shared context (not
-  /// just the tid) lets AbortAllActive roll back write sets whose
-  /// Transaction handles live elsewhere (or nowhere — a dead client).
-  mutable std::mutex active_mutex_;
-  std::unordered_map<storage::Tid, std::shared_ptr<TxnContext>>
-      active_txns_;
+  ActiveTxnRegistry active_;
 
-  std::mutex alloc_mutex_;
-  storage::Tid next_tid_ = 0;
-  storage::Tid tid_block_end_ = 0;
-  storage::Cid next_cid_ = 0;
-  storage::Cid cid_block_end_ = 0;
-
-  std::mutex commit_mutex_;  // serialises the commit critical section
+  IdAllocator tid_alloc_{kTidBlockSize};
+  IdAllocator cid_alloc_{kTidBlockSize};
+  OrderedPublisher publisher_;
 
   std::atomic<uint64_t> sample_every_{0};
   std::atomic<uint64_t> sample_counter_{0};

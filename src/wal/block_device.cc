@@ -53,7 +53,8 @@ void BlockDevice::ThrottleBandwidth(double mbps, size_t bytes) {
   const double seconds =
       static_cast<double>(bytes) / (mbps * 1024.0 * 1024.0);
   throttled_seconds_ += seconds;
-  nvm::SpinDelayNanos(static_cast<uint64_t>(seconds * 1e9));
+  // Device time, not CPU time: the kernel would block here, so yield.
+  nvm::BlockingDelayNanos(static_cast<uint64_t>(seconds * 1e9));
 }
 
 Result<uint64_t> BlockDevice::Append(const void* data, size_t len) {
@@ -102,7 +103,7 @@ Status BlockDevice::Sync() {
     return Status::IOError("fdatasync failed");
   }
   if (options_.sync_latency_us != 0) {
-    nvm::SpinDelayNanos(uint64_t{options_.sync_latency_us} * 1000);
+    nvm::BlockingDelayNanos(uint64_t{options_.sync_latency_us} * 1000);
     throttled_seconds_ += options_.sync_latency_us / 1e6;
   }
   durable_size_ = size_;

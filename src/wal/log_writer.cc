@@ -82,11 +82,12 @@ Status LogWriter::FlushLocked() {
 }
 
 Status LogWriter::Flush() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  group_cv_.wait(lock, [&] { return !leader_active_; });
   return FlushLocked();
 }
 
-Status LogWriter::SyncDeviceLocked() {
+Status LogWriter::SyncDevice() {
 #if HYRISE_NV_METRICS_ENABLED
   const uint64_t start_ticks = obs::FastClock::NowTicks();
 #endif
@@ -101,30 +102,117 @@ Status LogWriter::SyncDeviceLocked() {
   fsync_latency.Record(sync_ns);
   fsync_count.Inc();
   if (obs::BlackboxWriter* bb = obs::BlackboxWriter::Current()) {
-    bb->Record(obs::BlackboxEventType::kWalSync, total_commits_, sync_ns);
+    bb->Record(obs::BlackboxEventType::kWalSync,
+               total_commits_.load(std::memory_order_relaxed), sync_ns);
   }
 #endif
   return status;
 }
 
+Status LogWriter::GroupCommit(const std::vector<uint8_t>& framed) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+  const uint64_t my_seqno =
+      total_commits_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  while (true) {
+    if (synced_commits_.load(std::memory_order_relaxed) >= my_seqno) {
+      // A leader's fsync already covered this commit.
+      return Status::OK();
+    }
+    if (degraded()) {
+      return Status::IOError(
+          "log writer is degraded after unrecoverable I/O errors; "
+          "database is read-only");
+    }
+    if (!leader_active_) break;  // leadership is free — take it
+    group_cv_.wait(lock);
+  }
+
+  // Leader: swap the buffer out and run device I/O unlocked, so
+  // followers can keep appending the next batch meanwhile.
+  leader_active_ = true;
+  std::vector<uint8_t> batch;
+  batch.swap(buffer_);
+  const uint64_t batch_high =
+      total_commits_.load(std::memory_order_relaxed);
+  const uint64_t batch_low =
+      synced_commits_.load(std::memory_order_relaxed);
+  in_flight_bytes_.store(batch.size(), std::memory_order_relaxed);
+  lock.unlock();
+
+  Status status = Status::OK();
+  if (!batch.empty()) {
+#if HYRISE_NV_METRICS_ENABLED
+    static obs::Histogram& batch_bytes =
+        obs::MetricsRegistry::Instance().GetHistogram("wal.batch.bytes");
+    batch_bytes.Record(batch.size());
+#endif
+    status = RetryIo("append", [&] {
+      auto append_result = device_->Append(batch.data(), batch.size());
+      return append_result.ok() ? Status::OK() : append_result.status();
+    });
+  }
+  if (status.ok()) {
+    status = SyncDevice();
+  }
+
+  lock.lock();
+  if (status.ok()) {
+    synced_commits_.store(batch_high, std::memory_order_relaxed);
+#if HYRISE_NV_METRICS_ENABLED
+    static obs::Histogram& group_size =
+        obs::MetricsRegistry::Instance().GetHistogram(
+            "wal.group_commit.size");
+    group_size.Record(batch_high - batch_low);
+#endif
+  } else if (!batch.empty()) {
+    // Keep failed bytes buffered (ahead of anything appended since) so a
+    // later flush preserves record order — matches the pre-group-commit
+    // failure semantics.
+    batch.insert(batch.end(), buffer_.begin(), buffer_.end());
+    buffer_.swap(batch);
+  }
+  in_flight_bytes_.store(0, std::memory_order_relaxed);
+  leader_active_ = false;
+  lock.unlock();
+  group_cv_.notify_all();
+  return status;
+}
+
 Status LogWriter::Commit(const LogRecord& commit_record) {
+  if (degraded()) {
+    return Status::IOError(
+        "log writer is degraded after unrecoverable I/O errors; "
+        "database is read-only");
+  }
+  if (sync_every_ == 1) {
+    return GroupCommit(EncodeRecord(commit_record));
+  }
+  // Lossy mode (sync every N-th commit): the window of the last < N
+  // commits is acceptable loss, so a plain flush under the lock is
+  // enough.
   HYRISE_NV_RETURN_NOT_OK(Append(commit_record));
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  group_cv_.wait(lock, [&] { return !leader_active_; });
   HYRISE_NV_RETURN_NOT_OK(FlushLocked());
-  ++total_commits_;
+  total_commits_.fetch_add(1, std::memory_order_relaxed);
   if (++unsynced_commits_ >= sync_every_) {
-    HYRISE_NV_RETURN_NOT_OK(SyncDeviceLocked());
-    synced_commits_ = total_commits_;
+    HYRISE_NV_RETURN_NOT_OK(SyncDevice());
+    synced_commits_.store(total_commits_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
     unsynced_commits_ = 0;
   }
   return Status::OK();
 }
 
 Status LogWriter::SyncNow() {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  group_cv_.wait(lock, [&] { return !leader_active_; });
   HYRISE_NV_RETURN_NOT_OK(FlushLocked());
-  HYRISE_NV_RETURN_NOT_OK(SyncDeviceLocked());
-  synced_commits_ = total_commits_;
+  HYRISE_NV_RETURN_NOT_OK(SyncDevice());
+  synced_commits_.store(total_commits_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
   unsynced_commits_ = 0;
   return Status::OK();
 }

@@ -2,6 +2,7 @@
 #define HYRISE_NV_WAL_LOG_WRITER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -15,11 +16,19 @@ namespace hyrise_nv::wal {
 
 /// Buffered WAL appender with group commit.
 ///
-/// Records accumulate in a volatile buffer; Commit() flushes and — every
-/// `sync_every_n_commits`-th commit — syncs the device. With N == 1 every
-/// commit is synchronously durable; with N > 1 the writer models group
-/// commit: the last < N commits may be lost in a crash, but the log never
-/// tears mid-record (framed CRCs make a torn tail detectable).
+/// Records accumulate in a volatile buffer. With `sync_every_n_commits`
+/// == 1 (the default durable mode) Commit() runs a leader/follower group
+/// commit: the first committer to reach the device becomes the leader,
+/// swaps the whole buffer out, and performs one append + fsync for every
+/// commit that joined the buffer meanwhile; followers block until a
+/// leader's sync covers their commit. Every acknowledged commit is
+/// synchronously durable, but concurrent committers share fsyncs instead
+/// of queueing one fsync each.
+///
+/// With N > 1 the writer instead models *lossy* group commit: only every
+/// N-th commit syncs, so the last < N commits may be lost in a crash —
+/// the log still never tears mid-record (framed CRCs make a torn tail
+/// detectable).
 ///
 /// I/O errors (EIO, short writes, failed fdatasync) are retried with
 /// exponential backoff up to `io_max_retries` times. If the device stays
@@ -40,7 +49,9 @@ class LogWriter {
   /// Buffers a non-commit record.
   Status Append(const LogRecord& record);
 
-  /// Buffers the commit record, flushes, and applies the sync policy.
+  /// Buffers the commit record and makes it durable per the sync policy
+  /// (leader/follower group fsync when sync_every == 1). Thread-safe;
+  /// concurrent callers batch into shared fsyncs.
   Status Commit(const LogRecord& commit_record);
 
   /// Writes the buffer to the device (no sync).
@@ -49,11 +60,19 @@ class LogWriter {
   /// Flush + sync, regardless of the group-commit counter.
   Status SyncNow();
 
-  /// Total bytes appended so far (including still-buffered ones).
-  uint64_t lsn() const { return device_->size() + buffer_.size(); }
+  /// Total bytes appended so far (including still-buffered ones and a
+  /// leader's in-flight batch).
+  uint64_t lsn() const {
+    return device_->size() + buffer_.size() +
+           in_flight_bytes_.load(std::memory_order_relaxed);
+  }
 
-  uint64_t synced_commits() const { return synced_commits_; }
-  uint64_t total_commits() const { return total_commits_; }
+  uint64_t synced_commits() const {
+    return synced_commits_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_commits() const {
+    return total_commits_.load(std::memory_order_relaxed);
+  }
 
   /// True once an I/O error survived all retries. Degraded is sticky:
   /// the log's durable prefix is intact, but nothing past it can be
@@ -69,28 +88,40 @@ class LogWriter {
   /// Runs `io`, retrying transient I/O errors with exponential backoff
   /// (io_retry_backoff_us, doubling, capped at ~1s per attempt). On
   /// exhaustion marks the writer degraded and returns the last error.
-  /// Non-I/O errors are returned immediately without retry. Caller must
-  /// hold mutex_.
+  /// Non-I/O errors are returned immediately without retry. Touches only
+  /// atomics — safe with or without mutex_ held.
   Status RetryIo(const char* what, const std::function<Status()>& io);
 
-  /// Caller must hold mutex_.
+  /// Caller must hold mutex_ (and must not race a leader's device I/O —
+  /// wait for !leader_active_ first).
   Status FlushLocked();
 
   /// Syncs the device through RetryIo, recording fsync count + latency
-  /// metrics. Caller must hold mutex_.
-  Status SyncDeviceLocked();
+  /// metrics. Same device-exclusivity requirement as FlushLocked.
+  Status SyncDevice();
+
+  /// The sync_every_ == 1 leader/follower path (see class comment).
+  Status GroupCommit(const std::vector<uint8_t>& framed);
 
   BlockDevice* device_;
   uint32_t sync_every_;
   uint32_t io_max_retries_;
   uint32_t io_retry_backoff_us_;
-  uint32_t unsynced_commits_ = 0;
-  uint64_t total_commits_ = 0;
-  uint64_t synced_commits_ = 0;
+  uint32_t unsynced_commits_ = 0;  // lossy path only; guarded by mutex_
+  std::atomic<uint64_t> total_commits_{0};
+  std::atomic<uint64_t> synced_commits_{0};
   std::atomic<bool> degraded_{false};
   std::atomic<uint64_t> io_retries_{0};
+  /// Bytes swapped out of buffer_ by a group-commit leader and not yet
+  /// reflected in device_->size() (keeps lsn() monotone mid-batch).
+  std::atomic<uint64_t> in_flight_bytes_{0};
   std::vector<uint8_t> buffer_;
   std::mutex mutex_;
+  /// Guarded by mutex_: true while a leader runs device I/O unlocked.
+  bool leader_active_ = false;
+  /// Signalled when a leader finishes (followers re-check coverage) and
+  /// when leadership frees up.
+  std::condition_variable group_cv_;
 };
 
 }  // namespace hyrise_nv::wal

@@ -25,6 +25,27 @@ Status CommitBatch(core::Database* db, txn::Transaction* tx,
 
 }  // namespace
 
+Status TpccRunner::Bind(int64_t history_id_base) {
+  struct Binding {
+    const char* name;
+    storage::Table** slot;
+  };
+  Binding bindings[] = {
+      {"warehouse", &warehouse_}, {"district", &district_},
+      {"customer", &customer_},   {"item", &item_},
+      {"stock", &stock_},         {"orders", &orders_},
+      {"new_order", &new_order_}, {"order_line", &order_line_},
+      {"history", &history_},
+  };
+  for (const Binding& b : bindings) {
+    auto table_result = db_->GetTable(b.name);
+    if (!table_result.ok()) return table_result.status();
+    *b.slot = *table_result;
+  }
+  next_history_id_ = history_id_base;
+  return Status::OK();
+}
+
 Status TpccRunner::Load() {
   auto make = [this](const char* name,
                      std::vector<storage::ColumnDef> cols)

@@ -54,6 +54,13 @@ class TpccRunner {
   /// Creates and populates all tables + indexes.
   Status Load();
 
+  /// Binds to tables another runner's Load() already created — the
+  /// multi-threaded path: one runner loads, then one runner per thread
+  /// binds to the shared database (distinct `config.seed` per thread
+  /// keeps the access streams apart). `history_id_base` must be unique
+  /// per runner so concurrently inserted history rows get unique ids.
+  Status Bind(int64_t history_id_base);
+
   /// Runs `num_transactions` transactions of the configured mix.
   Result<TpccStats> Run(uint64_t num_transactions);
 

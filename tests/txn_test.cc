@@ -242,8 +242,9 @@ TEST_F(TxnTest, CrashMidCommitRollsForward) {
   auto cid_result = manager_->commit_table().ClaimCidBlock();
   ASSERT_TRUE(cid_result.ok());
   const storage::Cid cid = *cid_result;
-  auto slot = manager_->commit_table().OpenCommit(cid, touches);
+  auto slot = manager_->commit_table().AcquireSlot(touches);
   ASSERT_TRUE(slot.ok());
+  manager_->commit_table().SealSlot(*slot, cid);
   ASSERT_TRUE(heap_->region().SimulateCrash().ok());
 
   alloc::PAllocator fresh_alloc(heap_->region());
