@@ -1,13 +1,18 @@
 #include "core/database.h"
 
+#include <chrono>
 #include <filesystem>
+#include <mutex>
 #include <system_error>
+#include <thread>
 
 #include "common/logging.h"
+#include "core/query.h"
 #include "nvm/nvm_env.h"
 #include "obs/blackbox.h"
 #include "obs/crash_handler.h"
 #include "obs/trace.h"
+#include "recovery/log_index.h"
 #include "recovery/log_recovery.h"
 #include "recovery/verify.h"
 #include "storage/mvcc.h"
@@ -145,6 +150,46 @@ Result<std::unique_ptr<Database>> Database::Open(
     auto db_result = CreateFresh(options, /*open_existing_log=*/true);
     if (!db_result.ok()) return db_result;
     auto& db = *db_result;
+
+    if (options.log_recovery == LogRecoveryPolicy::kServeOnDemand) {
+      // Serve-during-recovery: analysis stages pending rows instead of
+      // replaying them, the engine opens degraded in O(log-scan) time,
+      // and a background drain restores the rest while serving.
+      auto index_result = recovery::AnalyzeLog(
+          *db->heap_, *db->catalog_, *db->txn_manager_,
+          options.MakeLogOptions());
+      if (!index_result.ok()) return index_result.status();
+      db->log_manager_->ResetDictWatermarks(*db->catalog_);
+      db->recovery_.mode = options.mode;
+      db->recovery_.recovered = true;
+      db->recovery_.log = index_result->report;
+      tracer.Attach(db->recovery_.log.trace);
+      tracer.Begin("attach_index_sets");
+      HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
+      tracer.End();
+      db->deferred_indexes_ = std::move(index_result->indexed_columns);
+      if (index_result->total_pending_rows == 0) {
+        // Nothing to drain: build the indexes inline and open ready.
+        HYRISE_NV_RETURN_NOT_OK(db->BuildDeferredIndexes());
+      } else {
+        recovery::RecoveryDriverOptions driver_options;
+        driver_options.drain_chunk_rows = options.drain_chunk_rows;
+        driver_options.drain_pause_us = options.drain_pause_us;
+        db->recovery_driver_ = std::make_unique<recovery::RecoveryDriver>(
+            *db->heap_, std::move(*index_result), driver_options);
+      }
+      db->recovery_.trace = tracer.Finish();
+      db->recovery_.total_seconds = db->recovery_.trace.seconds;
+      NoteOpened();
+      db->StartObservability(/*recovered=*/true);
+      if (db->recovery_driver_ != nullptr) {
+        Database* raw = db.get();
+        db->recovery_driver_->StartDrain(
+            [raw] { return raw->BuildDeferredIndexes(); });
+      }
+      return db_result;
+    }
+
     auto report_result = recovery::RecoverFromLog(
         *db->heap_, *db->catalog_, *db->txn_manager_,
         options.MakeLogOptions());
@@ -312,6 +357,53 @@ Status Database::EnsureWritable() const {
   return Status::IOError("database is read-only: " + read_only_reason_);
 }
 
+Status Database::EnsureNotDegraded(const char* what) const {
+  if (recovery_driver_ == nullptr || !recovery_driver_->serving_degraded()) {
+    return Status::OK();
+  }
+  return Status::Aborted(std::string(what) +
+                         " unavailable while serving degraded: recovery "
+                         "drain in progress");
+}
+
+Status Database::BuildDeferredIndexes() {
+  for (const auto& indexed : deferred_indexes_) {
+    auto table_result = catalog_->GetTable(indexed.table);
+    if (!table_result.ok()) return table_result.status();
+    storage::Table* table = *table_result;
+    index::IndexSet* set = indexes(table);
+    HYRISE_NV_CHECK(set != nullptr, "table without index set");
+    // Same lock as Insert: writers admitted during degraded serving must
+    // not observe a half-built index, and rows they append either land
+    // before the build (the build sees them) or after (OnInsert sees the
+    // bound index).
+    std::lock_guard<std::mutex> write_guard(table->write_mutex());
+    if (set->HasIndex(indexed.column)) continue;
+    HYRISE_NV_RETURN_NOT_OK(set->CreateIndexOfKind(
+        indexed.column, static_cast<storage::PIndexKind>(indexed.kind)));
+    if (table->main_row_count() > 0) {
+      HYRISE_NV_RETURN_NOT_OK(
+          storage::BuildMainGroupKey(*table, indexed.column));
+      HYRISE_NV_RETURN_NOT_OK(set->Attach());
+    }
+  }
+  deferred_indexes_.clear();
+  return Status::OK();
+}
+
+Status Database::WaitUntilRecovered(uint64_t timeout_ms) {
+  if (recovery_driver_ == nullptr) return Status::OK();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (recovery_driver_->serving_degraded()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Aborted("timed out waiting for the recovery drain");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::OK();
+}
+
 void Database::NoteLogFailure(const Status& status) {
   if (status.ok() || status.code() != StatusCode::kIOError) return;
   if (log_manager_ == nullptr || !log_manager_->writer().degraded()) return;
@@ -360,6 +452,9 @@ Result<storage::Table*> Database::CreateTable(const std::string& name,
 
 Status Database::CreateIndex(const std::string& table_name, size_t column,
                              storage::PIndexKind kind) {
+  // Index builds key every existing row; placeholders can't be keyed,
+  // and the build would race the drain's deferred builds.
+  HYRISE_NV_RETURN_NOT_OK(EnsureNotDegraded("create-index"));
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   auto table_result = catalog_->GetTable(table_name);
   if (!table_result.ok()) return table_result.status();
@@ -463,8 +558,23 @@ Status Database::InsertAutoCommit(storage::Table* table,
 Result<std::vector<storage::RowLocation>> Database::ScanEqual(
     storage::Table* table, size_t column, const storage::Value& value,
     storage::Cid snapshot, storage::Tid tid) const {
+  const bool degraded =
+      recovery_driver_ != nullptr && recovery_driver_->serving_degraded();
+  std::unique_lock<std::mutex> degraded_guard;
+  if (degraded) {
+    // Restore the rows this key touches first. The scan then runs
+    // index-free: no index exists while degraded (all builds are
+    // deferred to the drain), and consulting the set here would race the
+    // finalize-time build. Holding the write mutex for the scan itself
+    // serializes the full-delta cell walk with the drain's chunked
+    // restores (the drain takes the same mutex per chunk, so degraded
+    // reads pause it briefly instead of racing it).
+    HYRISE_NV_RETURN_NOT_OK(
+        recovery_driver_->PrepareScanEqual(table, column, value));
+    degraded_guard = std::unique_lock<std::mutex>(table->write_mutex());
+  }
   std::vector<storage::RowLocation> rows;
-  index::IndexSet* set = indexes(table);
+  index::IndexSet* set = degraded ? nullptr : indexes(table);
   if (set != nullptr && set->HasIndex(column)) {
     HYRISE_NV_RETURN_NOT_OK(set->ForEachEqualCandidate(
         column, value, [&](storage::RowLocation loc) {
@@ -502,7 +612,25 @@ Result<std::vector<storage::RowLocation>> Database::ScanEqual(
   return rows;
 }
 
+Result<std::vector<storage::RowLocation>> Database::ScanRange(
+    storage::Table* table, size_t column, const storage::Value& lo,
+    const storage::Value& hi, storage::Cid snapshot,
+    storage::Tid tid) const {
+  if (recovery_driver_ != nullptr && recovery_driver_->serving_degraded()) {
+    HYRISE_NV_RETURN_NOT_OK(
+        recovery_driver_->PrepareScanRange(table, column, lo, hi));
+    // Index-free for the same reason as ScanEqual: the deferred index
+    // build must not be observed half-done. The scan holds the write
+    // mutex to serialize with the drain's chunked cell restores.
+    std::lock_guard<std::mutex> guard(table->write_mutex());
+    return core::ScanRange(table, column, lo, hi, snapshot, tid, nullptr);
+  }
+  return core::ScanRange(table, column, lo, hi, snapshot, tid,
+                         indexes(table));
+}
+
 Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureNotDegraded("merge"));
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   auto table_result = catalog_->GetTable(table_name);
   if (!table_result.ok()) return table_result.status();
@@ -537,6 +665,9 @@ Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
 
 Status Database::Checkpoint() {
   if (log_manager_ == nullptr) return Status::OK();
+  // A checkpoint while rows are still placeholders would snapshot
+  // kInvalidValueId cells as real data.
+  HYRISE_NV_RETURN_NOT_OK(EnsureNotDegraded("checkpoint"));
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   const uint64_t start_ticks = obs::FastClock::NowTicks();
   Status status = log_manager_->WriteCheckpointNow(
@@ -555,6 +686,10 @@ Status Database::Close() {
   // Stop the historian first: it must not flush the recorder after the
   // close event seals the session.
   history_.reset();
+  // Stop the drain before touching shared state below. A close while
+  // still degraded is fine: restores are never re-logged, so the next
+  // open simply re-runs analysis from the same WAL.
+  if (recovery_driver_ != nullptr) recovery_driver_->StopDrain();
   if (read_only_) {
     // Salvage / degraded: nothing here may touch the image or the log.
     // In particular the image must NOT be marked clean — its seals were
@@ -620,6 +755,16 @@ obs::MetricsSnapshot Database::MetricsSnapshot() {
   registry.GetGauge("alloc.heap_used.bytes")
       .Set(static_cast<int64_t>(heap_->allocator().HeapUsedBytes()));
   registry.GetGauge("db.read_only").Set(read_only_ ? 1 : 0);
+  registry.GetGauge("db.serving_degraded")
+      .Set(serving_state() == ServingState::kServingDegraded ? 1 : 0);
+  if (recovery_driver_ != nullptr) {
+    const recovery::RecoveryProgress progress = recovery_progress();
+    registry.GetGauge("recovery.pending.rows")
+        .Set(static_cast<int64_t>(progress.total_rows -
+                                  progress.restored_rows));
+    registry.GetGauge("recovery.progress.percent")
+        .Set(static_cast<int64_t>(progress.percent()));
+  }
   if (log_manager_ != nullptr) {
     const wal::LogWriter& writer = log_manager_->writer();
     registry.GetCounter("wal.io.retries").Store(writer.io_retries());

@@ -10,11 +10,22 @@
 #include "index/index_set.h"
 #include "obs/history.h"
 #include "obs/metrics.h"
+#include "recovery/recovery_driver.h"
 #include "storage/catalog.h"
 #include "storage/merge.h"
 #include "txn/txn_manager.h"
 
 namespace hyrise_nv::core {
+
+/// Availability state of an open database. A WAL open under
+/// LogRecoveryPolicy::kServeOnDemand starts kServingDegraded: reads and
+/// writes work (value reads restore pending rows on demand), but
+/// checkpoint/merge/index DDL are refused until the background drain
+/// finishes and flips the engine to kReady.
+enum class ServingState {
+  kReady,
+  kServingDegraded,
+};
 
 /// The Hyrise-NV storage engine facade: tables, MVCC transactions,
 /// secondary indexes, merges, and the durability mode chosen in
@@ -102,6 +113,14 @@ class Database {
       storage::Table* table, size_t column, const storage::Value& value,
       storage::Cid snapshot, storage::Tid tid) const;
 
+  /// Rows of `table` where lo <= column <= hi, visible to (snapshot,
+  /// tid). Uses an ordered index when one exists; degraded-aware like
+  /// ScanEqual (restores the touched key range on demand first).
+  Result<std::vector<storage::RowLocation>> ScanRange(
+      storage::Table* table, size_t column, const storage::Value& lo,
+      const storage::Value& hi, storage::Cid snapshot,
+      storage::Tid tid) const;
+
   storage::Cid ReadSnapshot() const { return txn_manager_->ReadSnapshot(); }
 
   // --- Maintenance ---------------------------------------------------------
@@ -121,6 +140,26 @@ class Database {
 
   const DatabaseOptions& options() const { return options_; }
   const RecoveryReport& last_recovery_report() const { return recovery_; }
+
+  /// kServingDegraded while an on-demand recovery drain is in flight;
+  /// kReady otherwise (including every non-WAL mode and eager replay).
+  ServingState serving_state() const {
+    return recovery_driver_ && recovery_driver_->serving_degraded()
+               ? ServingState::kServingDegraded
+               : ServingState::kReady;
+  }
+
+  /// Restoration progress of an on-demand recovery (all-done/100% when
+  /// the database never opened degraded).
+  recovery::RecoveryProgress recovery_progress() const {
+    if (recovery_driver_) return recovery_driver_->progress();
+    return recovery::RecoveryProgress{};
+  }
+
+  /// Blocks until the background drain finishes and the engine is fully
+  /// recovered (immediately OK when not degraded). Fails with
+  /// Status::Aborted after `timeout_ms`.
+  Status WaitUntilRecovered(uint64_t timeout_ms);
 
   /// Point-in-time snapshot of every engine metric. Syncs the passive
   /// sources (NVM region stats, WAL writer totals, allocator usage) into
@@ -165,6 +204,14 @@ class Database {
   Status AttachAllIndexSets();
   nvm::PmemRegionOptions MakeRegionOptions() const;
   Status EnsureWritable() const;
+  /// Refuses maintenance/DDL (`what`) while serving degraded — logged
+  /// positions reference the pre-merge layout and deferred indexes are
+  /// still pending, so these must wait for the drain to finish.
+  Status EnsureNotDegraded(const char* what) const;
+  /// Builds every index recorded in the checkpoint whose construction
+  /// was deferred by an on-demand open. Runs on the drain thread as the
+  /// finalize step (or inline when nothing was pending).
+  Status BuildDeferredIndexes();
   /// Flips the database read-only when a WAL write error exhausted the
   /// writer's retry budget (degraded mode).
   void NoteLogFailure(const Status& status);
@@ -184,6 +231,12 @@ class Database {
   std::unique_ptr<wal::LogManager> log_manager_;
   std::unordered_map<storage::Table*, std::unique_ptr<index::IndexSet>>
       index_sets_;
+  /// Indexes from the checkpoint whose builds an on-demand open deferred
+  /// to drain completion (placeholder rows can't be keyed).
+  std::vector<wal::CheckpointInfo::IndexedColumn> deferred_indexes_;
+  /// Non-null only for an on-demand WAL open with pending rows; owns the
+  /// drain thread, so destroyed before the structures it restores into.
+  std::unique_ptr<recovery::RecoveryDriver> recovery_driver_;
   // Last member on purpose: destroyed first, so the historian thread is
   // stopped before the heap (and its flight recorder) go away.
   std::unique_ptr<obs::HistorySampler> history_;

@@ -19,6 +19,16 @@ const char* DurabilityModeName(DurabilityMode mode) {
   return "unknown";
 }
 
+const char* LogRecoveryPolicyName(LogRecoveryPolicy policy) {
+  switch (policy) {
+    case LogRecoveryPolicy::kEagerReplay:
+      return "eager";
+    case LogRecoveryPolicy::kServeOnDemand:
+      return "on-demand";
+  }
+  return "unknown";
+}
+
 namespace {
 
 std::string JsonQuote(const std::string& s) {
@@ -59,6 +69,10 @@ std::string RecoveryReport::RenderText() const {
       << " recovered=" << (recovered ? "yes" : "no (fresh)");
   if (fell_back_to_log) out << " fell_back_to_log";
   if (read_only) out << " read_only";
+  if (log.checkpoint_fallback) out << " checkpoint_fallback";
+  if (log.on_demand) {
+    out << " on_demand(deferred_rows=" << log.deferred_rows << ")";
+  }
   char total[64];
   std::snprintf(total, sizeof(total), " total=%.3f ms",
                 total_seconds * 1e3);
@@ -90,11 +104,19 @@ std::string RecoveryReport::ToJson() const {
         << ",\"attach_seconds\":" << nvm.attach_seconds << '}';
   } else if (recovered || fell_back_to_log) {
     out << ",\"phases\":{\"checkpoint_load_seconds\":"
-        << log.checkpoint_load_seconds
-        << ",\"replay_seconds\":" << log.replay_seconds
-        << ",\"index_rebuild_seconds\":" << log.index_rebuild_seconds
-        << ",\"replayed_records\":" << log.replayed_records
-        << ",\"committed_txns\":" << log.committed_txns << '}';
+        << log.checkpoint_load_seconds;
+    if (log.on_demand) {
+      out << ",\"analysis_seconds\":" << log.analysis_seconds
+          << ",\"deferred_rows\":" << log.deferred_rows;
+    } else {
+      out << ",\"replay_seconds\":" << log.replay_seconds
+          << ",\"index_rebuild_seconds\":" << log.index_rebuild_seconds;
+    }
+    out << ",\"replayed_records\":" << log.replayed_records
+        << ",\"committed_txns\":" << log.committed_txns
+        << ",\"checkpoint_fallback\":"
+        << (log.checkpoint_fallback ? "true" : "false")
+        << ",\"on_demand\":" << (log.on_demand ? "true" : "false") << '}';
   }
   if (!trace.empty()) out << ",\"trace\":" << trace.ToJson();
   out << '}';

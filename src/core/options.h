@@ -41,6 +41,21 @@ enum class OpenMode {
   kSalvageReadOnly,
 };
 
+/// How Open() applies the WAL after the checkpoint load (WAL modes only).
+enum class LogRecoveryPolicy {
+  /// Replay everything before serving (the paper's baseline: recovery is
+  /// linear in data size and the engine is down for the whole replay).
+  kEagerReplay,
+  /// Serve-during-recovery (MM-DIRECT shape): an analysis pass stages
+  /// pending rows as placeholders, the engine opens degraded within
+  /// milliseconds, reads restore the keys they touch on demand, and a
+  /// background drain replays the remainder before flipping the engine
+  /// to fully recovered.
+  kServeOnDemand,
+};
+
+const char* LogRecoveryPolicyName(LogRecoveryPolicy policy);
+
 /// Engine configuration.
 struct DatabaseOptions {
   DurabilityMode mode = DurabilityMode::kNvm;
@@ -69,6 +84,16 @@ struct DatabaseOptions {
 
   /// Group commit: sync the log every N commits (WAL modes).
   uint32_t group_commit_every = 1;
+
+  /// WAL recovery policy (ignored by kNvm/kNone).
+  LogRecoveryPolicy log_recovery = LogRecoveryPolicy::kEagerReplay;
+
+  /// Serve-on-demand drain tuning: rows restored per write_mutex hold,
+  /// and an optional pause between chunks (0 = drain flat out). The
+  /// pause bounds writer stalls and lets tests hold the degraded window
+  /// open deterministically.
+  uint64_t drain_chunk_rows = 4096;
+  uint64_t drain_pause_us = 0;
 
   // --- Observability -------------------------------------------------------
 

@@ -354,6 +354,29 @@ Result<std::string> Client::RecoveryInfo() {
   return json;
 }
 
+Status Client::WaitUntilReady(int timeout_ms, int poll_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    auto info_result = RecoveryInfo();
+    if (info_result.ok()) {
+      // Servers predating the serving_state field have no degraded mode:
+      // an absent key means ready.
+      if (info_result->find("\"serving_state\":\"degraded\"") ==
+          std::string::npos) {
+        return Status::OK();
+      }
+    } else if (!IsRetryableWireCode(last_wire_code_)) {
+      return info_result.status();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Aborted("timed out waiting for the server to finish "
+                             "its recovery drain");
+    }
+    SleepMs(std::max(1, poll_ms));
+  }
+}
+
 Status Client::Checkpoint() {
   std::vector<uint8_t> payload;
   WireWriter writer(&payload);

@@ -78,6 +78,12 @@ class Client {
   uint64_t current_tid() const { return current_tid_; }
   /// Wire code of the most recent response (kOk after a success).
   WireCode last_wire_code() const { return last_wire_code_; }
+  /// True when the last rejection was the server warming up (recovery
+  /// drain in progress) — retryable, and distinct from kOverloaded: the
+  /// right backoff is "wait for the drain", not "reduce offered load".
+  bool last_warming() const {
+    return last_wire_code_ == WireCode::kWarming;
+  }
   /// Connect attempts made by the last Connect() (restart-downtime
   /// probes read this).
   int last_connect_attempts() const { return last_connect_attempts_; }
@@ -127,8 +133,13 @@ class Client {
   /// Server + engine stats as JSON.
   Result<std::string> Stats();
   /// The server's last RecoveryReport as JSON (shows the instant-restart
-  /// span after an NVM recovery).
+  /// span after an NVM recovery), extended with the live serving state
+  /// and recovery-drain progress.
   Result<std::string> RecoveryInfo();
+  /// Polls RecoveryInfo until the server reports serving_state "ready"
+  /// (recovery drain complete). Returns immediately on servers without a
+  /// degraded mode. Fails with Aborted on timeout.
+  Status WaitUntilReady(int timeout_ms, int poll_ms = 50);
   Status Checkpoint();
   /// Asks the server to drain. The connection is expected to die shortly
   /// after the OK ack.

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <sstream>
@@ -71,6 +72,8 @@ class ServerImpl {
             "net.requests.count")),
         overload_counter_(obs::MetricsRegistry::Instance().GetCounter(
             "net.overload.rejections")),
+        warming_counter_(obs::MetricsRegistry::Instance().GetCounter(
+            "net.warming.rejections")),
         protocol_error_counter_(obs::MetricsRegistry::Instance().GetCounter(
             "net.protocol.errors")),
         accepted_counter_(obs::MetricsRegistry::Instance().GetCounter(
@@ -166,6 +169,8 @@ class ServerImpl {
     c.accepted = accepted_.load(std::memory_order_relaxed);
     c.overload_rejected =
         overload_rejected_.load(std::memory_order_relaxed);
+    c.warming_rejected =
+        warming_rejected_.load(std::memory_order_relaxed);
     c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
     c.requests = requests_.load(std::memory_order_relaxed);
     c.open_connections = open_conns_.load(std::memory_order_relaxed);
@@ -591,6 +596,10 @@ class ServerImpl {
             "server at capacity (" +
                 std::to_string(options_.max_inflight) +
                 " requests in flight)");
+      } else if (ShedWhileWarming(op, inflight, &response)) {
+        // Degraded serving: a tighter cap applied to engine-touching
+        // ops; `response` already carries the kWarming rejection with
+        // the drain progress.
       } else {
         inflight_gauge_.Set(inflight + 1);
         response = Execute(op, conn, reader);
@@ -651,6 +660,59 @@ class ServerImpl {
     return true;
   }
 
+  bool serving_degraded() const {
+    return db_->serving_state() == core::ServingState::kServingDegraded;
+  }
+
+  /// "server warming, N% drained (M of T rows)" — tells a shedding
+  /// client how far along the recovery drain is, so it can back off
+  /// proportionally instead of blind-retrying.
+  std::string WarmingMessage() const {
+    const recovery::RecoveryProgress progress = db_->recovery_progress();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "server warming, %.0f%% drained (%llu of %llu rows)",
+                  progress.percent(),
+                  static_cast<unsigned long long>(progress.restored_rows),
+                  static_cast<unsigned long long>(progress.total_rows));
+    return buf;
+  }
+
+  /// Ops that never get shed while warming: they don't touch table data
+  /// and are exactly what a client needs to observe the warming state.
+  static bool ExemptFromWarmingShed(Opcode op) {
+    switch (op) {
+      case Opcode::kHello:
+      case Opcode::kPing:
+      case Opcode::kStats:
+      case Opcode::kRecoveryInfo:
+      case Opcode::kDrain:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Load shedding during degraded serving: engine-touching requests
+  /// beyond the (tighter) warming inflight cap get a retryable kWarming
+  /// rejection so the drain keeps making progress under client load.
+  bool ShedWhileWarming(Opcode op, int inflight,
+                        std::vector<uint8_t>* response) {
+    if (ExemptFromWarmingShed(op) || !serving_degraded()) return false;
+    const int cap = options_.degraded_max_inflight > 0
+                        ? options_.degraded_max_inflight
+                        : std::max(1, options_.max_inflight / 8);
+    if (inflight < cap) return false;
+    warming_rejected_.fetch_add(1, std::memory_order_relaxed);
+    warming_counter_.Inc();
+    if (obs::BlackboxWriter* bb = db_->heap().blackbox()) {
+      bb->Record(obs::BlackboxEventType::kWarmingShed,
+                 static_cast<uint64_t>(inflight));
+    }
+    *response = MakeErrorPayload(op, WireCode::kWarming, WarmingMessage());
+    return true;
+  }
+
   std::vector<uint8_t> Execute(Opcode op, Connection* conn,
                                WireReader& reader) {
     switch (op) {
@@ -680,8 +742,14 @@ class ServerImpl {
       case Opcode::kStats:
         return ExecStats();
       case Opcode::kRecoveryInfo:
-        return MakeOkString(op, db_->last_recovery_report().ToJson());
+        return MakeOkString(op, RecoveryInfoJson());
       case Opcode::kCheckpoint: {
+        if (serving_degraded()) {
+          // The engine would refuse anyway (placeholder rows must not be
+          // checkpointed); surface it as the retryable warming code so
+          // clients know to simply wait for the drain.
+          return MakeErrorPayload(op, WireCode::kWarming, WarmingMessage());
+        }
         std::lock_guard<std::mutex> guard(ddl_mutex_);
         return MakeStatusPayload(op, db_->Checkpoint());
       }
@@ -910,8 +978,7 @@ class ServerImpl {
     Result<std::vector<storage::RowLocation>> locs_result =
         op == Opcode::kScanEqual
             ? db_->ScanEqual(table, column, lo, snapshot, read_tid)
-            : core::ScanRange(table, column, lo, hi, snapshot, read_tid,
-                              db_->indexes(table));
+            : db_->ScanRange(table, column, lo, hi, snapshot, read_tid);
     if (!locs_result.ok()) {
       return MakeStatusPayload(op, locs_result.status());
     }
@@ -1024,17 +1091,40 @@ class ServerImpl {
                          static_cast<storage::PIndexKind>(kind)));
   }
 
+  /// The recovery report plus the live serving state and drain progress
+  /// (the report alone is a point-in-time snapshot of the open).
+  std::string RecoveryInfoJson() const {
+    std::string json = db_->last_recovery_report().ToJson();
+    const recovery::RecoveryProgress progress = db_->recovery_progress();
+    std::ostringstream extra;
+    extra << ",\"serving_state\":\""
+          << (serving_degraded() ? "degraded" : "ready")
+          << "\",\"recovery_progress\":{\"total_rows\":"
+          << progress.total_rows
+          << ",\"restored_rows\":" << progress.restored_rows
+          << ",\"percent\":" << progress.percent()
+          << ",\"drained\":" << (progress.drained ? "true" : "false")
+          << "}}";
+    // Splice before the report's closing brace.
+    json.pop_back();
+    json += extra.str();
+    return json;
+  }
+
   std::vector<uint8_t> ExecStats() {
     const ServerCounters c = counters();
     std::ostringstream body;
     body << "{\"server\":{\"connections\":" << c.open_connections
          << ",\"accepted\":" << c.accepted
          << ",\"overload_rejected\":" << c.overload_rejected
+         << ",\"warming_rejected\":" << c.warming_rejected
          << ",\"protocol_errors\":" << c.protocol_errors
          << ",\"requests\":" << c.requests
          << ",\"open_transactions\":" << c.open_transactions
          << ",\"active_txns\":" << db_->txn_manager().ActiveCount()
-         << ",\"draining\":" << (draining() ? "true" : "false") << "}"
+         << ",\"draining\":" << (draining() ? "true" : "false")
+         << ",\"serving_state\":\""
+         << (serving_degraded() ? "degraded" : "ready") << "\"}"
          << ",\"metrics\":" << db_->MetricsSnapshot().ToJson() << "}";
     return MakeOkString(Opcode::kStats, body.str());
   }
@@ -1055,12 +1145,14 @@ class ServerImpl {
   std::atomic<int> inflight_{0};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> overload_rejected_{0};
+  std::atomic<uint64_t> warming_rejected_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> requests_{0};
 
   obs::Histogram& latency_hist_;
   obs::Counter& requests_counter_;
   obs::Counter& overload_counter_;
+  obs::Counter& warming_counter_;
   obs::Counter& protocol_error_counter_;
   obs::Counter& accepted_counter_;
   obs::Gauge& conns_gauge_;

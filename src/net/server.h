@@ -33,12 +33,19 @@ struct ServerOptions {
   int idle_timeout_ms = 60'000;
   /// Payload cap enforced on receive, before the body is read.
   uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Tighter inflight cap while the engine serves degraded (recovery
+  /// drain in progress): on-demand restores contend with the drain for
+  /// the table locks, so the warming server sheds load early with the
+  /// retryable kWarming code instead of queueing. 0 derives the cap as
+  /// max(1, max_inflight / 8).
+  int degraded_max_inflight = 0;
 };
 
 /// Point-in-time serving counters (tests and the stats op).
 struct ServerCounters {
   uint64_t accepted = 0;
   uint64_t overload_rejected = 0;
+  uint64_t warming_rejected = 0;
   uint64_t protocol_errors = 0;
   uint64_t requests = 0;
   int open_connections = 0;

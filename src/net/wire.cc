@@ -68,6 +68,8 @@ Status StatusFromWire(WireCode code, const std::string& message) {
       return Status::IOError("overloaded: " + message);
     case WireCode::kDraining:
       return Status::IOError("draining: " + message);
+    case WireCode::kWarming:
+      return Status::IOError("warming: " + message);
     case WireCode::kProtocolError:
       return Status::InvalidArgument("protocol error: " + message);
     default:
@@ -82,7 +84,8 @@ Status StatusFromWire(WireCode code, const std::string& message) {
 }
 
 bool IsRetryableWireCode(WireCode code) {
-  return code == WireCode::kOverloaded || code == WireCode::kDraining;
+  return code == WireCode::kOverloaded || code == WireCode::kDraining ||
+         code == WireCode::kWarming;
 }
 
 const char* WireCodeName(WireCode code) {
@@ -91,6 +94,8 @@ const char* WireCodeName(WireCode code) {
       return "Overloaded";
     case WireCode::kDraining:
       return "Draining";
+    case WireCode::kWarming:
+      return "Warming";
     case WireCode::kProtocolError:
       return "ProtocolError";
     default:

@@ -85,14 +85,16 @@ enum class WireCode : uint8_t {
   kOverloaded = 32,  // 503-style admission-control rejection; retryable
   kDraining = 33,    // server is shutting down gracefully; retryable
   kProtocolError = 34,  // malformed frame/handshake; connection closes
+  kWarming = 35,  // serving degraded during recovery drain; retryable
 };
 
 /// Status → wire code. Every engine StatusCode maps byte-for-byte.
 WireCode WireCodeFromStatus(const Status& status);
 /// Wire code + message → Status. Serving-layer codes come back as
-/// kIOError ("overloaded: ...", "draining: ...") so existing retry
-/// logic branching on StatusCode keeps working; IsRetryableWireCode
-/// tells transient rejections apart from hard failures.
+/// kIOError ("overloaded: ...", "draining: ...", "warming: ...") so
+/// existing retry logic branching on StatusCode keeps working;
+/// IsRetryableWireCode tells transient rejections apart from hard
+/// failures.
 Status StatusFromWire(WireCode code, const std::string& message);
 bool IsRetryableWireCode(WireCode code);
 const char* WireCodeName(WireCode code);

@@ -116,6 +116,14 @@ const char* BlackboxEventName(uint16_t type) {
       return "drain";
     case BlackboxEventType::kTxnPublishBatch:
       return "txn_publish_batch";
+    case BlackboxEventType::kCheckpointFallback:
+      return "checkpoint_fallback";
+    case BlackboxEventType::kDegradedOpen:
+      return "degraded_open";
+    case BlackboxEventType::kRecoveryDrainDone:
+      return "recovery_drain_done";
+    case BlackboxEventType::kWarmingShed:
+      return "warming_shed";
   }
   return "unknown";
 }
@@ -490,6 +498,23 @@ std::string BlackboxEventDetail(const BlackboxDecodedEvent& ev) {
                     "published=%llu watermark=%llu skipped=%llu",
                     static_cast<ULL>(ev.a), static_cast<ULL>(ev.b),
                     static_cast<ULL>(ev.c));
+      break;
+    case BlackboxEventType::kCheckpointFallback:
+      std::snprintf(buf, sizeof(buf),
+                    "corrupt checkpoint ignored; full replay from offset 0");
+      break;
+    case BlackboxEventType::kDegradedOpen:
+      std::snprintf(buf, sizeof(buf), "pending_rows=%llu tables=%llu",
+                    static_cast<ULL>(ev.a), static_cast<ULL>(ev.b));
+      break;
+    case BlackboxEventType::kRecoveryDrainDone:
+      std::snprintf(buf, sizeof(buf), "drained_rows=%llu took=%.1fms",
+                    static_cast<ULL>(ev.a),
+                    static_cast<double>(ev.b) / 1e6);
+      break;
+    case BlackboxEventType::kWarmingShed:
+      std::snprintf(buf, sizeof(buf), "inflight=%llu",
+                    static_cast<ULL>(ev.a));
       break;
     default:
       std::snprintf(buf, sizeof(buf),

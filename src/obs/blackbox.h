@@ -92,6 +92,10 @@ enum class BlackboxEventType : uint16_t {
   kConnClose = 17,     // a=connection id, b=1 if a txn was aborted
   kDrain = 18,         // a=open connections at drain start
   kTxnPublishBatch = 19,  // a=commits published, b=watermark cid, c=skips
+  kCheckpointFallback = 20,  // a=1 (corrupt checkpoint; full replay from 0)
+  kDegradedOpen = 21,     // a=pending rows, b=tables with pending rows
+  kRecoveryDrainDone = 22,  // a=rows restored by drain, b=duration ns
+  kWarmingShed = 23,      // a=requests in flight at the shed decision
 };
 
 const char* BlackboxEventName(uint16_t type);

@@ -1,0 +1,83 @@
+#ifndef HYRISE_NV_RECOVERY_LOG_INDEX_H_
+#define HYRISE_NV_RECOVERY_LOG_INDEX_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/pheap.h"
+#include "recovery/log_recovery.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "txn/txn_manager.h"
+#include "wal/checkpoint.h"
+#include "wal/log_manager.h"
+
+namespace hyrise_nv::recovery {
+
+/// One unreplayed insert: the logged payload of a placeholder delta row
+/// whose MVCC state is already final. Value-logged rows are encoded into
+/// the delta dictionaries during analysis, so both log formats stage as
+/// ids and the dictionaries are read-only for the whole degraded window
+/// (restores are pure attribute-cell stores that never race a reader on
+/// dictionary growth).
+struct PendingRow {
+  std::vector<storage::ValueId> ids;
+};
+
+/// Per-table slice of the log index. Pending ordinal i corresponds to
+/// delta row `base_delta_rows + i`; the placeholder rows already exist in
+/// the table (attribute cells hold kInvalidValueId) with their final
+/// MVCC stamps, so visibility, counts, and deletes are correct before a
+/// single value is restored.
+struct TablePending {
+  storage::Table* table = nullptr;
+  uint64_t table_id = 0;
+  uint64_t base_delta_rows = 0;
+  std::vector<PendingRow> rows;
+  /// Per key column: value -> pending ordinals, ordered so range scans
+  /// can walk [lo, hi]. Built for every logged/checkpointed indexed
+  /// column (column 0 when the table has none), so degraded point and
+  /// range scans restore only the rows they touch. Scans on other
+  /// columns fall back to restoring the whole table.
+  std::unordered_map<uint32_t,
+                     std::map<storage::Value, std::vector<uint32_t>>>
+      key_maps;
+};
+
+/// Result of the analysis pass: everything the RecoveryDriver needs to
+/// serve degraded and drain the rest in the background.
+struct LogIndex {
+  std::vector<TablePending> tables;
+  /// Index builds deferred to drain completion (eager replay's phase 3
+  /// runs them before serving; on-demand runs them after the last row is
+  /// restored, since a group-key/hash build must see real values).
+  std::vector<wal::CheckpointInfo::IndexedColumn> indexed_columns;
+  uint64_t total_pending_rows = 0;
+  LogRecoveryReport report;
+};
+
+/// Serve-during-recovery analysis pass. Mirrors RecoverFromLog's phase
+/// structure — checkpoint load (with the same corrupt-checkpoint
+/// fallback), then a two-pass log scan — but instead of eagerly applying
+/// insert values it:
+///  - applies DDL (create table), every dictionary add (dictionary order
+///    is on-wire state the dict-encoded log depends on), and committed
+///    deletes eagerly, and encodes value-logged payloads into the delta
+///    dictionaries in log order (same contents eager replay builds), so
+///    dictionaries are complete — and thereafter read-only — before the
+///    engine serves a single degraded query;
+///  - appends each logged insert as a placeholder row whose MVCC entry
+///    already carries its final begin/end stamps (committed map applied,
+///    deletes folded in), keeping logged row positions faithful;
+///  - stages the insert payloads in a per-table / per-key index of
+///    unreplayed records for the RecoveryDriver.
+/// After AnalyzeLog the engine can open in kServingDegraded: counts and
+/// visibility are exact, only value reads need on-demand restoration.
+Result<LogIndex> AnalyzeLog(alloc::PHeap& heap, storage::Catalog& catalog,
+                            txn::TxnManager& txn_manager,
+                            const wal::LogManagerOptions& options);
+
+}  // namespace hyrise_nv::recovery
+
+#endif  // HYRISE_NV_RECOVERY_LOG_INDEX_H_

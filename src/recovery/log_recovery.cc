@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "index/index_set.h"
 #include "nvm/nvm_env.h"
+#include "obs/blackbox.h"
+#include "obs/metrics.h"
 #include "storage/merge.h"
 #include "wal/log_reader.h"
 
@@ -17,6 +19,15 @@ using storage::Cid;
 using storage::Tid;
 
 }  // namespace
+
+void NoteCheckpointFallback(alloc::PHeap& heap) {
+  if (obs::BlackboxWriter* bb = heap.blackbox()) {
+    bb->Record(obs::BlackboxEventType::kCheckpointFallback, 1);
+  }
+  obs::MetricsRegistry::Instance()
+      .GetCounter("recovery.checkpoint_fallback.count")
+      .Inc();
+}
 
 Result<LogRecoveryReport> RecoverFromLog(
     alloc::PHeap& heap, storage::Catalog& catalog,
@@ -47,6 +58,7 @@ Result<LogRecoveryReport> RecoverFromLog(
           << info_result.status().ToString()
           << "); falling back to full log replay from offset 0";
       report.checkpoint_fallback = true;
+      NoteCheckpointFallback(heap);
     } else if (!info_result.status().IsNotFound()) {
       return info_result.status();
     }

@@ -32,7 +32,20 @@ struct LogRecoveryReport {
   /// replay{scan_commits, apply} / index_rebuild children). The phase
   /// seconds above are derived from this tree.
   obs::SpanNode trace;
+  /// Serve-during-recovery (AnalyzeLog) opens fill these instead of
+  /// replay/index_rebuild: the analysis pass stages `deferred_rows`
+  /// pending rows and the engine opens degraded after
+  /// `analysis_seconds`; value restoration and index builds happen
+  /// on demand / in the background drain.
+  bool on_demand = false;
+  double analysis_seconds = 0;
+  uint64_t deferred_rows = 0;
 };
+
+/// Records the checkpoint-fallback decision (blackbox event + metric) so
+/// forensics can distinguish "checkpoint ignored" restarts from normal
+/// ones. Shared by eager replay and the on-demand analysis pass.
+void NoteCheckpointFallback(alloc::PHeap& heap);
 
 /// Rebuilds the database state from checkpoint + log into the (freshly
 /// formatted) heap:

@@ -25,6 +25,14 @@ Value DeltaColumn::GetValue(uint64_t row) const {
   return dict_.GetValue(attr_.Get(row));
 }
 
+Status DeltaColumn::RestoreEncodedAt(uint64_t row, ValueId id) {
+  if (id >= dict_.size()) {
+    return Status::Corruption("restored id beyond dictionary");
+  }
+  attr_.Set(row, id);
+  return Status::OK();
+}
+
 void DeltaPartition::Format(nvm::PmemRegion& region, PTableGroup* group,
                             uint64_t num_columns) {
   alloc::PVector<MvccEntry>::Format(region, &group->delta_mvcc);
@@ -88,6 +96,16 @@ Result<uint64_t> DeltaPartition::AppendEncodedRow(
   entry.tid = tid;
   HYRISE_NV_RETURN_NOT_OK(mvcc_.Append(entry));
   return new_row;
+}
+
+Status DeltaPartition::ReservePlaceholderRows(
+    const std::vector<MvccEntry>& entries) {
+  if (entries.empty()) return Status::OK();
+  for (auto& col : columns_) {
+    HYRISE_NV_RETURN_NOT_OK(col.ReservePlaceholders(entries.size()));
+  }
+  mvcc_.region()->Fence();
+  return mvcc_.BulkAppend(entries.data(), entries.size());
 }
 
 Status DeltaPartition::RepairTornInserts() {

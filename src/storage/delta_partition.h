@@ -45,6 +45,20 @@ class DeltaColumn {
   const DeltaDictionary& dictionary() const { return dict_; }
   DeltaDictionary& dictionary() { return dict_; }
 
+  /// Appends `count` placeholder attribute entries holding the sentinel
+  /// kInvalidValueId, for rows staged by the on-demand recovery driver.
+  /// The sentinel can never equal a dictionary id, so scans skip
+  /// unrestored rows instead of mis-matching them.
+  Status ReservePlaceholders(uint64_t count) {
+    return attr_.AppendFill(kInvalidValueId, count);
+  }
+
+  /// Replaces the placeholder at `row` with an already-encoded id
+  /// (persisted attribute overwrite; the id must already be in the
+  /// dictionary — the recovery analysis pass encodes every staged row so
+  /// restores never mutate dictionaries under concurrent readers).
+  Status RestoreEncodedAt(uint64_t row, ValueId id);
+
   uint64_t attr_size() const { return attr_.size(); }
 
   /// Rolls torn trailing appends back to `rows` entries (recovery).
@@ -85,6 +99,11 @@ class DeltaPartition {
   /// Appends a dictionary-encoded row (log replay path).
   Result<uint64_t> AppendEncodedRow(const std::vector<ValueId>& ids,
                                     Tid tid);
+
+  /// Appends `entries.size()` placeholder rows whose MVCC state is
+  /// already final but whose attribute cells hold kInvalidValueId until
+  /// the on-demand recovery driver restores their values.
+  Status ReservePlaceholderRows(const std::vector<MvccEntry>& entries);
 
   MvccEntry* mvcc(uint64_t row) {
     HYRISE_NV_DCHECK(row < mvcc_.size(), "mvcc row out of range");

@@ -72,6 +72,12 @@ class Table {
     return RowLocation{false, *row_result};
   }
 
+  /// Appends placeholder delta rows with final MVCC state; the on-demand
+  /// recovery driver fills in the values later.
+  Status ReservePlaceholderRows(const std::vector<MvccEntry>& entries) {
+    return delta_.ReservePlaceholderRows(entries);
+  }
+
   /// MVCC entry of a row.
   MvccEntry* mvcc(RowLocation loc) {
     return loc.in_main ? main_.mvcc(loc.row) : delta_.mvcc(loc.row);

@@ -13,6 +13,9 @@
 //   --max-inflight=N      concurrent request cap (503 above)  [256]
 //   --idle-timeout-ms=N   close idle sessions (0 = never)     [60000]
 //   --region-size=BYTES   NVM region size for --create        [256 MiB]
+//   --recovery=POLICY     eager | on-demand (WAL modes)       [eager]
+//   --drain-chunk-rows=N  on-demand drain rows per lock hold  [4096]
+//   --drain-pause-us=N    on-demand drain pause per chunk     [0]
 //   --quiet               log warnings and errors only
 //
 // Lifecycle: opens (or creates) the database — printing the recovery
@@ -23,7 +26,11 @@
 // normal restart path.
 //
 // Readiness: once serving, a line "READY port=<port>" goes to stdout
-// (scripts and the e9 bench wait for it).
+// (scripts and the e9 bench wait for it). An on-demand WAL open that
+// still has a recovery drain in flight prints
+// "RECOVERING-SERVING port=<port> pending_rows=<n>" first — the server
+// already answers queries (degraded, on-demand restoration) — and the
+// READY line follows when the drain completes.
 
 #include <signal.h>
 
@@ -68,7 +75,9 @@ int Usage() {
                "usage: hyrise_nv_server --data-dir=DIR [--mode=nvm] "
                "[--create] [--host=ADDR] [--port=N] [--workers=N] "
                "[--max-connections=N] [--max-inflight=N] "
-               "[--idle-timeout-ms=N] [--region-size=BYTES] [--quiet]\n");
+               "[--idle-timeout-ms=N] [--region-size=BYTES] "
+               "[--recovery=eager|on-demand] [--drain-chunk-rows=N] "
+               "[--drain-pause-us=N] [--quiet]\n");
   return 1;
 }
 
@@ -80,12 +89,14 @@ int main(int argc, char** argv) {
   server_options.port = 5543;
   bool create = false;
   std::string mode = "nvm";
+  std::string recovery = "eager";
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     long long n = 0;
     if (ParseFlag(arg, "--data-dir", &db_options.data_dir) ||
         ParseFlag(arg, "--mode", &mode) ||
+        ParseFlag(arg, "--recovery", &recovery) ||
         ParseFlag(arg, "--host", &server_options.host)) {
       continue;
     }
@@ -101,6 +112,10 @@ int main(int argc, char** argv) {
       server_options.idle_timeout_ms = static_cast<int>(n);
     } else if (ParseFlag(arg, "--region-size", &n)) {
       db_options.region_size = static_cast<uint64_t>(n);
+    } else if (ParseFlag(arg, "--drain-chunk-rows", &n)) {
+      db_options.drain_chunk_rows = static_cast<uint64_t>(n);
+    } else if (ParseFlag(arg, "--drain-pause-us", &n)) {
+      db_options.drain_pause_us = static_cast<uint64_t>(n);
     } else if (std::strcmp(arg, "--create") == 0) {
       create = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -131,6 +146,15 @@ int main(int argc, char** argv) {
     db_options.mode = core::DurabilityMode::kNvm;
   } else {
     std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+    return Usage();
+  }
+
+  if (recovery == "eager") {
+    db_options.log_recovery = core::LogRecoveryPolicy::kEagerReplay;
+  } else if (recovery == "on-demand") {
+    db_options.log_recovery = core::LogRecoveryPolicy::kServeOnDemand;
+  } else {
+    std::fprintf(stderr, "unknown recovery policy: %s\n", recovery.c_str());
     return Usage();
   }
 
@@ -168,10 +192,28 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
 
-  std::printf("READY port=%u\n", server->port());
+  bool announced_ready = false;
+  if (db->serving_state() == core::ServingState::kServingDegraded) {
+    const auto progress = db->recovery_progress();
+    std::printf("RECOVERING-SERVING port=%u pending_rows=%llu\n",
+                server->port(),
+                static_cast<unsigned long long>(progress.total_rows -
+                                                progress.restored_rows));
+  } else {
+    std::printf("READY port=%u\n", server->port());
+    announced_ready = true;
+  }
   std::fflush(stdout);
 
   while (!g_stop.load() && !server->draining()) {
+    if (!announced_ready &&
+        db->serving_state() == core::ServingState::kReady) {
+      // The recovery drain finished while serving: promote to READY so
+      // scripts waiting on the line see the flip.
+      std::printf("READY port=%u\n", server->port());
+      std::fflush(stdout);
+      announced_ready = true;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 

@@ -9,6 +9,8 @@
 //   ping
 //   stats
 //   recovery
+//   wait-ready [TIMEOUT_MS]    block until the server finished its
+//                              recovery drain (prints drain progress)
 //   checkpoint
 //   drain
 //   create-table NAME COL:TYPE [COL:TYPE...]     TYPE = int|double|string
@@ -22,12 +24,14 @@
 //
 // Exit codes: 0 success, 1 usage, 2 connection failure, 3 server error.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/client.h"
@@ -41,7 +45,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: nvql [--host=ADDR] [--port=N] [--retries=N] "
                "<command> [args...] | -\n"
-               "commands: ping stats recovery checkpoint drain\n"
+               "commands: ping stats recovery wait-ready [TIMEOUT_MS] "
+               "checkpoint drain\n"
                "          create-table NAME COL:TYPE...\n"
                "          create-index TABLE COLUMN [hash|skiplist]\n"
                "          insert TABLE V1 [V2...]\n"
@@ -110,6 +115,32 @@ int RunCommand(net::Client& client, const std::vector<std::string>& args,
     if (!json_result.ok()) return fail(json_result.status());
     std::printf("%s\n", json_result->c_str());
     return 0;
+  }
+  if (cmd == "wait-ready") {
+    const long long timeout_ms =
+        args.size() >= 2 ? std::atoll(args[1].c_str()) : 60'000;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      auto info_result = client.RecoveryInfo();
+      if (!info_result.ok()) return fail(info_result.status());
+      if (info_result->find("\"serving_state\":\"degraded\"") ==
+          std::string::npos) {
+        std::printf("ready\n");
+        return 0;
+      }
+      double percent = 0;
+      const size_t at = info_result->find("\"percent\":");
+      if (at != std::string::npos) {
+        percent = std::strtod(info_result->c_str() + at + 10, nullptr);
+      }
+      std::fprintf(stderr, "server warming, %.0f%% drained\n", percent);
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return fail(
+            Status::Aborted("timed out waiting for the recovery drain"));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
   }
   if (cmd == "checkpoint") {
     Status status = client.Checkpoint();
