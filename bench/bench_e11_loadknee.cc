@@ -1,0 +1,156 @@
+// E11 — served load knee: connections vs throughput/latency under a
+// fixed open-loop arrival rate.
+//
+// An in-process server (NVM mode) is driven by the open-loop generator
+// (src/net/loadgen) across a connection-count sweep. The offered rate is
+// identical at every point, so throughput differences isolate what the
+// connection count itself costs (epoll fan-out, per-connection
+// buffering, admission control) and latency differences show queueing:
+// with too few connections the open-loop backlog queues due operations
+// and their intended-time latency explodes — the coordinated-omission
+// accounting makes that visible instead of silently forgiving it.
+//
+// The "knee" reported is the first sweep point whose throughput gain
+// over the previous point falls below 10% — past it, more connections
+// buy latency, not throughput.
+//
+// Emits BENCH_JSON lines:
+//   {"bench":"e11","connections":N,"rate_rps":...,"tput_rps":...,
+//    "p50_us":...,"p99_us":...,"p999_us":...,"backlog_peak":N,...}
+//   {"bench":"e11_knee","connections":N}           (the detected knee)
+//   {"bench":"e11_timeline","second":S,...}        (final sweep point)
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/net_util.h"
+#include "net/server.h"
+
+namespace hyrise_nv::bench {
+namespace {
+
+using storage::Value;
+
+constexpr uint64_t kKeys = 20'000;
+constexpr double kRate = 8'000;     // offered ops/s, fixed across sweep
+constexpr double kDuration = 3.0;   // measure seconds per point
+constexpr double kWarmup = 1.0;
+
+void Preload(uint16_t port, uint64_t keys) {
+  net::ClientOptions options;
+  options.port = port;
+  net::Client client(options);
+  Die(client.Connect(), "preload connect");
+  Unwrap(client.CreateTable("kv", {{"k", storage::DataType::kInt64},
+                                   {"v", storage::DataType::kString}}),
+         "create table");
+  Die(client.CreateIndex("kv", 0), "create index");
+  const std::string value(16, 'x');
+  for (uint64_t key = 0; key < keys;) {
+    Unwrap(client.Begin(), "preload begin");
+    for (uint64_t i = 0; i < 512 && key < keys; ++i, ++key) {
+      Unwrap(client.Insert(
+                 "kv", {Value(static_cast<int64_t>(key)), Value(value)}),
+             "preload insert");
+    }
+    Unwrap(client.Commit(), "preload commit");
+  }
+}
+
+net::LoadgenReport RunPoint(uint16_t port, int connections, bool timeline) {
+  net::LoadgenOptions options;
+  options.port = port;
+  options.connections = connections;
+  options.rate_rps = Scale() * kRate;
+  options.duration_s = kDuration;
+  options.warmup_s = kWarmup;
+  options.keys = Scaled(kKeys);
+  options.timeline = timeline;
+  return Unwrap(net::RunOpenLoopLoad(options), "load run");
+}
+
+void PrintPoint(int connections, const net::LoadgenReport& report) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e11\",\"connections\":%d,"
+      "\"rate_rps\":%.0f,\"ops_offered\":%llu,\"ops_completed\":%llu,"
+      "\"tput_rps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+      "\"p999_us\":%.1f,\"max_us\":%.1f,\"errors\":%llu,\"shed\":%llu,"
+      "\"backlog_peak\":%llu}\n",
+      connections, Scale() * kRate,
+      static_cast<unsigned long long>(report.ops_offered),
+      static_cast<unsigned long long>(report.ops_completed),
+      report.tput_rps, report.p50_us, report.p99_us, report.p999_us,
+      report.max_us, static_cast<unsigned long long>(report.errors),
+      static_cast<unsigned long long>(report.shed),
+      static_cast<unsigned long long>(report.backlog_peak));
+  std::fflush(stdout);
+}
+
+void Run() {
+  const std::string dir = MakeBenchDir("e11_loadknee");
+  core::DatabaseOptions options =
+      EngineOptions(core::DurabilityMode::kNvm, dir, 512u << 20);
+  options.tracking = nvm::TrackingMode::kNone;
+  auto db = Unwrap(core::Database::Create(options), "create database");
+
+  net::ServerOptions server_options;
+  server_options.num_workers = 4;
+  server_options.max_connections = 1'200;
+  server_options.max_inflight = 512;
+  auto server =
+      Unwrap(net::Server::Start(db.get(), server_options), "start server");
+  const uint16_t port = server->port();
+
+  net::RaiseFdLimit(4'096);
+  Preload(port, Scaled(kKeys));
+
+  const std::vector<int> sweep = {8, 32, 128, 512, 1'024};
+  double prev_tput = 0;
+  int knee = sweep.front();
+  bool knee_found = false;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const bool last = i + 1 == sweep.size();
+    const net::LoadgenReport report = RunPoint(port, sweep[i], last);
+    PrintPoint(sweep[i], report);
+    if (i > 0 && !knee_found && report.tput_rps < prev_tput * 1.10) {
+      knee = sweep[i];
+      knee_found = true;
+    }
+    prev_tput = report.tput_rps;
+    if (last) {
+      for (size_t second = 0; second < report.timeline.size(); ++second) {
+        const net::LoadgenTimelineBucket& bucket = report.timeline[second];
+        if (bucket.completed == 0) continue;
+        std::printf(
+            "BENCH_JSON {\"bench\":\"e11_timeline\",\"second\":%zu,"
+            "\"completed\":%llu,\"mean_us\":%.1f,\"max_us\":%.1f}\n",
+            second, static_cast<unsigned long long>(bucket.completed),
+            bucket.sum_us / static_cast<double>(bucket.completed),
+            bucket.max_us);
+      }
+    }
+  }
+  if (!knee_found) knee = sweep.back();
+  std::printf("BENCH_JSON {\"bench\":\"e11_knee\",\"connections\":%d}\n",
+              knee);
+  std::fflush(stdout);
+
+  server->Drain();
+  server->Wait();
+  server.reset();
+  Die(db->Close(), "close");
+  RemoveBenchDir(dir);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::bench
+
+int main() {
+  hyrise_nv::bench::Run();
+  return 0;
+}

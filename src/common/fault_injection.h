@@ -24,7 +24,11 @@ enum class FaultPoint : int {
   kWalAppendShortWrite = 3,
   /// BlockDevice::Sync fails with EIO before fdatasync.
   kWalSyncFail = 4,
-  kNumFaultPoints = 5,
+  /// BlockDevice::Sync stalls for `param` nanoseconds (default 50ms)
+  /// after a successful fdatasync — models a device write-cache flush
+  /// hiccup. The sync succeeds; only its latency explodes.
+  kWalSyncStall = 5,
+  kNumFaultPoints = 6,
 };
 
 /// When a fault point fires. Fields combine: the point stays silent for

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 namespace hyrise_nv::net {
@@ -86,11 +87,21 @@ Result<std::vector<uint8_t>> Client::Roundtrip(
   if (!connected()) {
     return Status::IOError("client is not connected");
   }
+  const auto rtt_start = std::chrono::steady_clock::now();
+  const auto stamp_rtt = [&] {
+    last_rtt_ns_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - rtt_start)
+            .count());
+  };
   Status status = WriteFrame(fd_.get(), payload);
   if (status.ok()) {
     auto frame_result = ReadFrame(fd_.get(), options_.read_timeout_ms);
+    stamp_rtt();
     if (frame_result.ok()) return frame_result;
     status = frame_result.status();
+  } else {
+    stamp_rtt();
   }
   // Transport failure: this connection is gone. Re-dial so the next
   // request works, but surface the failure — the request may or may not

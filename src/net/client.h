@@ -87,6 +87,10 @@ class Client {
   /// Connect attempts made by the last Connect() (restart-downtime
   /// probes read this).
   int last_connect_attempts() const { return last_connect_attempts_; }
+  /// Wall-clock round-trip of the most recent request (send → full
+  /// response frame read), 0 before the first request. Survives request
+  /// failures: a timed-out roundtrip reports the time until the failure.
+  uint64_t last_rtt_ns() const { return last_rtt_ns_; }
 
   // --- Transactions (session-scoped) ---------------------------------------
 
@@ -167,6 +171,7 @@ class Client {
   uint64_t current_tid_ = 0;
   WireCode last_wire_code_ = WireCode::kOk;
   int last_connect_attempts_ = 0;
+  uint64_t last_rtt_ns_ = 0;
 };
 
 }  // namespace hyrise_nv::net

@@ -1,0 +1,476 @@
+#include "net/loadgen.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "net/net_util.h"
+#include "net/wire.h"
+#include "storage/types.h"
+#include "workload/open_loop.h"
+#include "workload/zipf.h"
+
+namespace hyrise_nv::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One response frame the generator is waiting for. A read op expects
+/// one frame; a write op expects three (begin, insert, commit); `last`
+/// marks the frame whose arrival completes the operation.
+struct ExpectedFrame {
+  uint64_t op_id = 0;
+  uint8_t opcode = 0;
+  bool last = false;
+};
+
+struct LoadConn {
+  OwnedFd fd;
+  std::vector<uint8_t> in;
+  size_t in_pos = 0;
+  std::vector<uint8_t> out;
+  size_t out_pos = 0;
+  std::deque<ExpectedFrame> expected;
+  bool want_write = false;
+  bool dead = false;
+  /// Aggregated outcome of the op currently completing (a write triple
+  /// fails as one op even if only its begin frame failed).
+  bool op_failed = false;
+  bool op_shed = false;
+};
+
+class OpenLoopDriver {
+ public:
+  explicit OpenLoopDriver(const LoadgenOptions& options)
+      : options_(options),
+        schedule_(options.rate_rps,
+                  static_cast<uint64_t>(std::llround(
+                      options.rate_rps *
+                      (options.warmup_s + options.duration_s)))),
+        zipf_(options.keys == 0 ? 1 : options.keys, options.zipf_theta,
+              options.seed),
+        rng_(options.seed ^ 0x9e3779b97f4a7c15ull),
+        value_payload_(options.value_bytes, 'x') {}
+
+  Result<LoadgenReport> Run() {
+    HYRISE_NV_RETURN_NOT_OK(ConnectAll());
+    const uint64_t warmup_ns =
+        static_cast<uint64_t>(options_.warmup_s * 1e9);
+    const uint64_t measure_end_ns = static_cast<uint64_t>(
+        (options_.warmup_s + options_.duration_s) * 1e9);
+    if (options_.timeline) {
+      timeline_.resize(static_cast<size_t>(options_.duration_s) + 2);
+    }
+
+    start_ = Clock::now();
+    const uint64_t schedule_end_ns = measure_end_ns;
+    const uint64_t hard_end_ns =
+        schedule_end_ns +
+        static_cast<uint64_t>(options_.drain_timeout_s * 1e9);
+    uint64_t issued = 0;
+
+    while (true) {
+      const uint64_t now_ns = NowNs();
+      // Issue every operation whose intended time has arrived — late or
+      // not. Ops that find no free connection queue in the backlog with
+      // their intended time unchanged; that wait is measured latency.
+      const uint64_t due = schedule_.DueCount(now_ns);
+      while (issued < due) {
+        const uint64_t op_id = issued++;
+        if (!idle_.empty()) {
+          LoadConn* conn = idle_.back();
+          idle_.pop_back();
+          SendOp(conn, op_id);
+        } else {
+          backlog_.push_back(op_id);
+          if (backlog_.size() > report_.backlog_peak) {
+            report_.backlog_peak = backlog_.size();
+          }
+        }
+      }
+
+      const bool schedule_done = issued >= schedule_.total_ops();
+      if (schedule_done && InFlight() == 0 && backlog_.empty()) break;
+      if (schedule_done && now_ns >= hard_end_ns) {
+        report_.abandoned = InFlight() + backlog_.size();
+        break;
+      }
+      if (alive_ == 0) {
+        return Status::IOError("load generator: every connection died");
+      }
+
+      PollOnce(now_ns, issued);
+    }
+
+    FinishReport(warmup_ns, measure_end_ns);
+    return report_;
+  }
+
+ private:
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  uint64_t InFlight() const { return in_flight_; }
+
+  Status ConnectAll() {
+    epoll_fd_ = OwnedFd(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll_fd_.valid()) {
+      return Status::IOError("epoll_create1: " +
+                             std::string(std::strerror(errno)));
+    }
+    // Handshake frame shared by every connection.
+    std::vector<uint8_t> hello;
+    WireWriter writer(&hello);
+    writer.U8(static_cast<uint8_t>(Opcode::kHello));
+    writer.U32(kHelloMagic);
+    writer.U16(kProtocolVersionMin);
+    writer.U16(kProtocolVersionMax);
+
+    conns_.reserve(static_cast<size_t>(options_.connections));
+    for (int i = 0; i < options_.connections; ++i) {
+      auto fd_result = ConnectTcp(options_.host, options_.port,
+                                  options_.connect_timeout_ms);
+      if (!fd_result.ok()) {
+        return Status::IOError(
+            "connect " + std::to_string(i + 1) + " of " +
+            std::to_string(options_.connections) + " failed: " +
+            std::string(fd_result.status().message()));
+      }
+      auto conn = std::make_unique<LoadConn>();
+      conn->fd = std::move(fd_result).ValueUnsafe();
+      // Blocking handshake: at thousands of connections this is still
+      // fast (sub-millisecond each) and keeps the state machine simple.
+      HYRISE_NV_RETURN_NOT_OK(WriteFrame(conn->fd.get(), hello));
+      auto response = ReadFrame(conn->fd.get(), options_.connect_timeout_ms);
+      if (!response.ok()) return response.status();
+      if (response->size() < 2 ||
+          (*response)[1] != static_cast<uint8_t>(WireCode::kOk)) {
+        return Status::IOError("handshake rejected by server");
+      }
+      HYRISE_NV_RETURN_NOT_OK(SetNonBlocking(conn->fd.get()));
+      HYRISE_NV_RETURN_NOT_OK(SetNoDelay(conn->fd.get()));
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) !=
+          0) {
+        return Status::IOError("epoll_ctl: " +
+                               std::string(std::strerror(errno)));
+      }
+      idle_.push_back(conn.get());
+      conns_.push_back(std::move(conn));
+    }
+    alive_ = options_.connections;
+    return Status::OK();
+  }
+
+  /// Builds and queues the frames of operation `op_id` on `conn`.
+  void SendOp(LoadConn* conn, uint64_t op_id) {
+    const bool is_read = rng_.NextDouble() < options_.read_pct;
+    const int64_t key = static_cast<int64_t>(zipf_.Next());
+    conn->op_failed = false;
+    conn->op_shed = false;
+    if (is_read) {
+      std::vector<uint8_t> payload;
+      WireWriter writer(&payload);
+      writer.U8(static_cast<uint8_t>(Opcode::kScanEqual));
+      writer.U64(0);  // ad-hoc snapshot
+      writer.Str(options_.table);
+      writer.U32(0);
+      writer.Value(storage::Value(key));
+      writer.U32(options_.scan_limit);
+      AppendFrame(conn, payload);
+      conn->expected.push_back(
+          {op_id, static_cast<uint8_t>(Opcode::kScanEqual), true});
+    } else {
+      std::vector<uint8_t> payload;
+      WireWriter begin_writer(&payload);
+      begin_writer.U8(static_cast<uint8_t>(Opcode::kBegin));
+      AppendFrame(conn, payload);
+      conn->expected.push_back(
+          {op_id, static_cast<uint8_t>(Opcode::kBegin), false});
+
+      payload.clear();
+      WireWriter insert_writer(&payload);
+      insert_writer.U8(static_cast<uint8_t>(Opcode::kInsert));
+      insert_writer.U64(0);  // session transaction
+      insert_writer.Str(options_.table);
+      insert_writer.Row({storage::Value(key),
+                         storage::Value(value_payload_)});
+      AppendFrame(conn, payload);
+      conn->expected.push_back(
+          {op_id, static_cast<uint8_t>(Opcode::kInsert), false});
+
+      payload.clear();
+      WireWriter commit_writer(&payload);
+      commit_writer.U8(static_cast<uint8_t>(Opcode::kCommit));
+      commit_writer.U64(0);
+      AppendFrame(conn, payload);
+      conn->expected.push_back(
+          {op_id, static_cast<uint8_t>(Opcode::kCommit), true});
+    }
+    ++in_flight_;
+    FlushConn(conn);
+  }
+
+  static void AppendFrame(LoadConn* conn,
+                          const std::vector<uint8_t>& payload) {
+    const std::vector<uint8_t> frame = EncodeFrame(payload);
+    conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+  }
+
+  void FlushConn(LoadConn* conn) {
+    while (conn->out_pos < conn->out.size()) {
+      const ssize_t n =
+          ::send(conn->fd.get(), conn->out.data() + conn->out_pos,
+                 conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        KillConn(conn);
+        return;
+      }
+      conn->out_pos += static_cast<size_t>(n);
+    }
+    if (conn->out_pos == conn->out.size()) {
+      conn->out.clear();
+      conn->out_pos = 0;
+    }
+    SetWantWrite(conn, !conn->out.empty());
+  }
+
+  void SetWantWrite(LoadConn* conn, bool want) {
+    if (conn->dead || want == conn->want_write) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.ptr = conn;
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev);
+    conn->want_write = want;
+  }
+
+  /// A connection hard-failed: every operation still expected on it is
+  /// an error, and the socket leaves the loop.
+  void KillConn(LoadConn* conn) {
+    if (conn->dead) return;
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+    uint64_t ops_lost = 0;
+    uint64_t last_op = UINT64_MAX;
+    for (const ExpectedFrame& exp : conn->expected) {
+      if (exp.op_id != last_op) {
+        ++ops_lost;
+        last_op = exp.op_id;
+      }
+    }
+    report_.errors += ops_lost;
+    in_flight_ -= ops_lost;
+    conn->expected.clear();
+    conn->dead = true;
+    conn->fd.Reset();
+    --alive_;
+  }
+
+  void PollOnce(uint64_t now_ns, uint64_t issued) {
+    // Sleep until the next intended send (or 50ms when the schedule is
+    // done and the loop is just draining responses).
+    int timeout_ms = 50;
+    if (issued < schedule_.total_ops()) {
+      const uint64_t next_ns = schedule_.IntendedNs(issued);
+      timeout_ms =
+          next_ns > now_ns
+              ? static_cast<int>((next_ns - now_ns) / 1'000'000)
+              : 0;
+      if (timeout_ms > 50) timeout_ms = 50;
+    }
+    epoll_event events[256];
+    const int n =
+        ::epoll_wait(epoll_fd_.get(), events, 256, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      auto* conn = static_cast<LoadConn*>(events[i].data.ptr);
+      if (conn->dead) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        KillConn(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) FlushConn(conn);
+      if (conn->dead) continue;
+      if (events[i].events & EPOLLIN) OnReadable(conn);
+    }
+  }
+
+  void OnReadable(LoadConn* conn) {
+    uint8_t buf[16384];
+    while (true) {
+      const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->in.insert(conn->in.end(), buf, buf + n);
+        continue;
+      }
+      if (n == 0) {
+        KillConn(conn);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      KillConn(conn);
+      return;
+    }
+    ParseResponses(conn);
+    if (conn->dead) return;
+    if (conn->in_pos > 0) {
+      conn->in.erase(conn->in.begin(),
+                     conn->in.begin() +
+                         static_cast<std::ptrdiff_t>(conn->in_pos));
+      conn->in_pos = 0;
+    }
+  }
+
+  void ParseResponses(LoadConn* conn) {
+    while (conn->in.size() - conn->in_pos >= kFrameHeaderBytes) {
+      const uint8_t* header = conn->in.data() + conn->in_pos;
+      auto len_result = DecodeFrameHeader(header, kMaxFrameBytes);
+      if (!len_result.ok()) {
+        ++report_.protocol_errors;
+        KillConn(conn);
+        return;
+      }
+      const uint32_t len = *len_result;
+      if (conn->in.size() - conn->in_pos < kFrameHeaderBytes + len) break;
+      const uint8_t* payload = header + kFrameHeaderBytes;
+      if (!CheckFrameCrc(header, payload, len).ok()) {
+        ++report_.protocol_errors;
+        KillConn(conn);
+        return;
+      }
+      conn->in_pos += kFrameHeaderBytes + len;
+      OnResponseFrame(conn, payload, len);
+      if (conn->dead) return;
+    }
+  }
+
+  void OnResponseFrame(LoadConn* conn, const uint8_t* payload,
+                       uint32_t len) {
+    if (conn->expected.empty() || len < 2) {
+      ++report_.protocol_errors;
+      KillConn(conn);
+      return;
+    }
+    const ExpectedFrame exp = conn->expected.front();
+    conn->expected.pop_front();
+    if (payload[0] != exp.opcode) {
+      ++report_.protocol_errors;
+      KillConn(conn);
+      return;
+    }
+    const WireCode code = static_cast<WireCode>(payload[1]);
+    if (code != WireCode::kOk) {
+      if (IsRetryableWireCode(code)) {
+        conn->op_shed = true;
+      } else {
+        conn->op_failed = true;
+      }
+    }
+    if (!exp.last) return;
+
+    // Operation complete: attribute the outcome and the open-loop
+    // latency, then put the connection back to work.
+    --in_flight_;
+    const uint64_t now_ns = NowNs();
+    const uint64_t intended_ns = schedule_.IntendedNs(exp.op_id);
+    const uint64_t warmup_ns =
+        static_cast<uint64_t>(options_.warmup_s * 1e9);
+    const bool in_measure = intended_ns >= warmup_ns;
+    if (conn->op_failed) {
+      if (in_measure) ++report_.errors;
+    } else if (conn->op_shed) {
+      if (in_measure) ++report_.shed;
+    } else if (in_measure) {
+      ++report_.ops_completed;
+      const uint64_t latency_ns =
+          workload::OpenLoopSchedule::LatencyNs(intended_ns, now_ns);
+      latency_hist_.Record(latency_ns);
+      if (!timeline_.empty() && now_ns >= warmup_ns) {
+        const size_t bucket = static_cast<size_t>(
+            (now_ns - warmup_ns) / 1'000'000'000ull);
+        if (bucket < timeline_.size()) {
+          auto& slot = timeline_[bucket];
+          ++slot.completed;
+          const double us = static_cast<double>(latency_ns) / 1e3;
+          slot.sum_us += us;
+          if (us > slot.max_us) slot.max_us = us;
+        }
+      }
+    }
+    if (!backlog_.empty()) {
+      const uint64_t next_op = backlog_.front();
+      backlog_.pop_front();
+      SendOp(conn, next_op);
+    } else {
+      idle_.push_back(conn);
+    }
+  }
+
+  void FinishReport(uint64_t warmup_ns, uint64_t measure_end_ns) {
+    (void)warmup_ns;
+    (void)measure_end_ns;
+    report_.ops_offered = schedule_.total_ops();
+    report_.measure_s = options_.duration_s;
+    report_.tput_rps =
+        static_cast<double>(report_.ops_completed) / options_.duration_s;
+    report_.latency = latency_hist_.Snapshot();
+    const obs::HistogramData& lat = report_.latency;
+    report_.p50_us = lat.Percentile(50) / 1e3;
+    report_.p99_us = lat.Percentile(99) / 1e3;
+    report_.p999_us = lat.Percentile(99.9) / 1e3;
+    report_.max_us = static_cast<double>(lat.count ? lat.max : 0) / 1e3;
+    report_.mean_us = lat.Mean() / 1e3;
+    report_.timeline = std::move(timeline_);
+  }
+
+  const LoadgenOptions options_;
+  const workload::OpenLoopSchedule schedule_;
+  workload::ZipfGenerator zipf_;
+  Rng rng_;
+  const std::string value_payload_;
+
+  OwnedFd epoll_fd_;
+  std::vector<std::unique_ptr<LoadConn>> conns_;
+  std::vector<LoadConn*> idle_;
+  std::deque<uint64_t> backlog_;
+  Clock::time_point start_;
+  int alive_ = 0;
+  uint64_t in_flight_ = 0;
+
+  obs::Histogram latency_hist_;
+  std::vector<LoadgenTimelineBucket> timeline_;
+  LoadgenReport report_;
+};
+
+}  // namespace
+
+Result<LoadgenReport> RunOpenLoopLoad(const LoadgenOptions& options) {
+  if (options.connections <= 0) {
+    return Status::InvalidArgument("loadgen needs at least one connection");
+  }
+  if (options.rate_rps <= 0 || options.duration_s <= 0) {
+    return Status::InvalidArgument("loadgen needs a positive rate/duration");
+  }
+  OpenLoopDriver driver(options);
+  return driver.Run();
+}
+
+}  // namespace hyrise_nv::net

@@ -1,0 +1,87 @@
+#ifndef HYRISE_NV_NET_LOADGEN_H_
+#define HYRISE_NV_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace hyrise_nv::net {
+
+/// Open-loop load options. The generator drives `connections` sockets
+/// from one epoll loop at a fixed offered rate: operation i's intended
+/// send time is start + i/rate_rps regardless of server behaviour, and
+/// latency is measured from that intended time (coordinated-omission
+/// safe — a server stall charges every queued operation its full wait).
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 64;
+  /// Offered load in operations per second (the arrival schedule).
+  double rate_rps = 1000;
+  /// Measurement window, preceded by `warmup_s` whose completions are
+  /// discarded (both phases run the same schedule).
+  double duration_s = 5;
+  double warmup_s = 1;
+  /// Fraction of operations that are point reads (ScanEqual on column
+  /// 0); the rest are write transactions (begin + insert + commit).
+  double read_pct = 0.8;
+  /// Zipfian key space: keys in [0, keys), skew theta (0 = uniform-ish,
+  /// 0.99 = YCSB default).
+  uint64_t keys = 10'000;
+  double zipf_theta = 0.99;
+  uint64_t seed = 42;
+  std::string table = "kv";
+  /// Payload bytes of the string column written by inserts.
+  uint32_t value_bytes = 16;
+  /// Row cap for read responses.
+  uint32_t scan_limit = 4;
+  /// Collect a per-second completion/latency timeline of the measure
+  /// window (LoadgenReport::timeline).
+  bool timeline = false;
+  /// After the schedule ends, wait at most this long for in-flight
+  /// operations to complete before giving up on them.
+  double drain_timeout_s = 10;
+  int connect_timeout_ms = 5000;
+};
+
+struct LoadgenTimelineBucket {
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  double max_us = 0;
+  double sum_us = 0;
+};
+
+struct LoadgenReport {
+  uint64_t ops_offered = 0;    // schedule length (rate × total seconds)
+  uint64_t ops_completed = 0;  // completions inside the measure window
+  uint64_t errors = 0;         // hard failures (non-ok, non-retryable)
+  uint64_t shed = 0;           // kOverloaded / kWarming / kDraining
+  uint64_t protocol_errors = 0;
+  uint64_t abandoned = 0;      // still in flight at drain timeout
+  double measure_s = 0;
+  double tput_rps = 0;  // completed / measure_s
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+  double mean_us = 0;
+  /// Peak number of due operations queued waiting for a free
+  /// connection — the open-loop backlog the server's slowness created.
+  uint64_t backlog_peak = 0;
+  /// Latency distribution (nanoseconds, from intended send time) of the
+  /// measure window; use HistogramData::Percentile for other quantiles.
+  obs::HistogramData latency;
+  std::vector<LoadgenTimelineBucket> timeline;  // 1s buckets, measure only
+};
+
+/// Runs the open-loop load against a live server. Blocking; returns once
+/// the schedule and the drain window are done. Fails if the target is
+/// unreachable or every connection dies.
+Result<LoadgenReport> RunOpenLoopLoad(const LoadgenOptions& options);
+
+}  // namespace hyrise_nv::net
+
+#endif  // HYRISE_NV_NET_LOADGEN_H_

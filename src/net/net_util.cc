@@ -7,6 +7,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <string.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -177,6 +178,20 @@ Result<std::vector<uint8_t>> ReadFrame(int fd, int timeout_ms,
       CheckFrameCrc(header, payload.data(),
                     static_cast<uint32_t>(payload.size())));
   return payload;
+}
+
+uint64_t RaiseFdLimit(uint64_t want) {
+  struct rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur >= want) return lim.rlim_cur;
+  const rlim_t target =
+      lim.rlim_max == RLIM_INFINITY || want < lim.rlim_max
+          ? static_cast<rlim_t>(want)
+          : lim.rlim_max;
+  rlim_t old = lim.rlim_cur;
+  lim.rlim_cur = target;
+  if (::setrlimit(RLIMIT_NOFILE, &lim) != 0) return old;
+  return lim.rlim_cur;
 }
 
 }  // namespace hyrise_nv::net

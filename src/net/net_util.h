@@ -69,6 +69,12 @@ Result<std::vector<uint8_t>> ReadFrame(int fd, int timeout_ms = 0,
                                        uint32_t max_payload =
                                            kMaxFrameBytes);
 
+/// Raises RLIMIT_NOFILE's soft limit towards min(want, hard limit).
+/// Best-effort: returns the soft limit in effect afterwards, which may be
+/// below `want` on constrained systems — callers decide whether that is
+/// fatal for their connection count.
+uint64_t RaiseFdLimit(uint64_t want);
+
 }  // namespace hyrise_nv::net
 
 #endif  // HYRISE_NV_NET_NET_UTIL_H_

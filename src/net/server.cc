@@ -22,6 +22,8 @@
 #include "net/net_util.h"
 #include "obs/blackbox.h"
 #include "obs/metrics.h"
+#include "obs/request_stats.h"
+#include "obs/trace.h"
 
 namespace hyrise_nv::net {
 
@@ -44,6 +46,21 @@ constexpr size_t kMaxResultPayload = 6u << 20;
 
 }  // namespace
 
+/// A request whose response sits in the out buffer waiting to reach the
+/// socket. Latency attribution completes only once the last byte of the
+/// response has been accepted by the kernel — `flush_end` marks that
+/// point on the connection's monotonic byte counter (the out buffer
+/// itself is compacted, so offsets into it are not stable).
+struct PendingRequest {
+  uint64_t flush_end = 0;     // conn->bytes_queued after this response
+  uint64_t start_ticks = 0;   // frame-read-complete
+  uint64_t queued_ticks = 0;  // response appended to the out buffer
+  uint8_t op = 0;
+  obs::StageBreakdown stages;  // parse..commit_publish filled at execute
+  bool sampled = false;        // carries an engine trace to graft
+  obs::SpanNode engine_trace;  // sampled txn_commit subtree, if any
+};
+
 /// One connection = one session. Owned by exactly one worker thread; no
 /// field needs locking.
 struct Connection {
@@ -59,6 +76,17 @@ struct Connection {
   txn::Transaction txn;
   bool txn_open = false;
   uint64_t last_active_ms = 0;
+  /// Monotonic response-byte counters; bytes_flushed trails bytes_queued
+  /// by exactly the unsent backlog.
+  uint64_t bytes_queued = 0;
+  uint64_t bytes_flushed = 0;
+  std::deque<PendingRequest> pending_requests;
+  /// Scratch filled by ExecCommit for the request currently executing so
+  /// ExecuteFrame can attribute the engine's commit stages; reset before
+  /// every Execute().
+  uint64_t last_wal_sync_ns = 0;
+  uint64_t last_commit_publish_ns = 0;
+  bool last_commit_sampled = false;
 };
 
 class ServerImpl {
@@ -83,12 +111,23 @@ class ServerImpl {
         inflight_gauge_(
             obs::MetricsRegistry::Instance().GetGauge("net.inflight")),
         queue_gauge_(
-            obs::MetricsRegistry::Instance().GetGauge("net.queue.depth")) {
+            obs::MetricsRegistry::Instance().GetGauge("net.queue.depth")),
+        slow_request_counter_(obs::MetricsRegistry::Instance().GetCounter(
+            "net.slow_requests.count")) {
     for (uint8_t op = static_cast<uint8_t>(Opcode::kHello);
          op <= static_cast<uint8_t>(Opcode::kDrain); ++op) {
       op_counters_[op] = &obs::MetricsRegistry::Instance().GetCounter(
           std::string("net.op.") +
           OpcodeName(static_cast<Opcode>(op)) + ".count");
+      // Pre-register the full per-opcode per-stage matrix so the export
+      // surface is name-stable from the first stats call (dashboards and
+      // the CI smoke key on these names existing, not on traffic).
+      for (size_t stage = 0; stage < obs::kNumRequestStages; ++stage) {
+        stage_hists_[op][stage] =
+            &obs::MetricsRegistry::Instance().GetHistogram(
+                std::string("net.op.") + OpcodeName(static_cast<Opcode>(op)) +
+                ".stage." + obs::RequestStageName(stage) + ".latency_ns");
+      }
     }
   }
 
@@ -415,20 +454,97 @@ class ServerImpl {
     return true;
   }
 
-  /// Raw send loop; returns false on a hard socket error.
+  /// Raw send loop; returns false on a hard socket error. Every byte
+  /// accepted by the kernel advances bytes_flushed, which is what
+  /// completes pending requests' latency attribution.
   bool TrySend(Connection* conn) {
+    bool ok = true;
     while (conn->out_pos < conn->out.size()) {
       const ssize_t n = ::send(conn->fd.get(), conn->out.data() + conn->out_pos,
                                conn->out.size() - conn->out_pos,
                                MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-        return false;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        ok = false;
+        break;
       }
       conn->out_pos += static_cast<size_t>(n);
+      conn->bytes_flushed += static_cast<uint64_t>(n);
     }
-    return true;
+    CompleteFlushedRequests(conn);
+    return ok;
+  }
+
+  /// Finishes latency accounting for every pending request whose
+  /// response has fully reached the socket: records the write_flush
+  /// stage and the end-to-end `net.request.latency_ns` (which therefore
+  /// covers output-backlog drain time, not just execution), applies the
+  /// slow-request threshold, and publishes the wire→txn→WAL trace for
+  /// sampled requests.
+  void CompleteFlushedRequests(Connection* conn) {
+    using obs::FastClock;
+    using obs::RequestStage;
+    while (!conn->pending_requests.empty() &&
+           conn->pending_requests.front().flush_end <= conn->bytes_flushed) {
+      PendingRequest req = std::move(conn->pending_requests.front());
+      conn->pending_requests.pop_front();
+      const uint64_t now_ticks = FastClock::NowTicks();
+      const uint64_t total_ns = FastClock::TicksToNanos(
+          static_cast<int64_t>(now_ticks - req.start_ticks));
+      req.stages[RequestStage::kWriteFlush] = FastClock::TicksToNanos(
+          static_cast<int64_t>(now_ticks - req.queued_ticks));
+      latency_hist_.Record(total_ns);
+      RecordStage(req.op, RequestStage::kWriteFlush,
+                  req.stages[RequestStage::kWriteFlush]);
+      const uint64_t threshold_ns = options_.slow_request_us * 1000;
+      if (threshold_ns != 0 && total_ns >= threshold_ns) {
+        CaptureSlowRequest(conn, req, total_ns);
+      }
+      if (req.sampled) PublishRequestTrace(req, total_ns);
+    }
+  }
+
+  void RecordStage(uint8_t op, obs::RequestStage stage, uint64_t ns) {
+    obs::Histogram* hist = stage_hists_[op][static_cast<size_t>(stage)];
+    if (hist != nullptr) hist->Record(ns);
+  }
+
+  void CaptureSlowRequest(Connection* conn, const PendingRequest& req,
+                          uint64_t total_ns) {
+    const obs::RequestStage dominant = req.stages.Dominant();
+    slow_request_counter_.Inc();
+    slow_ring_.Push(req.op, total_ns, req.stages);
+    if (obs::BlackboxWriter* bb = db_->heap().blackbox()) {
+      bb->Record(obs::BlackboxEventType::kSlowRequest, req.op,
+                 static_cast<uint64_t>(dominant), total_ns,
+                 req.stages[dominant], conn->id);
+    }
+  }
+
+  /// Builds the one-tree view the tracing satellite promises: the wire
+  /// stages with the engine's sampled txn_commit subtree (which itself
+  /// carries persist/wal_sync/commit_publish) grafted under execute.
+  void PublishRequestTrace(const PendingRequest& req, uint64_t total_ns) {
+    using obs::RequestStage;
+    obs::SpanNode root;
+    root.name = "request";
+    root.seconds = static_cast<double>(total_ns) / 1e9;
+    const RequestStage wire_stages[] = {RequestStage::kParse,
+                                        RequestStage::kDispatch,
+                                        RequestStage::kExecute,
+                                        RequestStage::kWriteFlush};
+    for (const RequestStage stage : wire_stages) {
+      obs::SpanNode child;
+      child.name = obs::RequestStageName(stage);
+      child.seconds = static_cast<double>(req.stages[stage]) / 1e9;
+      if (stage == RequestStage::kExecute && !req.engine_trace.name.empty()) {
+        child.children.push_back(req.engine_trace);
+      }
+      root.children.push_back(std::move(child));
+    }
+    std::lock_guard<std::mutex> guard(request_trace_mutex_);
+    last_request_trace_ = std::move(root);
   }
 
   void OnReadable(Worker* worker, Connection* conn) {
@@ -506,6 +622,9 @@ class ServerImpl {
       }
       const uint32_t len = *len_result;
       if (conn->in.size() - conn->in_pos < kFrameHeaderBytes + len) break;
+      // Frame-read-complete: request latency is measured from here, so
+      // the CRC check and opcode decode land in the parse stage.
+      const uint64_t frame_ticks = obs::FastClock::NowTicks();
       const uint8_t* payload = header + kFrameHeaderBytes;
       Status crc_status = CheckFrameCrc(header, payload, len);
       if (!crc_status.ok()) {
@@ -519,7 +638,9 @@ class ServerImpl {
         --queued;
         queue_gauge_.Add(-1);
       }
-      if (!ExecuteFrame(worker, conn, payload, len)) return false;
+      if (!ExecuteFrame(worker, conn, payload, len, frame_ticks)) {
+        return false;
+      }
     }
     return true;
   }
@@ -541,14 +662,17 @@ class ServerImpl {
                       const std::vector<uint8_t>& payload) {
     const std::vector<uint8_t> frame = EncodeFrame(payload);
     conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+    conn->bytes_queued += frame.size();
   }
 
   // --- Request execution --------------------------------------------------
 
   /// Returns false when the connection was closed.
   bool ExecuteFrame(Worker* worker, Connection* conn,
-                    const uint8_t* payload, uint32_t len) {
-    const uint64_t start_ticks = obs::FastClock::NowTicks();
+                    const uint8_t* payload, uint32_t len,
+                    uint64_t start_ticks) {
+    using obs::FastClock;
+    using obs::RequestStage;
     WireReader reader(payload, len);
     const uint8_t raw_op = reader.U8();
     if (!IsKnownOpcode(raw_op)) {
@@ -571,17 +695,38 @@ class ServerImpl {
       ProtocolError(worker, conn, op, "first frame must be hello");
       return false;
     }
+
+    // Stage attribution: parse (CRC + opcode decode + handshake check),
+    // dispatch (admission control), execute (engine work, minus the
+    // commit stages harvested from the transaction), wal_sync and
+    // commit_publish (engine commit pipeline). write_flush completes in
+    // CompleteFlushedRequests once the response reaches the socket.
+    PendingRequest req;
+    req.start_ticks = start_ticks;
+    req.op = raw_op;
+    const uint64_t parse_end_ticks = FastClock::NowTicks();
+    req.stages[RequestStage::kParse] = FastClock::TicksToNanos(
+        static_cast<int64_t>(parse_end_ticks - start_ticks));
+
     if (op == Opcode::kHello) {
       const bool keep = HandleHello(worker, conn, reader);
-      latency_hist_.Record(obs::FastClock::TicksToNanos(
-          static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks)));
+      if (keep) {
+        // HandleHello already queued the response; the hello has no
+        // dispatch/engine stages, so everything after parse is execute.
+        const uint64_t exec_end_ticks = FastClock::NowTicks();
+        req.stages[RequestStage::kExecute] = FastClock::TicksToNanos(
+            static_cast<int64_t>(exec_end_ticks - parse_end_ticks));
+        FinishRequestStages(conn, std::move(req), exec_end_ticks);
+      }
       return keep;
     }
 
     std::vector<uint8_t> response;
+    uint64_t dispatch_end_ticks = parse_end_ticks;
     if (draining()) {
       response = MakeErrorPayload(op, WireCode::kDraining,
                                   "server is draining");
+      dispatch_end_ticks = FastClock::NowTicks();
     } else {
       // Request-level admission control: a bounded number of requests
       // may execute concurrently; the rest get a 503-style rejection
@@ -596,22 +741,72 @@ class ServerImpl {
             "server at capacity (" +
                 std::to_string(options_.max_inflight) +
                 " requests in flight)");
+        dispatch_end_ticks = FastClock::NowTicks();
       } else if (ShedWhileWarming(op, inflight, &response)) {
         // Degraded serving: a tighter cap applied to engine-touching
         // ops; `response` already carries the kWarming rejection with
         // the drain progress.
+        dispatch_end_ticks = FastClock::NowTicks();
       } else {
         inflight_gauge_.Set(inflight + 1);
+        dispatch_end_ticks = FastClock::NowTicks();
+        conn->last_wal_sync_ns = 0;
+        conn->last_commit_publish_ns = 0;
+        conn->last_commit_sampled = false;
         response = Execute(op, conn, reader);
+        req.stages[RequestStage::kWalSync] = conn->last_wal_sync_ns;
+        req.stages[RequestStage::kCommitPublish] =
+            conn->last_commit_publish_ns;
+        if (conn->last_commit_sampled) {
+          req.sampled = true;
+          req.engine_trace = db_->LastSampledTxnTrace();
+        }
       }
       inflight_.fetch_add(-1, std::memory_order_acq_rel);
       inflight_gauge_.Add(-1);
     }
+    req.stages[RequestStage::kDispatch] = FastClock::TicksToNanos(
+        static_cast<int64_t>(dispatch_end_ticks - parse_end_ticks));
+    const uint64_t exec_end_ticks = FastClock::NowTicks();
+    const uint64_t exec_ns = FastClock::TicksToNanos(
+        static_cast<int64_t>(exec_end_ticks - dispatch_end_ticks));
+    // The engine's wal_sync/commit_publish ran inside Execute(); carve
+    // them out so the six stages stay disjoint and sum to ≈ total.
+    const uint64_t engine_ns = req.stages[RequestStage::kWalSync] +
+                               req.stages[RequestStage::kCommitPublish];
+    req.stages[RequestStage::kExecute] =
+        exec_ns > engine_ns ? exec_ns - engine_ns : 0;
     AppendResponse(conn, response);
-    latency_hist_.Record(obs::FastClock::TicksToNanos(
-        static_cast<int64_t>(obs::FastClock::NowTicks() - start_ticks)));
+    FinishRequestStages(conn, std::move(req), FastClock::NowTicks());
     if (op == Opcode::kDrain) Drain();
     return true;
+  }
+
+  /// Records the stages known at execute time and parks the request to
+  /// await its flush completion (flush_end = the out-buffer byte counter
+  /// after its response, which AppendResponse just advanced).
+  void FinishRequestStages(Connection* conn, PendingRequest req,
+                           uint64_t queued_ticks) {
+    using obs::RequestStage;
+    req.queued_ticks = queued_ticks;
+    req.flush_end = conn->bytes_queued;
+    RecordStage(req.op, RequestStage::kParse,
+                req.stages[RequestStage::kParse]);
+    RecordStage(req.op, RequestStage::kDispatch,
+                req.stages[RequestStage::kDispatch]);
+    RecordStage(req.op, RequestStage::kExecute,
+                req.stages[RequestStage::kExecute]);
+    // Commit-pipeline stages only exist for durable commits; recording
+    // zeros for every scan would drown the histograms that matter.
+    if (req.stages[RequestStage::kWalSync] > 0) {
+      RecordStage(req.op, RequestStage::kWalSync,
+                  req.stages[RequestStage::kWalSync]);
+    }
+    if (req.stages[RequestStage::kCommitPublish] > 0) {
+      RecordStage(req.op, RequestStage::kCommitPublish,
+                  req.stages[RequestStage::kCommitPublish]);
+    }
+    conn->pending_requests.push_back(std::move(req));
   }
 
   bool HandleHello(Worker* worker, Connection* conn, WireReader& reader) {
@@ -824,12 +1019,19 @@ class ServerImpl {
     }
     Status status = SessionTxn(conn, tid);
     if (!status.ok()) return MakeStatusPayload(Opcode::kCommit, status);
+    const bool sampled = conn->txn.sampled();
     status = db_->Commit(conn->txn);
     if (!conn->txn.active()) {
       conn->txn_open = false;
       open_txns_.fetch_add(-1, std::memory_order_relaxed);
     }
     if (!status.ok()) return MakeStatusPayload(Opcode::kCommit, status);
+    // Hand the commit pipeline's stage timings to the request-level
+    // attribution (only on success — a failed commit never reached the
+    // publish stage and must not report a predecessor's numbers).
+    conn->last_wal_sync_ns = conn->txn.wal_sync_ns();
+    conn->last_commit_publish_ns = conn->txn.commit_publish_ns();
+    conn->last_commit_sampled = sampled;
     std::vector<uint8_t> payload;
     WireWriter writer(&payload);
     writer.U8(static_cast<uint8_t>(Opcode::kCommit));
@@ -1111,8 +1313,43 @@ class ServerImpl {
     return json;
   }
 
+  /// {"threshold_us":...,"count":N,"recent":[{op,total_us,dominant,
+  /// stages_us:{...}}]} — the newest captures, oldest first.
+  std::string SlowRequestsJson() {
+    constexpr size_t kMaxRecent = 8;
+    std::vector<obs::SlowRequestRecord> records = slow_ring_.Snapshot();
+    const size_t begin =
+        records.size() > kMaxRecent ? records.size() - kMaxRecent : 0;
+    std::ostringstream body;
+    body << "{\"threshold_us\":" << options_.slow_request_us
+         << ",\"count\":" << slow_ring_.total() << ",\"recent\":[";
+    for (size_t i = begin; i < records.size(); ++i) {
+      const obs::SlowRequestRecord& rec = records[i];
+      if (i != begin) body << ",";
+      body << "{\"seq\":" << rec.seq << ",\"op\":\""
+           << OpcodeName(static_cast<Opcode>(rec.opcode))
+           << "\",\"total_us\":"
+           << static_cast<double>(rec.total_ns) / 1e3 << ",\"dominant\":\""
+           << obs::RequestStageName(rec.stages.Dominant())
+           << "\",\"stages_us\":{";
+      for (size_t s = 0; s < obs::kNumRequestStages; ++s) {
+        if (s != 0) body << ",";
+        body << "\"" << obs::RequestStageName(s)
+             << "\":" << static_cast<double>(rec.stages.ns[s]) / 1e3;
+      }
+      body << "}}";
+    }
+    body << "]}";
+    return body.str();
+  }
+
   std::vector<uint8_t> ExecStats() {
     const ServerCounters c = counters();
+    obs::SpanNode request_trace;
+    {
+      std::lock_guard<std::mutex> guard(request_trace_mutex_);
+      request_trace = last_request_trace_;
+    }
     std::ostringstream body;
     body << "{\"server\":{\"connections\":" << c.open_connections
          << ",\"accepted\":" << c.accepted
@@ -1125,7 +1362,11 @@ class ServerImpl {
          << ",\"draining\":" << (draining() ? "true" : "false")
          << ",\"serving_state\":\""
          << (serving_degraded() ? "degraded" : "ready") << "\"}"
-         << ",\"metrics\":" << db_->MetricsSnapshot().ToJson() << "}";
+         << ",\"slow_requests\":" << SlowRequestsJson();
+    if (!request_trace.name.empty()) {
+      body << ",\"last_request_trace\":" << request_trace.ToJson();
+    }
+    body << ",\"metrics\":" << db_->MetricsSnapshot().ToJson() << "}";
     return MakeOkString(Opcode::kStats, body.str());
   }
 
@@ -1159,6 +1400,14 @@ class ServerImpl {
   obs::Gauge& inflight_gauge_;
   obs::Gauge& queue_gauge_;
   obs::Counter* op_counters_[256] = {};
+  obs::Histogram* stage_hists_[256][obs::kNumRequestStages] = {};
+  obs::Counter& slow_request_counter_;
+  obs::SlowRequestRing slow_ring_;
+
+  /// Last completed sampled request's wire→txn→WAL span tree; guarded
+  /// because completion runs on whichever worker flushed the response.
+  mutable std::mutex request_trace_mutex_;
+  obs::SpanNode last_request_trace_;
 
   friend class Server;
 };

@@ -39,6 +39,12 @@ struct ServerOptions {
   /// retryable kWarming code instead of queueing. 0 derives the cap as
   /// max(1, max_inflight / 8).
   int degraded_max_inflight = 0;
+  /// Requests whose end-to-end latency (frame-read-complete → response
+  /// fully handed to the socket) exceeds this threshold are captured: a
+  /// kSlowRequest blackbox event with the dominant stage plus an entry
+  /// in the in-memory slow-request ring surfaced by the stats op.
+  /// 0 disables capture.
+  uint64_t slow_request_us = 100'000;
 };
 
 /// Point-in-time serving counters (tests and the stats op).

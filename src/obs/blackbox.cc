@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "obs/request_stats.h"
 
 namespace hyrise_nv::obs {
 
@@ -124,6 +125,8 @@ const char* BlackboxEventName(uint16_t type) {
       return "recovery_drain_done";
     case BlackboxEventType::kWarmingShed:
       return "warming_shed";
+    case BlackboxEventType::kSlowRequest:
+      return "slow_request";
   }
   return "unknown";
 }
@@ -515,6 +518,15 @@ std::string BlackboxEventDetail(const BlackboxDecodedEvent& ev) {
     case BlackboxEventType::kWarmingShed:
       std::snprintf(buf, sizeof(buf), "inflight=%llu",
                     static_cast<ULL>(ev.a));
+      break;
+    case BlackboxEventType::kSlowRequest:
+      std::snprintf(buf, sizeof(buf),
+                    "opcode=%llu dominant=%s total=%.1fus dominant_us=%.1f "
+                    "conn=%llu",
+                    static_cast<ULL>(ev.a),
+                    RequestStageName(static_cast<size_t>(ev.b)),
+                    static_cast<double>(ev.c) / 1e3,
+                    static_cast<double>(ev.d) / 1e3, static_cast<ULL>(ev.e));
       break;
     default:
       std::snprintf(buf, sizeof(buf),

@@ -96,6 +96,8 @@ enum class BlackboxEventType : uint16_t {
   kDegradedOpen = 21,     // a=pending rows, b=tables with pending rows
   kRecoveryDrainDone = 22,  // a=rows restored by drain, b=duration ns
   kWarmingShed = 23,      // a=requests in flight at the shed decision
+  kSlowRequest = 24,   // a=opcode, b=dominant stage (RequestStage),
+                       // c=total ns, d=dominant stage ns, e=connection id
 };
 
 const char* BlackboxEventName(uint16_t type);

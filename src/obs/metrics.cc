@@ -232,20 +232,58 @@ void Histogram::Reset() {
   min_.store(UINT64_MAX, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Shared rank-interpolation core: given the bucket [lo, hi) that holds
+/// `rank` (with `before` observations in earlier buckets and `in_bucket`
+/// in this one), place the percentile linearly within the bucket and
+/// clamp it to the observed [min, max] envelope.
+double InterpolateInBucket(double rank, double before, double in_bucket,
+                           uint64_t lo, uint64_t hi, uint64_t min,
+                           uint64_t max) {
+  double frac = in_bucket > 0 ? (rank - before) / in_bucket : 0.0;
+  if (frac < 0.0) frac = 0.0;
+  if (frac > 1.0) frac = 1.0;
+  double value = static_cast<double>(lo) +
+                 (static_cast<double>(hi) - static_cast<double>(lo)) * frac;
+  if (value < static_cast<double>(min)) value = static_cast<double>(min);
+  if (value > static_cast<double>(max)) value = static_cast<double>(max);
+  return value;
+}
+
+}  // namespace
+
 double HistogramData::Percentile(double p) const {
   if (count == 0) return 0.0;
   const double rank = p / 100.0 * static_cast<double>(count);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t before = cumulative;
     cumulative += buckets[i];
     if (static_cast<double>(cumulative) >= rank) {
-      const uint64_t lo = Histogram::BucketLowerBound(i);
-      const uint64_t hi = Histogram::BucketLowerBound(i + 1);
-      double mid = (static_cast<double>(lo) + static_cast<double>(hi)) / 2;
-      if (mid < static_cast<double>(min)) mid = static_cast<double>(min);
-      if (mid > static_cast<double>(max)) mid = static_cast<double>(max);
-      return mid;
+      return InterpolateInBucket(rank, static_cast<double>(before),
+                                 static_cast<double>(buckets[i]),
+                                 Histogram::BucketLowerBound(i),
+                                 Histogram::BucketLowerBound(i + 1), min, max);
     }
+  }
+  return static_cast<double>(max);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(count);
+  uint64_t before = 0;
+  uint64_t lo = 0;  // exclusive upper bound of the previous bucket + 1
+  for (const auto& [upper, cumulative] : cumulative_buckets) {
+    if (static_cast<double>(cumulative) >= rank) {
+      return InterpolateInBucket(rank, static_cast<double>(before),
+                                 static_cast<double>(cumulative - before), lo,
+                                 upper + 1, min, max);
+    }
+    before = cumulative;
+    lo = upper + 1;
   }
   return static_cast<double>(max);
 }
@@ -317,6 +355,8 @@ std::string MetricsSnapshot::ToJson() const {
     AppendDouble(out, h.p95);
     out += ",\"p99\":";
     AppendDouble(out, h.p99);
+    out += ",\"p999\":";
+    AppendDouble(out, h.p999);
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (const auto& [upper, cumulative] : h.cumulative_buckets) {
@@ -494,6 +534,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     h.p50 = data.Percentile(50);
     h.p95 = data.Percentile(95);
     h.p99 = data.Percentile(99);
+    h.p999 = data.Percentile(99.9);
     uint64_t cumulative = 0;
     for (size_t i = 0; i < data.buckets.size(); ++i) {
       if (data.buckets[i] == 0) continue;

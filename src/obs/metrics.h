@@ -126,8 +126,10 @@ struct HistogramData {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
-  /// Value at percentile `p` in [0,100]: the representative (midpoint,
-  /// clamped to [min,max]) of the bucket holding that rank.
+  /// Value at percentile `p` in [0,100]: linearly interpolated by rank
+  /// within the log-scale bucket holding that rank, clamped to
+  /// [min,max]. Exact for buckets of width 1; within one bucket width
+  /// (relative error <= 25%) everywhere else.
   double Percentile(double p) const;
 };
 
@@ -197,9 +199,15 @@ struct HistogramSnapshot {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  double p999 = 0;
   /// Non-empty buckets as (inclusive upper bound, cumulative count) —
   /// what a Prometheus classic histogram serializes.
   std::vector<std::pair<uint64_t, uint64_t>> cumulative_buckets;
+
+  /// Rank-interpolated percentile reconstructed from cumulative_buckets
+  /// (same estimator as HistogramData::Percentile, usable by consumers
+  /// that only hold the serialized snapshot).
+  double Percentile(double p) const;
 };
 
 /// A consistent-enough point-in-time copy of every registered metric.

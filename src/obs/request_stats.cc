@@ -1,0 +1,28 @@
+#include "obs/request_stats.h"
+
+namespace hyrise_nv::obs {
+
+const char* RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kParse:
+      return "parse";
+    case RequestStage::kDispatch:
+      return "dispatch";
+    case RequestStage::kExecute:
+      return "execute";
+    case RequestStage::kWalSync:
+      return "wal_sync";
+    case RequestStage::kCommitPublish:
+      return "commit_publish";
+    case RequestStage::kWriteFlush:
+      return "write_flush";
+  }
+  return "unknown";
+}
+
+const char* RequestStageName(size_t stage_index) {
+  if (stage_index >= kNumRequestStages) return "unknown";
+  return RequestStageName(static_cast<RequestStage>(stage_index));
+}
+
+}  // namespace hyrise_nv::obs

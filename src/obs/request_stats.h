@@ -1,0 +1,116 @@
+#ifndef HYRISE_NV_OBS_REQUEST_STATS_H_
+#define HYRISE_NV_OBS_REQUEST_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace hyrise_nv::obs {
+
+/// Stages of a served request, in wall-clock order. The stages tile the
+/// interval from frame-read-complete to response-write-flushed, so per
+/// request sum(stage_ns) ≈ total_ns (the execute stage excludes the
+/// wal_sync/commit_publish portions that are broken out separately):
+///
+///   parse          frame complete → opcode decoded, CRC verified
+///   dispatch       admission control: in-flight cap, drain/warming shed
+///   execute        engine work (for commits: minus the two stages below)
+///   wal_sync       commit durability hook: WAL append + group fsync
+///   commit_publish ordered watermark publish incl. queue wait
+///   write_flush    response queued → last byte accepted by the socket
+enum class RequestStage : uint8_t {
+  kParse = 0,
+  kDispatch = 1,
+  kExecute = 2,
+  kWalSync = 3,
+  kCommitPublish = 4,
+  kWriteFlush = 5,
+};
+
+inline constexpr size_t kNumRequestStages = 6;
+
+/// Stable short name used in metric names ("net.op.<op>.stage.<stage>.
+/// latency_ns") and blackbox decode — never rename, dashboards key on it.
+const char* RequestStageName(RequestStage stage);
+const char* RequestStageName(size_t stage_index);
+
+/// Per-request stage attribution, filled in by the server as a request
+/// moves through its pipeline.
+struct StageBreakdown {
+  uint64_t ns[kNumRequestStages] = {};
+
+  uint64_t& operator[](RequestStage stage) {
+    return ns[static_cast<size_t>(stage)];
+  }
+  uint64_t operator[](RequestStage stage) const {
+    return ns[static_cast<size_t>(stage)];
+  }
+
+  uint64_t Sum() const {
+    uint64_t total = 0;
+    for (const uint64_t v : ns) total += v;
+    return total;
+  }
+
+  /// The stage that consumed the most time — the "blame" a slow-request
+  /// event carries. Ties resolve to the earliest stage.
+  RequestStage Dominant() const {
+    size_t best = 0;
+    for (size_t i = 1; i < kNumRequestStages; ++i) {
+      if (ns[i] > ns[best]) best = i;
+    }
+    return static_cast<RequestStage>(best);
+  }
+};
+
+/// One captured slow request, retained in memory for the stats surface.
+/// The matching kSlowRequest blackbox event is what survives kill -9.
+struct SlowRequestRecord {
+  uint64_t seq = 0;       // monotonically increasing capture number
+  uint8_t opcode = 0;     // wire opcode byte
+  uint64_t total_ns = 0;  // frame-read-complete → response flushed
+  StageBreakdown stages;
+};
+
+/// Fixed-capacity ring of the most recent slow requests. Mutex-guarded:
+/// captures are rare by construction (they cross a latency threshold),
+/// so contention is not a concern.
+class SlowRequestRing {
+ public:
+  explicit SlowRequestRing(size_t capacity = 64) : capacity_(capacity) {}
+
+  void Push(uint8_t opcode, uint64_t total_ns, const StageBreakdown& stages) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    SlowRequestRecord rec;
+    rec.seq = ++total_;
+    rec.opcode = opcode;
+    rec.total_ns = total_ns;
+    rec.stages = stages;
+    ring_.push_back(rec);
+    if (ring_.size() > capacity_) ring_.pop_front();
+  }
+
+  /// Oldest-first copy of the retained records.
+  std::vector<SlowRequestRecord> Snapshot() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return {ring_.begin(), ring_.end()};
+  }
+
+  /// Lifetime capture count (not capped by the ring capacity).
+  uint64_t total() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return total_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SlowRequestRecord> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace hyrise_nv::obs
+
+#endif  // HYRISE_NV_OBS_REQUEST_STATS_H_

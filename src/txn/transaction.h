@@ -38,6 +38,12 @@ struct TxnContext {
   /// for predecessors (filled in by TxnManager::Commit; 0 when the
   /// commit drained its own batch without blocking).
   uint64_t commit_queue_wait_ns = 0;
+  /// Commit-pipeline stage timings (filled in by TxnManager::Commit so
+  /// the serving layer can attribute request latency without re-timing
+  /// the engine): the durability hook (WAL append + group fsync) and the
+  /// ordered publish. Zero for read-only commits and hook-less engines.
+  uint64_t wal_sync_ns = 0;
+  uint64_t commit_publish_ns = 0;
   std::vector<Write> writes;
 };
 
@@ -84,6 +90,12 @@ class Transaction {
   }
   uint64_t commit_queue_wait_ns() const {
     return ctx_ ? ctx_->commit_queue_wait_ns : 0;
+  }
+  void set_wal_sync_ns(uint64_t ns) { ctx_->wal_sync_ns = ns; }
+  uint64_t wal_sync_ns() const { return ctx_ ? ctx_->wal_sync_ns : 0; }
+  void set_commit_publish_ns(uint64_t ns) { ctx_->commit_publish_ns = ns; }
+  uint64_t commit_publish_ns() const {
+    return ctx_ ? ctx_->commit_publish_ns : 0;
   }
 
   /// Marks this transaction as trace-sampled: the manager records a span

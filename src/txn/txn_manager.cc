@@ -191,7 +191,14 @@ Status TxnManager::Commit(Transaction& tx) {
   // Stage 4 — secondary durability hook (WAL engines append their commit
   // record and join a group fsync here, before any stamp is visible).
   if (hook_ != nullptr) {
+#if HYRISE_NV_METRICS_ENABLED
+    const uint64_t hook_start_ticks = obs::FastClock::NowTicks();
+#endif
     Status hook_status = hook_->OnCommit(cid, tx);
+#if HYRISE_NV_METRICS_ENABLED
+    tx.set_wal_sync_ns(obs::FastClock::TicksToNanos(static_cast<int64_t>(
+        obs::FastClock::NowTicks() - hook_start_ticks)));
+#endif
     if (!hook_status.ok()) {
       // Free the slot *before* retiring the CID: once the publish queue
       // passes `cid` the watermark may advance over it, and a slot still
@@ -213,9 +220,16 @@ Status TxnManager::Commit(Transaction& tx) {
   // Stage 6 — ordered publish: the watermark advances strictly in CID
   // order, batched over runs of finished commits. Blocks until the
   // watermark covers `cid` (read-your-writes).
+#if HYRISE_NV_METRICS_ENABLED
+  const uint64_t publish_start_ticks = obs::FastClock::NowTicks();
+#endif
   const uint64_t queue_wait_ns =
       publisher_.Publish(cid, *commit_table_, heap_->blackbox());
   tx.set_commit_queue_wait_ns(queue_wait_ns);
+#if HYRISE_NV_METRICS_ENABLED
+  tx.set_commit_publish_ns(obs::FastClock::TicksToNanos(static_cast<int64_t>(
+      obs::FastClock::NowTicks() - publish_start_ticks)));
+#endif
 
   // Stage 7 — release the slot and retire the transaction.
   commit_table_->ReleaseSlot(slot);
@@ -297,7 +311,14 @@ void TxnManager::RecordSampledTrace(const Transaction& tx,
   trace.children.push_back(child);
   child.name = "persist";
   child.seconds = static_cast<double>(persist_ns) / 1e9;
+  // The WAL hook (append + group fsync) dominates persist for log-based
+  // engines; breaking it out lets a wire→txn→WAL trace blame the fsync.
+  obs::SpanNode wal_child;
+  wal_child.name = "wal_sync";
+  wal_child.seconds = static_cast<double>(tx.wal_sync_ns()) / 1e9;
+  child.children.push_back(std::move(wal_child));
   trace.children.push_back(child);
+  child.children.clear();
   child.name = "commit_publish";
   child.seconds = static_cast<double>(publish_ns) / 1e9;
   obs::SpanNode queue_child;

@@ -102,6 +102,11 @@ Status BlockDevice::Sync() {
   if (::fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync failed");
   }
+  uint64_t stall_ns = 0;
+  if (injector.any_armed() &&
+      injector.ShouldFire(FaultPoint::kWalSyncStall, &stall_ns)) {
+    nvm::BlockingDelayNanos(stall_ns != 0 ? stall_ns : 50'000'000);
+  }
   if (options_.sync_latency_us != 0) {
     nvm::BlockingDelayNanos(uint64_t{options_.sync_latency_us} * 1000);
     throttled_seconds_ += options_.sync_latency_us / 1e6;

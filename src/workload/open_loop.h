@@ -1,0 +1,60 @@
+#ifndef HYRISE_NV_WORKLOAD_OPEN_LOOP_H_
+#define HYRISE_NV_WORKLOAD_OPEN_LOOP_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace hyrise_nv::workload {
+
+/// Fixed arrival-rate schedule for open-loop load generation.
+///
+/// The defining property — the one that makes the measurement
+/// coordinated-omission-safe — is that every operation has an *intended*
+/// send time fixed up front by the schedule, independent of how the
+/// server behaves. Latency is measured from the intended time, not the
+/// actual send: when the server stalls and operations queue up behind
+/// the stall, each queued operation's measured latency grows by its full
+/// queueing delay instead of the stall being silently forgiven (which is
+/// what closed-loop "send, wait, send" harnesses do).
+///
+/// Pure arithmetic over caller-supplied clocks, so tests drive it with a
+/// fake clock.
+class OpenLoopSchedule {
+ public:
+  /// `rate_rps` > 0; `total_ops` caps the schedule length.
+  OpenLoopSchedule(double rate_rps, uint64_t total_ops)
+      : ns_per_op_(1e9 / rate_rps), total_ops_(total_ops) {}
+
+  uint64_t total_ops() const { return total_ops_; }
+
+  /// Intended send time of operation `i`, in nanoseconds relative to the
+  /// schedule start. Computed, not accumulated: no drift over long runs.
+  uint64_t IntendedNs(uint64_t i) const {
+    return static_cast<uint64_t>(
+        std::llround(static_cast<double>(i) * ns_per_op_));
+  }
+
+  /// Number of operations whose intended send time is <= now_ns, capped
+  /// at total_ops. The generator issues exactly DueCount(now) - issued
+  /// operations per loop iteration, no matter how late it is running.
+  uint64_t DueCount(uint64_t now_ns) const {
+    const uint64_t due =
+        static_cast<uint64_t>(static_cast<double>(now_ns) / ns_per_op_) + 1;
+    return due < total_ops_ ? due : total_ops_;
+  }
+
+  /// Coordinated-omission-safe latency: completion measured against the
+  /// *intended* send time. Saturates at 0 for completions that somehow
+  /// precede their intended time (clock skew).
+  static uint64_t LatencyNs(uint64_t intended_ns, uint64_t completion_ns) {
+    return completion_ns > intended_ns ? completion_ns - intended_ns : 0;
+  }
+
+ private:
+  const double ns_per_op_;
+  const uint64_t total_ops_;
+};
+
+}  // namespace hyrise_nv::workload
+
+#endif  // HYRISE_NV_WORKLOAD_OPEN_LOOP_H_

@@ -308,6 +308,63 @@ TEST(PrometheusTest, HistogramBucketsAreCumulativeAndEndAtInf) {
             inf_value);
 }
 
+TEST(HistogramTest, InterpolatedPercentileExactForWidthOneBuckets) {
+  // Values 0..7 land in width-1 buckets (the first sub-bucket range), so
+  // rank interpolation is exact: Percentile(q) is the q-th order
+  // statistic with no bucket error at all.
+  Histogram histogram;
+  for (uint64_t v = 0; v <= 7; ++v) histogram.Record(v);
+  const HistogramData data = histogram.Snapshot();
+  EXPECT_DOUBLE_EQ(data.Percentile(0), 0.0);
+  EXPECT_NEAR(data.Percentile(50), 3.5, 0.51);
+  EXPECT_NEAR(data.Percentile(87.5), 6.5, 0.51);
+  EXPECT_DOUBLE_EQ(data.Percentile(100), 7.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotonicAndClamped) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 10'000; v += 7) histogram.Record(v);
+  const HistogramData data = histogram.Snapshot();
+  const double p50 = data.Percentile(50);
+  const double p95 = data.Percentile(95);
+  const double p99 = data.Percentile(99);
+  const double p999 = data.Percentile(99.9);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, static_cast<double>(data.max));
+  EXPECT_GE(p50, static_cast<double>(data.min));
+  // Interpolation keeps the estimate inside the log-bucket error bound.
+  EXPECT_NEAR(p50, 5'000.0, 5'000.0 * 0.25);
+}
+
+TEST(HistogramTest, SnapshotPercentileMatchesDataPercentile) {
+  // HistogramSnapshot::Percentile reconstructs from the serialized
+  // cumulative buckets; it must agree with the full-data estimator to
+  // within one value unit (the cumulative form stores inclusive upper
+  // bounds, so the bucket edges differ by at most 1).
+  auto& registry = MetricsRegistry::Instance();
+  Histogram& histogram = registry.GetHistogram("test.pctl.latency_ns");
+  for (uint64_t v = 1; v <= 5'000; v += 3) histogram.Record(v);
+  const HistogramData data = histogram.Snapshot();
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* serialized =
+      snapshot.FindHistogram("test.pctl.latency_ns");
+  ASSERT_NE(serialized, nullptr);
+  for (const double q : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_NEAR(serialized->Percentile(q), data.Percentile(q), 1.0)
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(serialized->p999, data.Percentile(99.9));
+}
+
+TEST(HistogramTest, SnapshotJsonCarriesP999) {
+  auto& registry = MetricsRegistry::Instance();
+  registry.GetHistogram("test.p999.latency_ns").Record(42);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
 TEST(RegistryTest, ResetAllZeroesValuesButKeepsRegistrations) {
   auto& registry = MetricsRegistry::Instance();
   registry.GetCounter("test.reset.count").Add(3);

@@ -16,6 +16,7 @@
 //   --recovery=POLICY     eager | on-demand (WAL modes)       [eager]
 //   --drain-chunk-rows=N  on-demand drain rows per lock hold  [4096]
 //   --drain-pause-us=N    on-demand drain pause per chunk     [0]
+//   --slow-request-us=N   slow-request capture threshold, 0=off [100000]
 //   --quiet               log warnings and errors only
 //
 // Lifecycle: opens (or creates) the database — printing the recovery
@@ -77,7 +78,7 @@ int Usage() {
                "[--max-connections=N] [--max-inflight=N] "
                "[--idle-timeout-ms=N] [--region-size=BYTES] "
                "[--recovery=eager|on-demand] [--drain-chunk-rows=N] "
-               "[--drain-pause-us=N] [--quiet]\n");
+               "[--drain-pause-us=N] [--slow-request-us=N] [--quiet]\n");
   return 1;
 }
 
@@ -116,6 +117,8 @@ int main(int argc, char** argv) {
       db_options.drain_chunk_rows = static_cast<uint64_t>(n);
     } else if (ParseFlag(arg, "--drain-pause-us", &n)) {
       db_options.drain_pause_us = static_cast<uint64_t>(n);
+    } else if (ParseFlag(arg, "--slow-request-us", &n)) {
+      server_options.slow_request_us = static_cast<uint64_t>(n);
     } else if (std::strcmp(arg, "--create") == 0) {
       create = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {

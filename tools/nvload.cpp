@@ -1,0 +1,236 @@
+// nvload — open-loop, coordinated-omission-safe load generator for the
+// Hyrise-NV wire protocol (DESIGN.md §14, EXPERIMENTS.md E11).
+//
+//   nvload --port=N [options]
+//
+//   --host=ADDR          server address                      [127.0.0.1]
+//   --port=N             server port (required)
+//   --connections=N      concurrent TCP connections          [64]
+//   --rate=N             offered load, ops/second            [1000]
+//   --duration-s=N       measurement window seconds          [5]
+//   --warmup-s=N         warmup seconds (discarded)          [1]
+//   --read-pct=F         fraction of ops that are point reads [0.8]
+//   --keys=N             zipfian key space size              [10000]
+//   --theta=F            zipfian skew (0.99 = YCSB default)  [0.99]
+//   --value-bytes=N      insert payload size                 [16]
+//   --scan-limit=N       read row cap                        [4]
+//   --seed=N             rng seed                            [42]
+//   --table=NAME         target table                        [kv]
+//   --create-schema      create table+index and preload keys first
+//   --ramp=R1,R2,...     run once per rate in the list (same conns)
+//   --timeline           print per-second latency timeline lines
+//
+// The schedule is open-loop: operation i is *due* at start + i/rate no
+// matter how the server behaves, and latency is measured from that
+// intended time. A server stall therefore charges every operation queued
+// behind it the full wait — the coordinated-omission trap of closed-loop
+// "send, wait, send" harnesses is structurally avoided.
+//
+// Output: one BENCH_JSON line per run with offered/completed ops,
+// throughput, and p50/p99/p999/max/mean latency (microseconds).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/loadgen.h"
+#include "net/net_util.h"
+#include "storage/types.h"
+
+using namespace hyrise_nv;  // NOLINT: tool brevity
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+bool ParseFlag(const char* arg, const char* name, long long* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) return false;
+  *out = std::atoll(text.c_str());
+  return true;
+}
+
+bool ParseFlag(const char* arg, const char* name, double* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) return false;
+  *out = std::atof(text.c_str());
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: nvload --port=N [--host=ADDR] [--connections=N] [--rate=N] "
+      "[--duration-s=N] [--warmup-s=N] [--read-pct=F] [--keys=N] "
+      "[--theta=F] [--value-bytes=N] [--scan-limit=N] [--seed=N] "
+      "[--table=NAME] [--create-schema] [--ramp=R1,R2,...] [--timeline]\n");
+  return 1;
+}
+
+void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "nvload: %s: %s\n", what, status.ToString().c_str());
+  std::exit(2);
+}
+
+/// Creates the kv table (k int64, v string), indexes column 0, and
+/// preloads one row per key in batched transactions so reads hit data.
+void CreateSchema(const net::LoadgenOptions& options) {
+  net::ClientOptions client_options;
+  client_options.host = options.host;
+  client_options.port = options.port;
+  net::Client client(client_options);
+  Status status = client.Connect();
+  if (!status.ok()) Die("connect for --create-schema", status);
+
+  auto create = client.CreateTable(
+      options.table, {{"k", storage::DataType::kInt64},
+                      {"v", storage::DataType::kString}});
+  if (!create.ok()) Die("create table", create.status());
+  status = client.CreateIndex(options.table, 0);
+  if (!status.ok()) Die("create index", status);
+
+  const std::string value(options.value_bytes, 'x');
+  constexpr uint64_t kBatch = 256;
+  for (uint64_t key = 0; key < options.keys;) {
+    auto begin = client.Begin();
+    if (!begin.ok()) Die("preload begin", begin.status());
+    for (uint64_t i = 0; i < kBatch && key < options.keys; ++i, ++key) {
+      auto insert = client.Insert(
+          options.table,
+          {storage::Value(static_cast<int64_t>(key)), storage::Value(value)});
+      if (!insert.ok()) Die("preload insert", insert.status());
+    }
+    auto commit = client.Commit();
+    if (!commit.ok()) Die("preload commit", commit.status());
+  }
+  std::fprintf(stderr, "nvload: preloaded %" PRIu64 " rows into %s\n",
+               options.keys, options.table.c_str());
+}
+
+void PrintReport(const net::LoadgenOptions& options,
+                 const net::LoadgenReport& report, int phase,
+                 bool timeline) {
+  std::printf(
+      "BENCH_JSON {\"bench\":\"nvload\",\"phase\":%d,"
+      "\"connections\":%d,\"rate_rps\":%.0f,\"duration_s\":%.1f,"
+      "\"read_pct\":%.2f,\"ops_offered\":%" PRIu64
+      ",\"ops_completed\":%" PRIu64 ",\"tput_rps\":%.1f,"
+      "\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,"
+      "\"max_us\":%.1f,\"mean_us\":%.1f,\"errors\":%" PRIu64
+      ",\"shed\":%" PRIu64 ",\"protocol_errors\":%" PRIu64
+      ",\"abandoned\":%" PRIu64 ",\"backlog_peak\":%" PRIu64 "}\n",
+      phase, options.connections, options.rate_rps, options.duration_s,
+      options.read_pct, report.ops_offered, report.ops_completed,
+      report.tput_rps, report.p50_us, report.p99_us, report.p999_us,
+      report.max_us, report.mean_us, report.errors, report.shed,
+      report.protocol_errors, report.abandoned, report.backlog_peak);
+  if (timeline) {
+    for (size_t second = 0; second < report.timeline.size(); ++second) {
+      const net::LoadgenTimelineBucket& bucket = report.timeline[second];
+      if (bucket.completed == 0 && bucket.errors == 0) continue;
+      std::printf(
+          "BENCH_JSON {\"bench\":\"nvload_timeline\",\"phase\":%d,"
+          "\"second\":%zu,\"completed\":%" PRIu64 ",\"mean_us\":%.1f,"
+          "\"max_us\":%.1f}\n",
+          phase, second, bucket.completed,
+          bucket.completed ? bucket.sum_us / bucket.completed : 0.0,
+          bucket.max_us);
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::LoadgenOptions options;
+  bool create_schema = false;
+  std::string ramp;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long long n = 0;
+    double f = 0;
+    if (ParseFlag(arg, "--host", &options.host) ||
+        ParseFlag(arg, "--table", &options.table) ||
+        ParseFlag(arg, "--ramp", &ramp)) {
+      continue;
+    }
+    if (ParseFlag(arg, "--port", &n)) {
+      options.port = static_cast<uint16_t>(n);
+    } else if (ParseFlag(arg, "--connections", &n)) {
+      options.connections = static_cast<int>(n);
+    } else if (ParseFlag(arg, "--rate", &f)) {
+      options.rate_rps = f;
+    } else if (ParseFlag(arg, "--duration-s", &f)) {
+      options.duration_s = f;
+    } else if (ParseFlag(arg, "--warmup-s", &f)) {
+      options.warmup_s = f;
+    } else if (ParseFlag(arg, "--read-pct", &f)) {
+      options.read_pct = f;
+    } else if (ParseFlag(arg, "--keys", &n)) {
+      options.keys = static_cast<uint64_t>(n);
+    } else if (ParseFlag(arg, "--theta", &f)) {
+      options.zipf_theta = f;
+    } else if (ParseFlag(arg, "--value-bytes", &n)) {
+      options.value_bytes = static_cast<uint32_t>(n);
+    } else if (ParseFlag(arg, "--scan-limit", &n)) {
+      options.scan_limit = static_cast<uint32_t>(n);
+    } else if (ParseFlag(arg, "--seed", &n)) {
+      options.seed = static_cast<uint64_t>(n);
+    } else if (std::strcmp(arg, "--create-schema") == 0) {
+      create_schema = true;
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      options.timeline = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage();
+    }
+  }
+  if (options.port == 0) return Usage();
+
+  // Each connection is one fd; leave generous headroom for epoll,
+  // stdio, and the schema client.
+  const uint64_t want_fds = static_cast<uint64_t>(options.connections) + 64;
+  const uint64_t got_fds = net::RaiseFdLimit(want_fds);
+  if (got_fds < want_fds) {
+    std::fprintf(stderr,
+                 "nvload: fd limit %" PRIu64 " below the %" PRIu64
+                 " needed for %d connections\n",
+                 got_fds, want_fds, options.connections);
+    return 2;
+  }
+
+  if (create_schema) CreateSchema(options);
+
+  std::vector<double> rates;
+  if (ramp.empty()) {
+    rates.push_back(options.rate_rps);
+  } else {
+    size_t pos = 0;
+    while (pos < ramp.size()) {
+      size_t comma = ramp.find(',', pos);
+      if (comma == std::string::npos) comma = ramp.size();
+      rates.push_back(std::atof(ramp.substr(pos, comma - pos).c_str()));
+      pos = comma + 1;
+    }
+  }
+
+  for (size_t phase = 0; phase < rates.size(); ++phase) {
+    net::LoadgenOptions run = options;
+    run.rate_rps = rates[phase];
+    auto report = net::RunOpenLoopLoad(run);
+    if (!report.ok()) Die("load run", report.status());
+    PrintReport(run, *report, static_cast<int>(phase), run.timeline);
+  }
+  return 0;
+}

@@ -20,6 +20,8 @@
 //   scan TABLE COLUMN VALUE [LIMIT]
 //   range TABLE COLUMN LO HI [LIMIT]
 //   begin / commit / abort           (script mode: one session spans stdin)
+//   \timing                          toggle per-command wall time + last
+//                                    wire round-trip (script mode)
 //   sql-like one-shot: "insert" outside a begin/commit runs autocommit.
 //
 // Exit codes: 0 success, 1 usage, 2 connection failure, 3 server error.
@@ -52,7 +54,7 @@ int Usage() {
                "          insert TABLE V1 [V2...]\n"
                "          count TABLE | scan TABLE COL VALUE [LIMIT] |\n"
                "          range TABLE COL LO HI [LIMIT]\n"
-               "          begin | commit | abort (script mode)\n");
+               "          begin | commit | abort | \\timing (script mode)\n");
   return 1;
 }
 
@@ -301,18 +303,35 @@ int main(int argc, char** argv) {
     // Script mode: one session, newline-separated commands from stdin.
     std::string line;
     int last_rc = 0;
+    bool timing = false;
     while (std::getline(std::cin, line)) {
       std::istringstream stream(line);
       std::vector<std::string> args;
       std::string token;
       while (stream >> token) args.push_back(std::move(token));
       if (args.empty() || args[0][0] == '#') continue;
+      if (args[0] == "\\timing") {
+        timing = !timing;
+        std::printf("timing %s\n", timing ? "on" : "off");
+        continue;
+      }
+      const auto cmd_start = std::chrono::steady_clock::now();
       const int rc = RunCommand(client, args, &in_txn);
       if (rc == -1) {
         std::fprintf(stderr, "unknown command: %s\n", args[0].c_str());
         last_rc = 1;
       } else if (rc != 0) {
         last_rc = rc;
+      }
+      if (timing && rc != -1) {
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - cmd_start)
+                .count();
+        // Wall time covers the whole command (an autocommit insert is
+        // three round trips); last_rtt_ns is the final wire round trip.
+        std::printf("Time: %.3f ms (last rtt %.3f ms)\n", wall_ms,
+                    static_cast<double>(client.last_rtt_ns()) / 1e6);
       }
     }
     return last_rc;
