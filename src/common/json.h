@@ -1,0 +1,91 @@
+#ifndef HYRISE_NV_COMMON_JSON_H_
+#define HYRISE_NV_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyrise_nv::common {
+
+/// Minimal JSON document model for the observability tooling: the stats
+/// endpoint consumers (nvtop), the bench-regression comparator
+/// (benchdiff), and tests that assert export surfaces emit valid JSON.
+/// It is a strict RFC 8259 subset reader — no comments, no trailing
+/// commas — sized for metric payloads, not for untrusted gigabyte blobs
+/// (the parser recurses, with a depth cap).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors return the value or a zero-ish default on type
+  /// mismatch; callers that care about the distinction check type()
+  /// first.
+  bool AsBool() const { return type_ == Type::kBool && bool_; }
+  double AsDouble() const { return type_ == Type::kNumber ? number_ : 0.0; }
+  int64_t AsInt() const { return static_cast<int64_t>(AsDouble()); }
+  const std::string& AsString() const;
+
+  /// Array access.
+  size_t size() const { return array_.size(); }
+  const JsonValue& at(size_t i) const;
+  const std::vector<JsonValue>& items() const { return array_; }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+
+  /// Object access. Find returns nullptr when absent; Get returns a
+  /// shared null value. Insertion order is preserved for Dump().
+  const JsonValue* Find(std::string_view key) const;
+  const JsonValue& Get(std::string_view key) const;
+  /// Dotted-path lookup over nested objects ("metrics.counters.x").
+  const JsonValue* FindPath(std::string_view dotted_path) const;
+  void Set(std::string key, JsonValue v);
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  /// Compact serialization (no whitespace). Numbers that are integral
+  /// within 2^53 print without a decimal point.
+  std::string Dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document. Trailing non-whitespace is an error, so a
+/// concatenation of two documents is rejected rather than half-read.
+Result<JsonValue> JsonParse(std::string_view text);
+
+/// Appends `s` JSON-escaped (backslash, quote, control characters) to
+/// `out`, without surrounding quotes.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+/// Returns `s` JSON-escaped and quoted: `he"y` -> `"he\"y"`.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace hyrise_nv::common
+
+#endif  // HYRISE_NV_COMMON_JSON_H_

@@ -1,10 +1,15 @@
 #include "core/database.h"
 
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <system_error>
 #include <thread>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include "common/logging.h"
 #include "core/query.h"
@@ -295,9 +300,11 @@ Result<recovery::VerifyReport> Database::VerifyImage(
 Result<std::unique_ptr<Database>> Database::CrashAndRecover(
     std::unique_ptr<Database> db) {
   const DatabaseOptions options = db->options_;
-  // Stop the historian before the simulated power failure: its thread
-  // flushes the flight recorder via the process-wide Current() pointer,
-  // which re-attaching the heap below is about to swap out.
+  // Stop the historian and timeline before the simulated power failure:
+  // their threads flush/decode the flight recorder via the process-wide
+  // Current() pointer, which re-attaching the heap below is about to
+  // swap out.
+  db->timeline_.reset();
   db->history_.reset();
 
   if (options.mode == DurabilityMode::kNvm) {
@@ -670,6 +677,9 @@ Status Database::Checkpoint() {
   HYRISE_NV_RETURN_NOT_OK(EnsureNotDegraded("checkpoint"));
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
   const uint64_t start_ticks = obs::FastClock::NowTicks();
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kCheckpointStart);
+  }
   Status status = log_manager_->WriteCheckpointNow(
       *catalog_, txn_manager_->commit_table());
   if (status.ok()) {
@@ -683,8 +693,10 @@ Status Database::Checkpoint() {
 }
 
 Status Database::Close() {
-  // Stop the historian first: it must not flush the recorder after the
-  // close event seals the session.
+  // Stop the timeline and historian first: they must not flush or
+  // decode the recorder after the close event seals the session (the
+  // timeline hook also dereferences heap_ state that Close tears down).
+  timeline_.reset();
   history_.reset();
   // Stop the drain before touching shared state below. A close while
   // still degraded is fine: restores are never re-logged, so the next
@@ -728,6 +740,17 @@ void Database::StartObservability(bool recovered) {
         options_.history_interval_ms, options_.history_capacity);
     history_->Start();
   }
+  if (options_.enable_timeline) {
+    obs::TimelineConfig config = obs::TimelineConfig::Default();
+    config.interval_ms = options_.timeline_interval_ms;
+    config.capacity = options_.timeline_capacity;
+    timeline_ = std::make_unique<obs::TimelineRecorder>(std::move(config));
+    // Gauges like RSS and NVM-region utilization are not maintained by
+    // any hot path; sync them right before each sample so the timeline
+    // sees live values.
+    timeline_->SetPreSampleHook([this] { SyncPassiveMetrics(); });
+    timeline_->Start();
+  }
 }
 
 std::string Database::HistoryJson() const {
@@ -737,7 +760,39 @@ std::string Database::HistoryJson() const {
   return history_->ToJson();
 }
 
-obs::MetricsSnapshot Database::MetricsSnapshot() {
+std::string Database::TimelineJson() const {
+  if (timeline_ == nullptr) {
+    return "{\"interval_ms\":0,\"capacity\":0,\"samples\":[]}";
+  }
+  return timeline_->ToJson();
+}
+
+std::string Database::TimelineCsv() const {
+  if (timeline_ == nullptr) return "";
+  return timeline_->ToCsv();
+}
+
+namespace {
+
+/// Resident set size from /proc/self/statm (0 where unavailable).
+int64_t ReadRssBytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long vm_pages = 0;
+  long long rss_pages = 0;
+  int fields = std::fscanf(f, "%lld %lld", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  return static_cast<int64_t>(rss_pages) * sysconf(_SC_PAGESIZE);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
+void Database::SyncPassiveMetrics() {
   auto& registry = obs::MetricsRegistry::Instance();
   // Mirror passively-maintained totals into the registry so one snapshot
   // holds everything. These sources already count in their own hot paths
@@ -754,6 +809,15 @@ obs::MetricsSnapshot Database::MetricsSnapshot() {
       .Store(stats.flushed_bytes.load(std::memory_order_relaxed));
   registry.GetGauge("alloc.heap_used.bytes")
       .Set(static_cast<int64_t>(heap_->allocator().HeapUsedBytes()));
+  registry.GetGauge("process.rss_bytes").Set(ReadRssBytes());
+  // Region utilization includes the metadata prefix (header, intent
+  // table, flight recorder) ahead of the allocatable heap, so
+  // used/capacity reflects how full the mapped image actually is.
+  registry.GetGauge("nvm.region.used_bytes")
+      .Set(static_cast<int64_t>(alloc::PAllocator::HeapBegin() +
+                                heap_->allocator().HeapUsedBytes()));
+  registry.GetGauge("nvm.region.capacity_bytes")
+      .Set(static_cast<int64_t>(heap_->region().size()));
   registry.GetGauge("db.read_only").Set(read_only_ ? 1 : 0);
   registry.GetGauge("db.serving_degraded")
       .Set(serving_state() == ServingState::kServingDegraded ? 1 : 0);
@@ -773,7 +837,11 @@ obs::MetricsSnapshot Database::MetricsSnapshot() {
     registry.GetCounter("wal.bytes.logged")
         .Store(log_manager_->bytes_logged());
   }
-  return registry.Snapshot();
+}
+
+obs::MetricsSnapshot Database::MetricsSnapshot() {
+  SyncPassiveMetrics();
+  return obs::MetricsRegistry::Instance().Snapshot();
 }
 
 }  // namespace hyrise_nv::core

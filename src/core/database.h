@@ -10,6 +10,7 @@
 #include "index/index_set.h"
 #include "obs/history.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "recovery/recovery_driver.h"
 #include "storage/catalog.h"
 #include "storage/merge.h"
@@ -173,6 +174,21 @@ class Database {
   /// The historian, or nullptr when disabled.
   obs::HistorySampler* history_sampler() { return history_.get(); }
 
+  /// Phase-annotated timeline from the background recorder (same
+  /// `{"samples":[]}` shape when options.enable_timeline is off).
+  std::string TimelineJson() const;
+  /// CSV form of the same timeline (header row + one row per sample).
+  std::string TimelineCsv() const;
+  /// The timeline recorder, or nullptr when disabled.
+  obs::TimelineRecorder* timeline() { return timeline_.get(); }
+
+  /// Mirrors passively-maintained totals (NVM region stats, WAL writer
+  /// fields, allocator usage, process RSS, serving state) into the
+  /// metrics registry. MetricsSnapshot() and each timeline tick call
+  /// this; call it directly before reading those gauges from the
+  /// registry without taking a snapshot.
+  void SyncPassiveMetrics();
+
   /// Span tree of the most recent trace-sampled commit (empty before the
   /// first sample or when options.txn_sample_every is 0).
   obs::SpanNode LastSampledTxnTrace() const {
@@ -237,9 +253,11 @@ class Database {
   /// Non-null only for an on-demand WAL open with pending rows; owns the
   /// drain thread, so destroyed before the structures it restores into.
   std::unique_ptr<recovery::RecoveryDriver> recovery_driver_;
-  // Last member on purpose: destroyed first, so the historian thread is
-  // stopped before the heap (and its flight recorder) go away.
+  // Last members on purpose: destroyed first, so the historian and
+  // timeline threads are stopped before the heap (and its flight
+  // recorder) go away.
   std::unique_ptr<obs::HistorySampler> history_;
+  std::unique_ptr<obs::TimelineRecorder> timeline_;
 };
 
 }  // namespace hyrise_nv::core

@@ -112,6 +112,17 @@ struct DatabaseOptions {
   uint64_t history_interval_ms = 1000;
   size_t history_capacity = 300;
 
+  /// Run the timeline recorder (DESIGN.md §15): every
+  /// timeline_interval_ms it captures the standard temporal metric set
+  /// (commit/fsync/request rates, per-interval latency percentiles,
+  /// heap/RSS/NVM-region gauges, recovery backlog) into a ring of
+  /// timeline_capacity samples, annotated with maintenance phases
+  /// spliced from the flight recorder. Exported via
+  /// Database::TimelineJson() and the server stats opcode.
+  bool enable_timeline = false;
+  uint64_t timeline_interval_ms = 1000;
+  size_t timeline_capacity = 600;
+
   /// Install process-wide fatal-signal handlers (SIGSEGV/SIGBUS/SIGABRT/
   /// SIGILL/SIGFPE) that stamp a kCrashSignal event, flush the flight
   /// recorder with an async-signal-safe msync, and re-raise. Process-wide

@@ -1366,7 +1366,8 @@ class ServerImpl {
     if (!request_trace.name.empty()) {
       body << ",\"last_request_trace\":" << request_trace.ToJson();
     }
-    body << ",\"metrics\":" << db_->MetricsSnapshot().ToJson() << "}";
+    body << ",\"metrics\":" << db_->MetricsSnapshot().ToJson()
+         << ",\"timeline\":" << db_->TimelineJson() << "}";
     return MakeOkString(Opcode::kStats, body.str());
   }
 

@@ -1,0 +1,411 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace hyrise_nv::obs {
+
+namespace {
+
+using common::JsonParse;
+using common::JsonValue;
+
+constexpr std::string_view kBenchJsonPrefix = "BENCH_JSON ";
+
+bool ContainsToken(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string FormatNumber(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+bool IsAxisKey(std::string_view key) {
+  // Numeric configuration dimensions that identify a record rather than
+  // measure it. Bench binaries use these names consistently (see
+  // bench/*.cc); anything else numeric is treated as a measurement.
+  static const std::string_view kAxes[] = {
+      "threads",  "connections", "clients",        "rows",
+      "keys",     "scale",       "batch",          "phase",
+      "second",   "round",       "latency_factor", "iteration",
+      "value_size", "run",       "delta_rows",     "delete_fraction",
+  };
+  for (std::string_view axis : kAxes) {
+    if (key == axis) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ExtractBenchJsonLines(std::string_view output) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= output.size()) {
+    size_t eol = output.find('\n', pos);
+    std::string_view line = output.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    // The marker is normally at column 0 but bench wrappers sometimes
+    // prefix a timestamp, so search anywhere in the line.
+    size_t marker = line.find(kBenchJsonPrefix);
+    if (marker != std::string_view::npos) {
+      std::string_view payload = line.substr(marker + kBenchJsonPrefix.size());
+      while (!payload.empty() &&
+             (payload.back() == '\r' || payload.back() == ' ')) {
+        payload.remove_suffix(1);
+      }
+      if (!payload.empty()) lines.emplace_back(payload);
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+Result<BenchRecord> ParseBenchRecord(std::string_view json_line) {
+  Result<JsonValue> parsed = JsonParse(json_line);
+  if (!parsed.ok()) return parsed.status();
+  JsonValue& obj = *parsed;
+  if (!obj.is_object()) {
+    return Status::InvalidArgument("BENCH_JSON payload is not an object");
+  }
+  const JsonValue* bench = obj.Find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    return Status::InvalidArgument(
+        "BENCH_JSON object lacks a string \"bench\" field");
+  }
+
+  BenchRecord rec;
+  rec.key = "bench=" + bench->AsString();
+  // String fields and numeric axes extend the identity in member order,
+  // so re-serialized captures produce identical keys.
+  for (const auto& [name, value] : obj.members()) {
+    if (name == "bench") continue;
+    if (value.is_string()) {
+      rec.key += " " + name + "=" + value.AsString();
+    } else if (value.is_number() && IsAxisKey(name)) {
+      rec.key += " " + name + "=" + FormatNumber(value.AsDouble());
+    } else if (value.is_number()) {
+      rec.metrics.emplace_back(name, value.AsDouble());
+    }
+    // Bools / arrays / nested objects are carried in `raw` but not
+    // compared.
+  }
+  rec.raw = std::move(obj);
+  return rec;
+}
+
+Result<std::vector<BenchRecord>> ParseBenchInput(std::string_view text) {
+  std::vector<std::string> lines;
+
+  // Capture-file form first: a single JSON object with a "records"
+  // array (as written by SerializeBenchRun).
+  Result<JsonValue> as_doc = JsonParse(text);
+  if (as_doc.ok() && as_doc->is_object() &&
+      as_doc->Find("records") != nullptr) {
+    const JsonValue* records = as_doc->Find("records");
+    if (!records->is_array()) {
+      return Status::InvalidArgument("capture file \"records\" is not an array");
+    }
+    for (const JsonValue& item : records->items()) {
+      lines.push_back(item.Dump());
+    }
+  } else {
+    lines = ExtractBenchJsonLines(text);
+    if (lines.empty()) {
+      return Status::InvalidArgument(
+          "input is neither a capture file nor output containing "
+          "BENCH_JSON lines");
+    }
+  }
+
+  std::vector<BenchRecord> records;
+  for (const std::string& line : lines) {
+    Result<BenchRecord> rec = ParseBenchRecord(line);
+    if (!rec.ok()) return rec.status();
+    // Benches that loop re-emit a configuration; the last emission is
+    // the final state and wins.
+    auto it = std::find_if(
+        records.begin(), records.end(),
+        [&](const BenchRecord& r) { return r.key == rec->key; });
+    if (it != records.end()) {
+      *it = std::move(*rec);
+    } else {
+      records.push_back(std::move(*rec));
+    }
+  }
+  return records;
+}
+
+std::string SerializeBenchRun(
+    const std::vector<BenchRecord>& records,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
+  std::string out = "{\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta) {
+    if (!first) out += ',';
+    first = false;
+    out += common::JsonQuote(key);
+    out += ':';
+    out += common::JsonQuote(value);
+  }
+  out += "},\"records\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ',';
+    out += records[i].raw.Dump();
+  }
+  out += "]}";
+  return out;
+}
+
+MetricDirection DirectionForMetric(std::string_view name) {
+  // Lower-is-better checks run first so "commit_latency_us_p99" and
+  // "downtime_seconds" classify by the latency suffix even when a
+  // rate-ish token also appears.
+  if (ContainsToken(name, "latency") || ContainsToken(name, "downtime") ||
+      ContainsToken(name, "p50") || ContainsToken(name, "p95") ||
+      ContainsToken(name, "p99") || ContainsToken(name, "stall") ||
+      ContainsToken(name, "errors") || ContainsToken(name, "aborts") ||
+      ContainsToken(name, "bytes") || EndsWith(name, "_us") ||
+      EndsWith(name, "_ms") || EndsWith(name, "_ns") ||
+      EndsWith(name, "_s") || EndsWith(name, "_seconds") ||
+      ContainsToken(name, "duration")) {
+    return MetricDirection::kLowerIsBetter;
+  }
+  if (ContainsToken(name, "per_sec") || ContainsToken(name, "tput") ||
+      ContainsToken(name, "throughput") || ContainsToken(name, "ops") ||
+      ContainsToken(name, "rate") || ContainsToken(name, "per_second")) {
+    return MetricDirection::kHigherIsBetter;
+  }
+  return MetricDirection::kNeutral;
+}
+
+const char* MetricDirectionName(MetricDirection direction) {
+  switch (direction) {
+    case MetricDirection::kHigherIsBetter:
+      return "higher-better";
+    case MetricDirection::kLowerIsBetter:
+      return "lower-better";
+    case MetricDirection::kNeutral:
+      return "neutral";
+  }
+  return "?";
+}
+
+const char* DiffVerdictName(DiffVerdict verdict) {
+  switch (verdict) {
+    case DiffVerdict::kWithinNoise:
+      return "within-noise";
+    case DiffVerdict::kImproved:
+      return "improved";
+    case DiffVerdict::kRegressed:
+      return "REGRESSED";
+    case DiffVerdict::kMissingMetric:
+      return "MISSING-METRIC";
+    case DiffVerdict::kMissingRecord:
+      return "MISSING-RECORD";
+    case DiffVerdict::kNew:
+      return "new";
+    case DiffVerdict::kNeutral:
+      return "neutral";
+  }
+  return "?";
+}
+
+namespace {
+
+/// "bench=e3 engine=nvm threads=8" -> "e3"; used to resolve
+/// "bench/metric" threshold overrides.
+std::string_view BenchNameFromKey(std::string_view key) {
+  if (key.substr(0, 6) != "bench=") return key;
+  key.remove_prefix(6);
+  size_t space = key.find(' ');
+  return space == std::string_view::npos ? key : key.substr(0, space);
+}
+
+double ThresholdFor(const CompareOptions& options, std::string_view key,
+                    std::string_view metric) {
+  std::string scoped(BenchNameFromKey(key));
+  scoped += '/';
+  scoped += metric;
+  auto it = options.metric_thresholds.find(scoped);
+  if (it != options.metric_thresholds.end()) return it->second;
+  it = options.metric_thresholds.find(std::string(metric));
+  if (it != options.metric_thresholds.end()) return it->second;
+  return options.default_threshold_pct;
+}
+
+}  // namespace
+
+DiffReport CompareBenchRuns(const std::vector<BenchRecord>& base,
+                            const std::vector<BenchRecord>& current,
+                            const CompareOptions& options) {
+  DiffReport report;
+
+  auto find_current = [&](const std::string& key) -> const BenchRecord* {
+    for (const BenchRecord& rec : current) {
+      if (rec.key == key) return &rec;
+    }
+    return nullptr;
+  };
+
+  for (const BenchRecord& b : base) {
+    const BenchRecord* c = find_current(b.key);
+    if (c == nullptr) {
+      MetricDiff d;
+      d.key = b.key;
+      d.verdict = DiffVerdict::kMissingRecord;
+      report.missing++;
+      report.diffs.push_back(std::move(d));
+      continue;
+    }
+    for (const auto& [metric, base_value] : b.metrics) {
+      MetricDiff d;
+      d.key = b.key;
+      d.metric = metric;
+      d.base = base_value;
+      d.direction = DirectionForMetric(metric);
+      d.threshold_pct = ThresholdFor(options, b.key, metric);
+
+      const double* cur_value = nullptr;
+      for (const auto& [name, value] : c->metrics) {
+        if (name == metric) {
+          cur_value = &value;
+          break;
+        }
+      }
+      if (cur_value == nullptr) {
+        d.verdict = DiffVerdict::kMissingMetric;
+        report.missing++;
+        report.diffs.push_back(std::move(d));
+        continue;
+      }
+      d.current = *cur_value;
+
+      if (base_value == 0.0) {
+        // No baseline magnitude to compare against; informational only.
+        d.change_pct = d.current == 0.0 ? 0.0 : 100.0;
+        d.verdict = d.current == 0.0 ? DiffVerdict::kWithinNoise
+                                     : DiffVerdict::kNeutral;
+        if (d.verdict == DiffVerdict::kWithinNoise) report.within_noise++;
+        report.diffs.push_back(std::move(d));
+        continue;
+      }
+      d.change_pct = (d.current - base_value) / base_value * 100.0;
+
+      if (d.direction == MetricDirection::kNeutral) {
+        d.verdict = DiffVerdict::kNeutral;
+      } else {
+        bool worse = d.direction == MetricDirection::kHigherIsBetter
+                         ? d.change_pct < -d.threshold_pct
+                         : d.change_pct > d.threshold_pct;
+        bool better = d.direction == MetricDirection::kHigherIsBetter
+                          ? d.change_pct > d.threshold_pct
+                          : d.change_pct < -d.threshold_pct;
+        if (worse) {
+          d.verdict = DiffVerdict::kRegressed;
+          report.regressions++;
+        } else if (better) {
+          d.verdict = DiffVerdict::kImproved;
+          report.improvements++;
+        } else {
+          d.verdict = DiffVerdict::kWithinNoise;
+          report.within_noise++;
+        }
+      }
+      report.diffs.push_back(std::move(d));
+    }
+    // Metrics only in the current run: informational.
+    for (const auto& [metric, value] : c->metrics) {
+      bool in_base = false;
+      for (const auto& [name, unused] : b.metrics) {
+        if (name == metric) {
+          in_base = true;
+          break;
+        }
+      }
+      if (in_base) continue;
+      MetricDiff d;
+      d.key = b.key;
+      d.metric = metric;
+      d.current = value;
+      d.verdict = DiffVerdict::kNew;
+      report.diffs.push_back(std::move(d));
+    }
+  }
+
+  // Records only in the current run: informational.
+  for (const BenchRecord& c : current) {
+    bool in_base = false;
+    for (const BenchRecord& b : base) {
+      if (b.key == c.key) {
+        in_base = true;
+        break;
+      }
+    }
+    if (in_base) continue;
+    MetricDiff d;
+    d.key = c.key;
+    d.verdict = DiffVerdict::kNew;
+    report.diffs.push_back(std::move(d));
+  }
+
+  return report;
+}
+
+std::string RenderDiff(const DiffReport& report, bool show_noise) {
+  std::string out;
+  char buf[512];
+  for (const MetricDiff& d : report.diffs) {
+    bool noise = d.verdict == DiffVerdict::kWithinNoise ||
+                 d.verdict == DiffVerdict::kNeutral ||
+                 d.verdict == DiffVerdict::kNew;
+    if (noise && !show_noise) continue;
+    if (d.metric.empty()) {
+      std::snprintf(buf, sizeof(buf), "%-14s  %s\n", DiffVerdictName(d.verdict),
+                    d.key.c_str());
+      out += buf;
+      continue;
+    }
+    if (d.verdict == DiffVerdict::kMissingMetric) {
+      std::snprintf(buf, sizeof(buf), "%-14s  %s  %s (base %s)\n",
+                    DiffVerdictName(d.verdict), d.key.c_str(),
+                    d.metric.c_str(), FormatNumber(d.base).c_str());
+      out += buf;
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%-14s  %s  %s: %s -> %s (%+.1f%%, threshold %.1f%%, %s)\n",
+                  DiffVerdictName(d.verdict), d.key.c_str(), d.metric.c_str(),
+                  FormatNumber(d.base).c_str(), FormatNumber(d.current).c_str(),
+                  d.change_pct, d.threshold_pct,
+                  MetricDirectionName(d.direction));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "summary: %zu compared, %zu regressed, %zu improved, "
+                "%zu missing, %zu within noise -> %s\n",
+                report.diffs.size(), report.regressions, report.improvements,
+                report.missing, report.within_noise,
+                report.failed() ? "FAIL" : "no regression");
+  out += buf;
+  return out;
+}
+
+}  // namespace hyrise_nv::obs

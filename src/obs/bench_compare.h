@@ -1,0 +1,126 @@
+#ifndef HYRISE_NV_OBS_BENCH_COMPARE_H_
+#define HYRISE_NV_OBS_BENCH_COMPARE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hyrise_nv::obs {
+
+/// Bench-regression comparison (DESIGN.md §15.3): every bench binary
+/// prints one `BENCH_JSON {...}` line per measured configuration; this
+/// library captures those streams into structured result files and diffs
+/// two captures with per-metric noise thresholds, direction-aware
+/// (higher-is-better throughput vs lower-is-better latency). The
+/// benchdiff tool and the CI bench-regression gate are thin shells over
+/// these functions.
+
+/// One BENCH_JSON line: the raw object plus its derived identity and
+/// numeric measurements.
+struct BenchRecord {
+  common::JsonValue raw;
+  /// Pairing identity across runs: the "bench" field, every string
+  /// field, and the numeric *axis* fields (configuration dimensions
+  /// like threads/connections/rows), formatted "bench=e3 engine=nvm
+  /// threads=8".
+  std::string key;
+  /// Numeric non-axis fields — the measurements being compared.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Numeric fields that are configuration axes, not measurements.
+bool IsAxisKey(std::string_view key);
+
+/// Extracts the JSON payloads of `BENCH_JSON {...}` lines from raw
+/// bench output (other lines are ignored).
+std::vector<std::string> ExtractBenchJsonLines(std::string_view output);
+
+/// Parses one BENCH_JSON object into a record. Fails on malformed JSON
+/// or a missing/non-string "bench" field.
+Result<BenchRecord> ParseBenchRecord(std::string_view json_line);
+
+/// Parses bench input in either accepted form: a capture file written
+/// by SerializeBenchRun ({"meta":...,"records":[...]}), or raw bench
+/// output containing BENCH_JSON lines. Duplicate identities keep the
+/// last record (benches that loop emit the final state).
+Result<std::vector<BenchRecord>> ParseBenchInput(std::string_view text);
+
+/// Capture file: {"meta":{...},"records":[raw objects...]}.
+std::string SerializeBenchRun(
+    const std::vector<BenchRecord>& records,
+    const std::vector<std::pair<std::string, std::string>>& meta);
+
+// --- Comparison -----------------------------------------------------------
+
+enum class MetricDirection {
+  kHigherIsBetter,  // throughput, rates
+  kLowerIsBetter,   // latency, durations, error counts, bytes
+  kNeutral,         // informational; never regresses
+};
+
+/// Infers the direction from the metric name: *_per_sec/tput/ops/rate
+/// are higher-is-better; latency/percentile/_us/_ms/_ns/_s/seconds/
+/// bytes/errors/downtime are lower-is-better; everything else neutral.
+MetricDirection DirectionForMetric(std::string_view name);
+
+const char* MetricDirectionName(MetricDirection direction);
+
+struct CompareOptions {
+  /// Relative change (percent) below which a delta is noise.
+  double default_threshold_pct = 10.0;
+  /// Per-metric overrides, keyed by metric name (applies to all
+  /// benches) or "bench/metric" (that bench only; wins over the bare
+  /// name). A threshold >= 1e9 effectively marks the metric neutral.
+  std::map<std::string, double> metric_thresholds;
+};
+
+enum class DiffVerdict {
+  kWithinNoise,
+  kImproved,
+  kRegressed,
+  kMissingMetric,  // metric present in base, absent in current
+  kMissingRecord,  // whole record absent in current
+  kNew,            // metric/record only in current (informational)
+  kNeutral,
+};
+
+const char* DiffVerdictName(DiffVerdict verdict);
+
+struct MetricDiff {
+  std::string key;     // record identity
+  std::string metric;  // metric name ("" for record-level verdicts)
+  double base = 0;
+  double current = 0;
+  double change_pct = 0;  // (current - base) / base * 100
+  double threshold_pct = 0;
+  MetricDirection direction = MetricDirection::kNeutral;
+  DiffVerdict verdict = DiffVerdict::kWithinNoise;
+};
+
+struct DiffReport {
+  std::vector<MetricDiff> diffs;
+  size_t regressions = 0;
+  size_t improvements = 0;
+  size_t missing = 0;
+  size_t within_noise = 0;
+  /// The gate signal: any regression, missing metric, or missing
+  /// record. New metrics/records never fail.
+  bool failed() const { return regressions + missing > 0; }
+};
+
+/// Diffs `current` against `base`. Records pair by identity key;
+/// metrics pair by name within a record.
+DiffReport CompareBenchRuns(const std::vector<BenchRecord>& base,
+                            const std::vector<BenchRecord>& current,
+                            const CompareOptions& options);
+
+/// Human-readable diff table: one line per non-noise finding plus a
+/// summary line (pass --verbose semantics by setting show_noise).
+std::string RenderDiff(const DiffReport& report, bool show_noise = false);
+
+}  // namespace hyrise_nv::obs
+
+#endif  // HYRISE_NV_OBS_BENCH_COMPARE_H_

@@ -127,6 +127,8 @@ const char* BlackboxEventName(uint16_t type) {
       return "warming_shed";
     case BlackboxEventType::kSlowRequest:
       return "slow_request";
+    case BlackboxEventType::kCheckpointStart:
+      return "checkpoint_start";
   }
   return "unknown";
 }
@@ -527,6 +529,9 @@ std::string BlackboxEventDetail(const BlackboxDecodedEvent& ev) {
                     RequestStageName(static_cast<size_t>(ev.b)),
                     static_cast<double>(ev.c) / 1e3,
                     static_cast<double>(ev.d) / 1e3, static_cast<ULL>(ev.e));
+      break;
+    case BlackboxEventType::kCheckpointStart:
+      std::snprintf(buf, sizeof(buf), "checkpoint started");
       break;
     default:
       std::snprintf(buf, sizeof(buf),

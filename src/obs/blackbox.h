@@ -98,6 +98,7 @@ enum class BlackboxEventType : uint16_t {
   kWarmingShed = 23,      // a=requests in flight at the shed decision
   kSlowRequest = 24,   // a=opcode, b=dominant stage (RequestStage),
                        // c=total ns, d=dominant stage ns, e=connection id
+  kCheckpointStart = 25,  // (no payload; kCheckpoint marks the end)
 };
 
 const char* BlackboxEventName(uint16_t type);

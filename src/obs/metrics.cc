@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <thread>
 
+#include "common/json.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
 #include <x86intrin.h>
@@ -77,29 +79,7 @@ const ClockConfig& Config() {
   return config;
 }
 
-void AppendJsonEscaped(std::string& out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
+using common::AppendJsonEscaped;
 
 std::string PrometheusName(std::string_view name) {
   std::string out;

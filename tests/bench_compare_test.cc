@@ -1,0 +1,206 @@
+#include "obs/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+
+namespace hyrise_nv::obs {
+namespace {
+
+// Synthetic bench output: two benches, one with an axis dimension, plus
+// the log noise benchdiff must skip over.
+constexpr const char* kBaseRun =
+    "loading 20000 rows...\n"
+    "BENCH_JSON {\"bench\":\"e3\",\"threads\":4,"
+    "\"commits_per_sec\":10000,\"p99_us\":120}\n"
+    "[12:00:01] BENCH_JSON {\"bench\":\"e3\",\"threads\":8,"
+    "\"commits_per_sec\":18000,\"p99_us\":150}\n"
+    "BENCH_JSON {\"bench\":\"e7\",\"merge_seconds\":2.0,"
+    "\"rows_per_sec\":500000}\n"
+    "done.\n";
+
+std::vector<BenchRecord> Parse(const std::string& text) {
+  auto result = ParseBenchInput(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<BenchRecord>{};
+}
+
+TEST(BenchParseTest, ExtractsRecordsFromNoisyOutput) {
+  const auto records = Parse(kBaseRun);
+  ASSERT_EQ(records.size(), 3u);
+  // Identity keys include the bench name and axis fields, so the two e3
+  // thread counts stay distinct records.
+  EXPECT_NE(records[0].key, records[1].key);
+  EXPECT_NE(records[0].key.find("bench=e3"), std::string::npos);
+  EXPECT_NE(records[0].key.find("threads=4"), std::string::npos);
+  // Axis fields are identity, not compared metrics.
+  for (const auto& [name, value] : records[0].metrics) {
+    EXPECT_NE(name, "threads");
+  }
+  ASSERT_EQ(records[0].metrics.size(), 2u);
+}
+
+TEST(BenchParseTest, RejectsRecordWithoutBenchField) {
+  auto result = ParseBenchRecord("{\"commits_per_sec\":1}");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BenchParseTest, CaptureFileRoundTrip) {
+  const auto records = Parse(kBaseRun);
+  const std::string capture =
+      SerializeBenchRun(records, {{"host", "ci-runner"}});
+  // The capture is valid JSON and parses back to the same records.
+  auto json = common::JsonParse(capture);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_EQ(json->FindPath("meta.host")->AsString(), "ci-runner");
+  const auto reparsed = Parse(capture);
+  ASSERT_EQ(reparsed.size(), records.size());
+  EXPECT_EQ(reparsed[0].key, records[0].key);
+  EXPECT_EQ(reparsed[0].metrics, records[0].metrics);
+}
+
+TEST(BenchParseTest, DuplicateIdentityKeepsLastRecord) {
+  const auto records = Parse(
+      "BENCH_JSON {\"bench\":\"x\",\"ops\":1}\n"
+      "BENCH_JSON {\"bench\":\"x\",\"ops\":2}\n");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].metrics[0].second, 2.0);
+}
+
+TEST(MetricDirectionTest, InfersFromName) {
+  EXPECT_EQ(DirectionForMetric("commits_per_sec"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("rows_per_sec"),
+            MetricDirection::kHigherIsBetter);
+  EXPECT_EQ(DirectionForMetric("p99_us"), MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("max_p99_us"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("recovery_seconds"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("wal_bytes"),
+            MetricDirection::kLowerIsBetter);
+  // Latency wins even when a rate-ish token also appears.
+  EXPECT_EQ(DirectionForMetric("latency_per_sec"),
+            MetricDirection::kLowerIsBetter);
+  EXPECT_EQ(DirectionForMetric("windows"), MetricDirection::kNeutral);
+}
+
+TEST(BenchDiffTest, IdenticalRunsAreCleanNoise) {
+  const auto base = Parse(kBaseRun);
+  const DiffReport report = CompareBenchRuns(base, base, CompareOptions{});
+  EXPECT_FALSE(report.failed());
+  EXPECT_EQ(report.regressions, 0u);
+  EXPECT_EQ(report.improvements, 0u);
+  EXPECT_EQ(report.missing, 0u);
+}
+
+TEST(BenchDiffTest, ThroughputDropAndLatencyRiseRegress) {
+  const auto base = Parse(kBaseRun);
+  const auto current = Parse(
+      "BENCH_JSON {\"bench\":\"e3\",\"threads\":4,"
+      "\"commits_per_sec\":8000,\"p99_us\":120}\n"     // tput -20%
+      "BENCH_JSON {\"bench\":\"e3\",\"threads\":8,"
+      "\"commits_per_sec\":18000,\"p99_us\":300}\n"    // p99 +100%
+      "BENCH_JSON {\"bench\":\"e7\",\"merge_seconds\":2.0,"
+      "\"rows_per_sec\":505000}\n");                   // within noise
+  const DiffReport report = CompareBenchRuns(base, current, CompareOptions{});
+  EXPECT_TRUE(report.failed());
+  EXPECT_EQ(report.regressions, 2u);
+  size_t regressed = 0;
+  for (const MetricDiff& d : report.diffs) {
+    if (d.verdict != DiffVerdict::kRegressed) continue;
+    ++regressed;
+    EXPECT_TRUE(d.metric == "commits_per_sec" || d.metric == "p99_us")
+        << d.metric;
+  }
+  EXPECT_EQ(regressed, 2u);
+}
+
+TEST(BenchDiffTest, ImprovementsDoNotFail) {
+  const auto base = Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":100,"
+                          "\"p99_us\":200}\n");
+  const auto current = Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":150,"
+                             "\"p99_us\":100}\n");
+  const DiffReport report = CompareBenchRuns(base, current, CompareOptions{});
+  EXPECT_FALSE(report.failed());
+  EXPECT_EQ(report.improvements, 2u);
+}
+
+TEST(BenchDiffTest, WithinNoiseThresholdPasses) {
+  const auto base = Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":1000}\n");
+  const auto current =
+      Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":950}\n");  // -5%
+  CompareOptions options;
+  options.default_threshold_pct = 10.0;
+  EXPECT_FALSE(CompareBenchRuns(base, current, options).failed());
+  // Tighten the threshold below the delta and the same diff regresses.
+  options.default_threshold_pct = 2.0;
+  EXPECT_TRUE(CompareBenchRuns(base, current, options).failed());
+}
+
+TEST(BenchDiffTest, MissingMetricAndRecordFail) {
+  const auto base = Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":100,"
+                          "\"p99_us\":10}\n"
+                          "BENCH_JSON {\"bench\":\"y\",\"ops_per_sec\":5}\n");
+  // Current run lost bench y entirely and dropped x's p99 metric: both
+  // disappearances must fail the gate, not silently pass.
+  const auto current =
+      Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":100}\n");
+  const DiffReport report = CompareBenchRuns(base, current, CompareOptions{});
+  EXPECT_TRUE(report.failed());
+  EXPECT_EQ(report.missing, 2u);
+  EXPECT_EQ(report.regressions, 0u);
+}
+
+TEST(BenchDiffTest, NewRecordsAreInformational) {
+  const auto base = Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":100}\n");
+  const auto current =
+      Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":100}\n"
+            "BENCH_JSON {\"bench\":\"z\",\"ops_per_sec\":7}\n");
+  const DiffReport report = CompareBenchRuns(base, current, CompareOptions{});
+  EXPECT_FALSE(report.failed());
+}
+
+TEST(BenchDiffTest, ScopedThresholdOverridesBareName) {
+  const auto base = Parse(kBaseRun);
+  const auto current = Parse(
+      "BENCH_JSON {\"bench\":\"e3\",\"threads\":4,"
+      "\"commits_per_sec\":8500,\"p99_us\":120}\n"     // -15%
+      "BENCH_JSON {\"bench\":\"e3\",\"threads\":8,"
+      "\"commits_per_sec\":18000,\"p99_us\":150}\n"
+      "BENCH_JSON {\"bench\":\"e7\",\"merge_seconds\":2.0,"
+      "\"rows_per_sec\":400000}\n");                   // -20%
+  CompareOptions options;
+  // Bare name loosens everywhere; the e7 scope tightens back down, and
+  // the scoped entry must win for e7.
+  options.metric_thresholds["commits_per_sec"] = 25.0;
+  options.metric_thresholds["rows_per_sec"] = 25.0;
+  options.metric_thresholds["e7/rows_per_sec"] = 5.0;
+  const DiffReport report = CompareBenchRuns(base, current, options);
+  EXPECT_TRUE(report.failed());
+  ASSERT_EQ(report.regressions, 1u);
+  for (const MetricDiff& d : report.diffs) {
+    if (d.verdict == DiffVerdict::kRegressed) {
+      EXPECT_EQ(d.metric, "rows_per_sec");
+      EXPECT_DOUBLE_EQ(d.threshold_pct, 5.0);
+    }
+  }
+}
+
+TEST(BenchDiffTest, RenderMentionsVerdictAndSummary) {
+  const auto base = Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":100}\n");
+  const auto current =
+      Parse("BENCH_JSON {\"bench\":\"x\",\"ops_per_sec\":50}\n");
+  const DiffReport report = CompareBenchRuns(base, current, CompareOptions{});
+  const std::string rendered = RenderDiff(report, false);
+  EXPECT_NE(rendered.find("REGRESSED"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("FAIL"), std::string::npos) << rendered;
+  const std::string clean = RenderDiff(
+      CompareBenchRuns(base, base, CompareOptions{}), false);
+  EXPECT_NE(clean.find("no regression"), std::string::npos) << clean;
+}
+
+}  // namespace
+}  // namespace hyrise_nv::obs

@@ -1,0 +1,102 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hyrise_nv::common {
+namespace {
+
+TEST(JsonParseTest, Primitives) {
+  EXPECT_TRUE(JsonParse("null")->is_null());
+  EXPECT_TRUE(JsonParse("true")->AsBool());
+  EXPECT_FALSE(JsonParse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonParse("3.5")->AsDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(JsonParse("-17")->AsDouble(), -17.0);
+  EXPECT_DOUBLE_EQ(JsonParse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(JsonParse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto parsed = JsonParse(
+      R"({"a":[1,2,{"b":true}],"c":{"d":"x"},"empty":[],"n":null})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& v = *parsed;
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->at(0).AsDouble(), 1.0);
+  EXPECT_TRUE(a->at(2).Get("b").AsBool());
+  EXPECT_EQ(v.FindPath("c.d")->AsString(), "x");
+  EXPECT_EQ(v.Get("empty").size(), 0u);
+  EXPECT_TRUE(v.Get("n").is_null());
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto parsed = JsonParse(R"("a\"b\\c\nd\te\u0041")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{").ok());
+  EXPECT_FALSE(JsonParse("[1,]").ok());          // trailing comma
+  EXPECT_FALSE(JsonParse("{\"a\":1,}").ok());    // trailing comma
+  EXPECT_FALSE(JsonParse("{'a':1}").ok());       // single quotes
+  EXPECT_FALSE(JsonParse("\"unterminated").ok());
+  EXPECT_FALSE(JsonParse("1 2").ok());           // trailing document
+  EXPECT_FALSE(JsonParse("nul").ok());
+  EXPECT_FALSE(JsonParse("\"bad \\u00g1\"").ok());
+}
+
+TEST(JsonDumpTest, RoundTripsThroughParse) {
+  const std::string text =
+      R"({"name":"x\"y","values":[1,2.5,true,null],"nested":{"k":-3}})";
+  auto parsed = JsonParse(text);
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = JsonParse(parsed->Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), parsed->Dump());
+  EXPECT_EQ(reparsed->FindPath("nested.k")->AsInt(), -3);
+}
+
+TEST(JsonDumpTest, IntegralNumbersPrintWithoutDecimalPoint) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("i", JsonValue::Number(42));
+  obj.Set("f", JsonValue::Number(2.5));
+  const std::string dumped = obj.Dump();
+  EXPECT_NE(dumped.find("\"i\":42"), std::string::npos) << dumped;
+  EXPECT_EQ(dumped.find("42.0"), std::string::npos) << dumped;
+  EXPECT_NE(dumped.find("\"f\":2.5"), std::string::npos) << dumped;
+}
+
+TEST(JsonQuoteTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("he\"y"), "\"he\\\"y\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  // Control characters must come out as escapes, and the result must
+  // parse back to the original.
+  const std::string quoted = JsonQuote(std::string("x\n\t\x01y"));
+  auto parsed = JsonParse(quoted);
+  ASSERT_TRUE(parsed.ok()) << quoted;
+  EXPECT_EQ(parsed->AsString(), std::string("x\n\t\x01y"));
+}
+
+TEST(JsonFindPathTest, SplitsOnEveryDot) {
+  // FindPath treats every dot as a level separator, so keys containing
+  // dots (metric names) are NOT reachable through it — consumers use
+  // per-level Find instead. Pin that down so nobody "fixes" one side.
+  auto parsed = JsonParse(R"({"counters":{"txn.commit.count":7}})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->FindPath("counters.txn.commit.count"), nullptr);
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("txn.commit.count"), nullptr);
+  EXPECT_EQ(counters->Find("txn.commit.count")->AsInt(), 7);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::common

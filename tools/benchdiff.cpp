@@ -1,0 +1,172 @@
+// benchdiff — capture and regression-diff BENCH_JSON streams.
+//
+// Every bench binary in bench/ prints one `BENCH_JSON {...}` line per
+// measured configuration. This tool turns those streams into structured
+// capture files and compares two captures with direction-aware noise
+// thresholds (throughput regresses when it drops, latency when it
+// rises). The CI bench-regression job runs a quick bench subset through
+// `capture` and diffs it against the committed baseline in
+// bench/baselines/.
+//
+//   benchdiff capture [-o FILE] [--meta k=v]... [FILE | -]
+//       Reads bench output (file or stdin), extracts BENCH_JSON records,
+//       writes a capture file (stdout by default).
+//   benchdiff diff [--threshold PCT] [--metric-threshold NAME=PCT]...
+//                  [--show-noise] BASE CURRENT
+//       Diffs two captures (either form: capture file or raw output).
+//
+// Exit codes: 0 = no regression, 1 = regression / missing metric,
+// 2 = usage or input error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.h"
+
+using namespace hyrise_nv;  // NOLINT: tool brevity
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: benchdiff capture [-o FILE] [--meta k=v]... [FILE | -]\n"
+      "       benchdiff diff [--threshold PCT] "
+      "[--metric-threshold NAME=PCT]...\n"
+      "                      [--show-noise] BASE CURRENT\n"
+      "\n"
+      "capture reads bench output (BENCH_JSON lines) and writes a\n"
+      "structured capture file; diff compares two captures (capture\n"
+      "files or raw bench output) and exits 1 on regression.\n"
+      "Metric thresholds accept bare names (commits_per_sec=20) or\n"
+      "bench-scoped names (e3/commits_per_sec=20).\n");
+  return 2;
+}
+
+bool ReadInput(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int RunCapture(int argc, char** argv) {
+  std::string input_path = "-";
+  std::string output_path;
+  std::vector<std::pair<std::string, std::string>> meta;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "--meta" && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      size_t eq = kv.find('=');
+      if (eq == std::string::npos) return Usage();
+      meta.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else {
+      input_path = arg;
+    }
+  }
+
+  std::string text;
+  if (!ReadInput(input_path, &text)) return 2;
+  auto records = obs::ParseBenchInput(text);
+  if (!records.ok()) {
+    std::fprintf(stderr, "benchdiff: %s\n",
+                 records.status().ToString().c_str());
+    return 2;
+  }
+  const std::string serialized = obs::SerializeBenchRun(*records, meta);
+  if (output_path.empty()) {
+    std::printf("%s\n", serialized.c_str());
+  } else {
+    std::ofstream out(output_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "benchdiff: cannot write %s\n",
+                   output_path.c_str());
+      return 2;
+    }
+    out << serialized << "\n";
+  }
+  std::fprintf(stderr, "benchdiff: captured %zu record(s)\n",
+               records->size());
+  return 0;
+}
+
+int RunDiff(int argc, char** argv) {
+  obs::CompareOptions options;
+  bool show_noise = false;
+  std::vector<std::string> paths;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      options.default_threshold_pct = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--metric-threshold" && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      size_t eq = kv.rfind('=');
+      if (eq == std::string::npos) return Usage();
+      options.metric_thresholds[kv.substr(0, eq)] =
+          std::strtod(kv.c_str() + eq + 1, nullptr);
+    } else if (arg == "--show-noise") {
+      show_noise = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) return Usage();
+
+  std::string base_text;
+  std::string current_text;
+  if (!ReadInput(paths[0], &base_text) ||
+      !ReadInput(paths[1], &current_text)) {
+    return 2;
+  }
+  auto base = obs::ParseBenchInput(base_text);
+  if (!base.ok()) {
+    std::fprintf(stderr, "benchdiff: base: %s\n",
+                 base.status().ToString().c_str());
+    return 2;
+  }
+  auto current = obs::ParseBenchInput(current_text);
+  if (!current.ok()) {
+    std::fprintf(stderr, "benchdiff: current: %s\n",
+                 current.status().ToString().c_str());
+    return 2;
+  }
+
+  const obs::DiffReport report =
+      obs::CompareBenchRuns(*base, *current, options);
+  std::fputs(obs::RenderDiff(report, show_noise).c_str(), stdout);
+  return report.failed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "capture") return RunCapture(argc - 2, argv + 2);
+  if (command == "diff") return RunDiff(argc - 2, argv + 2);
+  return Usage();
+}

@@ -9,6 +9,7 @@
 //   dbinspect [--verify[=deep]] <data-dir | nvm-image> [--verbose]
 //   dbinspect stats [--metrics-json | --prometheus] <data-dir | nvm-image>
 //   dbinspect blackbox [--json] [--limit=N] <data-dir | nvm-image>
+//   dbinspect timeline [--json] <data-dir | nvm-image>
 //
 // --verify        fast integrity check (region header + magic/CRC)
 // --verify=deep   walk every persistent structure: allocator free lists,
@@ -21,6 +22,9 @@
 // blackbox        decode the NVM-persisted flight recorder into a crash
 //                 timeline; works on corrupt images (geometry comes from
 //                 the file size, every event slot carries its own CRC)
+// timeline        reconstruct maintenance phase spans (merge /
+//                 checkpoint / recovery-drain windows, fault and crash
+//                 points) from the same flight recorder
 //
 // Exit codes: 0 = image is clean, 1 = usage error, 2 = corruption
 // found, 3 = the image cannot be opened at all.
@@ -38,6 +42,7 @@
 #include "index/index_set.h"
 #include "obs/blackbox.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "recovery/verify.h"
 #include "storage/catalog.h"
 #include "txn/commit_table.h"
@@ -155,6 +160,34 @@ int RunBlackbox(const std::string& image_path, bool json, size_t limit) {
   return result.present ? 0 : 2;
 }
 
+int RunTimeline(const std::string& image_path, bool json) {
+  nvm::PmemRegionOptions options;
+  options.file_path = image_path;
+  options.tracking = nvm::TrackingMode::kNone;
+  auto region_result = nvm::PmemRegion::Open(options);
+  if (!region_result.ok()) {
+    std::fprintf(stderr, "cannot open image: %s\n",
+                 region_result.status().ToString().c_str());
+    return 3;
+  }
+  auto region = std::move(region_result).ValueUnsafe();
+  const obs::BlackboxDecodeResult decoded =
+      obs::DecodeBlackbox(region->base(), region->size());
+  const std::vector<obs::PhaseSpan> spans =
+      obs::PhaseSpansFromBlackbox(decoded);
+  if (json) {
+    std::printf("%s\n", obs::PhaseSpansJson(spans).c_str());
+    return decoded.present ? 0 : 2;
+  }
+  if (!decoded.present) {
+    std::printf("no flight recorder found in %s\n", image_path.c_str());
+    return 2;
+  }
+  std::printf("image: %s\n", image_path.c_str());
+  std::fputs(obs::RenderPhaseSpans(spans).c_str(), stdout);
+  return 0;
+}
+
 void PrintTable(storage::Table& table, bool verbose) {
   std::printf("\ntable '%s' (id %" PRIu64 ")\n", table.name().c_str(),
               table.id());
@@ -245,8 +278,9 @@ void PrintUsage(const char* prog) {
                "       %s stats [--metrics-json | --prometheus] "
                "<data-dir | nvm-image>\n"
                "       %s blackbox [--json] [--limit=N] "
-               "<data-dir | nvm-image>\n",
-               prog, prog, prog);
+               "<data-dir | nvm-image>\n"
+               "       %s timeline [--json] <data-dir | nvm-image>\n",
+               prog, prog, prog, prog);
 }
 
 /// JSON string escape for the image block (paths, root names).
@@ -359,16 +393,21 @@ int main(int argc, char** argv) {
   bool deep = false;
   bool stats = false;
   bool blackbox = false;
+  bool timeline = false;
   bool blackbox_json = false;
   size_t blackbox_limit = 0;
   StatsFormat stats_format = StatsFormat::kText;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "stats" && !stats && !blackbox && path.empty()) {
+    if (arg == "stats" && !stats && !blackbox && !timeline && path.empty()) {
       stats = true;
-    } else if (arg == "blackbox" && !stats && !blackbox && path.empty()) {
+    } else if (arg == "blackbox" && !stats && !blackbox && !timeline &&
+               path.empty()) {
       blackbox = true;
-    } else if (arg == "--json" && blackbox) {
+    } else if (arg == "timeline" && !stats && !blackbox && !timeline &&
+               path.empty()) {
+      timeline = true;
+    } else if (arg == "--json" && (blackbox || timeline)) {
       blackbox_json = true;
     } else if (arg.rfind("--limit=", 0) == 0 && blackbox) {
       blackbox_limit = static_cast<size_t>(
@@ -404,6 +443,7 @@ int main(int argc, char** argv) {
   }
 
   if (blackbox) return RunBlackbox(path, blackbox_json, blackbox_limit);
+  if (timeline) return RunTimeline(path, blackbox_json);
   if (stats) return RunStats(path, stats_format);
   if (verify) return RunVerify(path, deep);
 

@@ -17,6 +17,10 @@
 //   --drain-chunk-rows=N  on-demand drain rows per lock hold  [4096]
 //   --drain-pause-us=N    on-demand drain pause per chunk     [0]
 //   --slow-request-us=N   slow-request capture threshold, 0=off [100000]
+//   --timeline            run the phase-annotated timeline recorder
+//                         (exported via the stats opcode; nvtop's data)
+//   --timeline-interval-ms=N  timeline sample interval          [1000]
+//   --timeline-capacity=N     timeline ring size                [600]
 //   --quiet               log warnings and errors only
 //
 // Lifecycle: opens (or creates) the database — printing the recovery
@@ -78,7 +82,9 @@ int Usage() {
                "[--max-connections=N] [--max-inflight=N] "
                "[--idle-timeout-ms=N] [--region-size=BYTES] "
                "[--recovery=eager|on-demand] [--drain-chunk-rows=N] "
-               "[--drain-pause-us=N] [--slow-request-us=N] [--quiet]\n");
+               "[--drain-pause-us=N] [--slow-request-us=N] [--timeline] "
+               "[--timeline-interval-ms=N] [--timeline-capacity=N] "
+               "[--quiet]\n");
   return 1;
 }
 
@@ -119,6 +125,12 @@ int main(int argc, char** argv) {
       db_options.drain_pause_us = static_cast<uint64_t>(n);
     } else if (ParseFlag(arg, "--slow-request-us", &n)) {
       server_options.slow_request_us = static_cast<uint64_t>(n);
+    } else if (ParseFlag(arg, "--timeline-interval-ms", &n)) {
+      db_options.timeline_interval_ms = static_cast<uint64_t>(n);
+    } else if (ParseFlag(arg, "--timeline-capacity", &n)) {
+      db_options.timeline_capacity = static_cast<size_t>(n);
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      db_options.enable_timeline = true;
     } else if (std::strcmp(arg, "--create") == 0) {
       create = true;
     } else if (std::strcmp(arg, "--quiet") == 0) {

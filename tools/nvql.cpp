@@ -22,11 +22,17 @@
 //   begin / commit / abort           (script mode: one session spans stdin)
 //   \timing                          toggle per-command wall time + last
 //                                    wire round-trip (script mode)
+//   \watch SECONDS [COUNT]           re-issue the previous command every
+//                                    SECONDS (fractional ok) until COUNT
+//                                    runs or Ctrl-C (script mode)
 //   sql-like one-shot: "insert" outside a begin/commit runs autocommit.
 //
 // Exit codes: 0 success, 1 usage, 2 connection failure, 3 server error.
 
+#include <signal.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +49,10 @@ using namespace hyrise_nv;  // NOLINT: tool brevity
 
 namespace {
 
+volatile std::sig_atomic_t g_watch_stop = 0;
+
+void OnWatchInterrupt(int) { g_watch_stop = 1; }
+
 int Usage() {
   std::fprintf(stderr,
                "usage: nvql [--host=ADDR] [--port=N] [--retries=N] "
@@ -54,7 +64,8 @@ int Usage() {
                "          insert TABLE V1 [V2...]\n"
                "          count TABLE | scan TABLE COL VALUE [LIMIT] |\n"
                "          range TABLE COL LO HI [LIMIT]\n"
-               "          begin | commit | abort | \\timing (script mode)\n");
+                    "          begin | commit | abort (script mode)\n"
+               "          \\timing | \\watch SECONDS [COUNT] (script mode)\n");
   return 1;
 }
 
@@ -304,6 +315,7 @@ int main(int argc, char** argv) {
     std::string line;
     int last_rc = 0;
     bool timing = false;
+    std::vector<std::string> last_args;
     while (std::getline(std::cin, line)) {
       std::istringstream stream(line);
       std::vector<std::string> args;
@@ -315,13 +327,56 @@ int main(int argc, char** argv) {
         std::printf("timing %s\n", timing ? "on" : "off");
         continue;
       }
+      if (args[0] == "\\watch") {
+        if (last_args.empty()) {
+          std::fprintf(stderr, "\\watch: no previous command to repeat\n");
+          last_rc = 1;
+          continue;
+        }
+        double seconds =
+            args.size() >= 2 ? std::strtod(args[1].c_str(), nullptr) : 2.0;
+        if (seconds <= 0) seconds = 2.0;
+        const long long count =
+            args.size() >= 3 ? std::atoll(args[2].c_str()) : 0;
+        std::string repeated = last_args[0];
+        for (size_t a = 1; a < last_args.size(); ++a) {
+          repeated += " " + last_args[a];
+        }
+        // Ctrl-C ends the watch, not the session; the previous handler
+        // comes back once the loop exits.
+        g_watch_stop = 0;
+        struct sigaction watch_action {};
+        struct sigaction saved_action {};
+        watch_action.sa_handler = OnWatchInterrupt;
+        sigaction(SIGINT, &watch_action, &saved_action);
+        long long iterations = 0;
+        while (g_watch_stop == 0) {
+          std::printf("-- watch #%lld (%s, every %gs)\n", iterations + 1,
+                      repeated.c_str(), seconds);
+          const int watch_rc = RunCommand(client, last_args, &in_txn);
+          std::fflush(stdout);
+          if (watch_rc != 0) {
+            last_rc = watch_rc == -1 ? 1 : watch_rc;
+            break;
+          }
+          ++iterations;
+          if (count > 0 && iterations >= count) break;
+          for (double waited = 0; waited < seconds && g_watch_stop == 0;
+               waited += 0.05) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }
+        sigaction(SIGINT, &saved_action, nullptr);
+        continue;
+      }
       const auto cmd_start = std::chrono::steady_clock::now();
       const int rc = RunCommand(client, args, &in_txn);
       if (rc == -1) {
         std::fprintf(stderr, "unknown command: %s\n", args[0].c_str());
         last_rc = 1;
-      } else if (rc != 0) {
-        last_rc = rc;
+      } else {
+        last_args = args;
+        if (rc != 0) last_rc = rc;
       }
       if (timing && rc != -1) {
         const double wall_ms =

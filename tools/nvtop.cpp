@@ -1,0 +1,333 @@
+// nvtop — live terminal dashboard for a running nvserve instance.
+//
+// Polls the stats opcode and renders, in place: commit/request
+// throughput and p99 latency sparklines from the server-side timeline
+// (phase-annotated, so merge/checkpoint/recovery windows show up as the
+// dips they cause), per-stage latency attribution bars aggregated from
+// the net.op.*.stage.* histograms, serving state, and the maintenance
+// phases active right now.
+//
+//   nvtop --port P [--host H] [--interval-ms N] [--once] [--raw]
+//
+// --once prints a single frame and exits (no escape codes beyond color:
+// scripts and CI smoke tests use it); --raw dumps the stats JSON
+// verbatim. Requires the server to run with observability on
+// (--timeline) for the sparkline section; everything else works
+// regardless.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "net/client.h"
+#include "obs/request_stats.h"
+
+using namespace hyrise_nv;  // NOLINT: tool brevity
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+/// Unicode block sparkline of `values` scaled to the window maximum.
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  double max = 0;
+  for (double v : values) max = v > max ? v : max;
+  std::string out;
+  for (double v : values) {
+    size_t level = max <= 0 ? 0
+                            : static_cast<size_t>(v / max * 8.0 + 0.5);
+    if (level > 8) level = 8;
+    out += kLevels[level];
+  }
+  return out;
+}
+
+std::string Bar(double fraction, size_t width) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  size_t filled = static_cast<size_t>(fraction * width + 0.5);
+  std::string out;
+  for (size_t i = 0; i < width; ++i) out += i < filled ? "█" : "·";
+  return out;
+}
+
+std::string HumanRate(double per_sec) {
+  char buf[64];
+  if (per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM/s", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk/s", per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f/s", per_sec);
+  }
+  return buf;
+}
+
+std::string HumanNanos(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string HumanBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB",
+                  bytes / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", bytes / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", bytes / 1024.0);
+  }
+  return buf;
+}
+
+double NumAt(const common::JsonValue* obj, std::string_view key) {
+  if (obj == nullptr) return 0;
+  const common::JsonValue* v = obj->Find(key);
+  return v == nullptr ? 0 : v->AsDouble();
+}
+
+/// root[group][key] (or root[group][key][field]) as a number. Metric
+/// names contain dots, so the levels must be separate Find calls, not a
+/// FindPath.
+double GroupNum(const common::JsonValue* root, std::string_view group,
+                std::string_view key, std::string_view field = {}) {
+  if (root == nullptr) return 0;
+  const common::JsonValue* g = root->Find(group);
+  if (g == nullptr) return 0;
+  const common::JsonValue* v = g->Find(key);
+  if (v == nullptr) return 0;
+  if (!field.empty()) {
+    v = v->Find(field);
+    if (v == nullptr) return 0;
+  }
+  return v->AsDouble();
+}
+
+/// One dashboard frame rendered from a parsed stats payload.
+void RenderFrame(const common::JsonValue& stats, const std::string& target,
+                 size_t window) {
+  const common::JsonValue* server = stats.Find("server");
+  const common::JsonValue* metrics = stats.Find("metrics");
+  const common::JsonValue* timeline = stats.Find("timeline");
+
+  std::string serving = "?";
+  if (server != nullptr) {
+    const common::JsonValue* state = server->Find("serving_state");
+    if (state != nullptr && state->is_string()) serving = state->AsString();
+    if (server->Find("draining") != nullptr &&
+        server->Find("draining")->AsBool()) {
+      serving += " (draining)";
+    }
+  }
+  std::printf("nvtop — %s   serving: %s%s%s\n", target.c_str(),
+              serving == "ready" ? "\x1b[32m" : "\x1b[33m", serving.c_str(),
+              "\x1b[0m");
+  std::printf(
+      "conns %-5.0f reqs %-10.0f active txns %-5.0f overload rej %-6.0f "
+      "proto errs %.0f\n",
+      NumAt(server, "connections"), NumAt(server, "requests"),
+      NumAt(server, "active_txns"), NumAt(server, "overload_rejected"),
+      NumAt(server, "protocol_errors"));
+  std::printf(
+      "heap %s   rss %s   nvm region %s / %s\n",
+      HumanBytes(GroupNum(metrics, "gauges", "alloc.heap_used.bytes"))
+          .c_str(),
+      HumanBytes(GroupNum(metrics, "gauges", "process.rss_bytes")).c_str(),
+      HumanBytes(GroupNum(metrics, "gauges", "nvm.region.used_bytes"))
+          .c_str(),
+      HumanBytes(GroupNum(metrics, "gauges", "nvm.region.capacity_bytes"))
+          .c_str());
+
+  // --- Timeline sparklines (server-side per-interval samples) ----------
+  const common::JsonValue* samples =
+      timeline == nullptr ? nullptr : timeline->Find("samples");
+  if (samples != nullptr && samples->is_array() && samples->size() > 0) {
+    size_t begin = samples->size() > window ? samples->size() - window : 0;
+    std::vector<double> commit_rate;
+    std::vector<double> req_p99;
+    std::string active;
+    for (size_t i = begin; i < samples->size(); ++i) {
+      const common::JsonValue& s = samples->at(i);
+      double elapsed = NumAt(&s, "elapsed_ms");
+      if (elapsed <= 0) elapsed = 1000;
+      commit_rate.push_back(GroupNum(&s, "counters", "txn.commit.count") *
+                            1000.0 / elapsed);
+      req_p99.push_back(
+          GroupNum(&s, "histograms", "net.request.latency_ns", "p99"));
+    }
+    const common::JsonValue& last = samples->at(samples->size() - 1);
+    const common::JsonValue* phases = last.Find("active_phases");
+    if (phases != nullptr && phases->is_array()) {
+      for (const auto& p : phases->items()) {
+        if (!active.empty()) active += ",";
+        active += p.AsString();
+      }
+    }
+    std::printf("\ncommit tput %-10s %s\n",
+                HumanRate(commit_rate.back()).c_str(),
+                Sparkline(commit_rate).c_str());
+    std::printf("req p99     %-10s %s\n", HumanNanos(req_p99.back()).c_str(),
+                Sparkline(req_p99).c_str());
+    std::printf("phase: %s\n",
+                active.empty() ? "-" : ("\x1b[35m" + active + "\x1b[0m").c_str());
+  } else {
+    std::printf("\n(timeline off — start the server with --timeline for "
+                "sparklines)\n");
+  }
+
+  // --- Per-stage latency attribution -----------------------------------
+  // Aggregate net.op.<op>.stage.<stage>.latency_ns sums across ops.
+  const common::JsonValue* hists =
+      metrics == nullptr ? nullptr : metrics->Find("histograms");
+  if (hists != nullptr && hists->is_object()) {
+    double stage_sum[obs::kNumRequestStages] = {};
+    double total = 0;
+    for (const auto& [name, hist] : hists->members()) {
+      size_t marker = name.find(".stage.");
+      if (name.rfind("net.op.", 0) != 0 || marker == std::string::npos) {
+        continue;
+      }
+      std::string stage = name.substr(marker + 7);
+      size_t suffix = stage.find(".latency_ns");
+      if (suffix != std::string::npos) stage = stage.substr(0, suffix);
+      for (size_t i = 0; i < obs::kNumRequestStages; ++i) {
+        if (stage == obs::RequestStageName(i)) {
+          double sum = NumAt(&hist, "sum");
+          stage_sum[i] += sum;
+          total += sum;
+          break;
+        }
+      }
+    }
+    if (total > 0) {
+      std::printf("\nstage time share (lifetime)\n");
+      for (size_t i = 0; i < obs::kNumRequestStages; ++i) {
+        std::printf("  %-15s %s %5.1f%%\n", obs::RequestStageName(i),
+                    Bar(stage_sum[i] / total, 30).c_str(),
+                    100.0 * stage_sum[i] / total);
+      }
+    }
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: nvtop --port P [--host H] [--interval-ms N] "
+               "[--window N] [--once] [--raw]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::ClientOptions options;
+  uint64_t interval_ms = 1000;
+  size_t window = 60;
+  bool once = false;
+  bool raw = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept both "--port 5543" and "--port=5543" (the other tools use
+    // the '=' form).
+    std::string value;
+    const size_t eq = arg.find('=');
+    bool has_value = false;
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto next_value = [&]() -> const char* {
+      if (has_value) return value.c_str();
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage();
+      options.host = v;
+    } else if (arg == "--port") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage();
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--interval-ms") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage();
+      interval_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--window") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage();
+      window = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--raw") {
+      raw = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port == 0) return Usage();
+  if (interval_ms == 0) interval_ms = 1000;
+  if (window == 0) window = 60;
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  net::Client client(options);
+  Status status = client.Connect();
+  if (!status.ok()) {
+    std::fprintf(stderr, "nvtop: connect failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const std::string target =
+      options.host + ":" + std::to_string(options.port);
+
+  while (g_stop == 0) {
+    Result<std::string> stats_result = client.Stats();
+    if (!stats_result.ok()) {
+      std::fprintf(stderr, "nvtop: stats failed: %s\n",
+                   stats_result.status().ToString().c_str());
+      return 1;
+    }
+    if (raw) {
+      std::printf("%s\n", stats_result->c_str());
+    } else {
+      auto parsed = common::JsonParse(*stats_result);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "nvtop: bad stats payload: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      if (!once) std::fputs("\x1b[H\x1b[2J", stdout);  // home + clear
+      RenderFrame(*parsed, target, window);
+      std::fflush(stdout);
+    }
+    if (once) break;
+    for (uint64_t waited = 0; waited < interval_ms && g_stop == 0;
+         waited += 50) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  return 0;
+}
