@@ -1,0 +1,335 @@
+// E13 — multi-shard scaling and partial-failure availability.
+//
+// The router front door (DESIGN.md §16) claims two things worth
+// numbers: (1) single-shard transactions scale with the shard count
+// because they commit by passthrough, while a cross-shard mix pays the
+// two-phase-commit tax (an extra prepare round trip per participant
+// plus the coordinator's decision fsync); (2) kill -9 of one shard out
+// of N leaves the other shards serving — the blast radius of a crash is
+// one shard's key range, and the client-observed downtime for the
+// killed range is the shard's own restart, not a cluster outage.
+//
+// The sweep runs 1/2/4 shards, each with a pure single-shard workload
+// and a 10% cross-shard mix (shards=1 has no second participant, so
+// only "single" is emitted). The 2-shard cluster then takes a kill -9
+// of shard 1 while a cross-shard loader is running: the bench measures
+// the surviving shard's availability through the outage, the
+// client-observed downtime of the killed key range, and how long the
+// resolver takes to converge the in-doubt transactions the kill left
+// behind.
+//
+// Emits BENCH_JSON lines:
+//   {"bench":"e13","shards":N,"mix":"single"|"cross10",
+//    "tput_tps":...,"p50_us":...,"p99_us":...}
+//   {"bench":"e13","shards":2,"phase":1,"downtime_ms":...,
+//    "survivor_ok":...,"survivor_failed":...,"in_doubt_converge_ms":...,
+//    "restart_recovery_s":...}
+//
+// Shard servers run in forked children (they must be SIGKILL-able); the
+// router runs in-process in the parent, which is otherwise a pure wire
+// client.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/router.h"
+#include "net/client.h"
+#include "net/net_util.h"
+#include "net/server.h"
+
+namespace hyrise_nv::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using storage::Value;
+
+// Range partitioning with a wide fixed stripe keeps the key→shard map
+// obvious: key = shard * kKeysPerShard + j.
+constexpr int64_t kKeysPerShard = 1'000'000;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+uint16_t PickPort() {
+  auto listener = Unwrap(net::CreateListener("127.0.0.1", 0), "pick port");
+  return Unwrap(net::LocalPort(listener.get()), "pick port");
+}
+
+/// Child process: open (or create) one shard's database and serve until
+/// killed. Reports readiness (plus the recovery cost) over `ready_fd`.
+[[noreturn]] void RunShardChild(const std::string& dir, uint16_t port,
+                                bool create, int ready_fd) {
+  core::DatabaseOptions options =
+      EngineOptions(core::DurabilityMode::kWalValue, dir, 64u << 20);
+  options.tracking = nvm::TrackingMode::kNone;  // real SIGKILL, no shadow
+  auto db = Unwrap(create ? core::Database::Create(options)
+                          : core::Database::Open(options),
+                   "open shard database");
+  net::ServerOptions server_options;
+  server_options.port = port;
+  server_options.num_workers = 2;
+  auto server =
+      Unwrap(net::Server::Start(db.get(), server_options), "start shard");
+  const double recovery_s = db->last_recovery_report().total_seconds;
+  (void)!write(ready_fd, &recovery_s, sizeof(recovery_s));
+  server->Wait();  // until SIGKILL
+  Die(db->Close(), "close shard");
+  std::exit(0);
+}
+
+struct ShardHandle {
+  pid_t pid = -1;
+  double recovery_s = 0;
+};
+
+ShardHandle SpawnShard(const std::string& dir, uint16_t port, bool create) {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) Die(Status::IOError("pipe"), "pipe");
+  const pid_t pid = fork();
+  if (pid < 0) Die(Status::IOError("fork"), "fork");
+  if (pid == 0) {
+    close(pipe_fds[0]);
+    RunShardChild(dir, port, create, pipe_fds[1]);
+  }
+  close(pipe_fds[1]);
+  ShardHandle shard;
+  shard.pid = pid;
+  if (read(pipe_fds[0], &shard.recovery_s, sizeof(shard.recovery_s)) !=
+      static_cast<ssize_t>(sizeof(shard.recovery_s))) {
+    Die(Status::IOError("shard child died before becoming ready"),
+        "spawn shard");
+  }
+  close(pipe_fds[0]);
+  return shard;
+}
+
+void KillShard(pid_t pid) {
+  kill(pid, SIGKILL);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+}
+
+int64_t ShardKey(size_t shard, uint64_t j) {
+  // Cycle within a small window so the index stays compact.
+  return static_cast<int64_t>(shard) * kKeysPerShard +
+         static_cast<int64_t>(j % 4096);
+}
+
+/// One transaction through the router: two inserts, both on `shard` for
+/// a single-shard commit (passthrough) or split across `shard` and the
+/// next one for a cross-shard 2PC. Returns false on any failure (the
+/// caller aborts and moves on).
+bool RunTxn(net::Client& client, size_t shard, size_t num_shards,
+            bool cross, uint64_t j) {
+  if (!client.Begin().ok()) return false;
+  const size_t second = cross ? (shard + 1) % num_shards : shard;
+  if (!client.Insert("kv", {Value(ShardKey(shard, j)),
+                            Value(std::string("e13-payload"))})
+           .ok() ||
+      !client.Insert("kv", {Value(ShardKey(second, j + 1)),
+                            Value(std::string("e13-payload"))})
+           .ok() ||
+      !client.Commit().ok()) {
+    (void)client.Abort();
+    return false;
+  }
+  return true;
+}
+
+struct MixStats {
+  double tput_tps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Runs `txns` transactions round-robin over the shards; every tenth is
+/// cross-shard when `cross_pct` says so.
+MixStats MeasureMix(net::Client& client, size_t num_shards, uint64_t txns,
+                    int cross_pct) {
+  std::vector<double> latencies_us;
+  latencies_us.reserve(txns);
+  const auto start = Clock::now();
+  for (uint64_t i = 0; i < txns; ++i) {
+    const bool cross =
+        num_shards > 1 && cross_pct > 0 &&
+        (i % 100) < static_cast<uint64_t>(cross_pct);
+    const auto op_start = Clock::now();
+    if (!RunTxn(client, i % num_shards, num_shards, cross, i)) {
+      Die(Status::IOError("transaction failed during steady state"),
+          "measure mix");
+    }
+    latencies_us.push_back(SecondsSince(op_start) * 1e6);
+  }
+  MixStats stats;
+  stats.tput_tps = static_cast<double>(txns) / SecondsSince(start);
+  std::sort(latencies_us.begin(), latencies_us.end());
+  stats.p50_us = latencies_us[latencies_us.size() / 2];
+  stats.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+  return stats;
+}
+
+/// kill -9 one shard of two while a cross-shard loader runs, then
+/// measure: surviving shard availability during the outage, downtime of
+/// the killed range, and in-doubt convergence after restart.
+void RunKillPhase(net::Client& client, uint16_t router_port,
+                  const std::string& dir, uint16_t killed_port,
+                  pid_t killed_pid) {
+  std::atomic<bool> loader_stop{false};
+  std::thread loader([&] {
+    net::ClientOptions opts;
+    opts.port = router_port;
+    net::Client cross_client(opts);
+    if (!cross_client.Connect().ok()) return;
+    uint64_t j = 0;
+    while (!loader_stop.load()) {
+      // Expected to fail while shard 1 is down; keep pushing so the
+      // kill lands mid-2PC and leaves in-doubt work behind.
+      (void)RunTxn(cross_client, 0, 2, /*cross=*/true, j);
+      j += 2;
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto kill_start = Clock::now();
+  KillShard(killed_pid);
+
+  // Surviving shard keeps answering through the outage.
+  uint64_t survivor_ok = 0;
+  uint64_t survivor_failed = 0;
+  while (SecondsSince(kill_start) < 0.2) {
+    if (RunTxn(client, 0, 2, /*cross=*/false, survivor_ok)) {
+      ++survivor_ok;
+    } else {
+      ++survivor_failed;
+    }
+  }
+
+  const ShardHandle restarted =
+      SpawnShard(dir + "/shard1", killed_port, /*create=*/false);
+
+  // Client-observed downtime of the killed key range: first committed
+  // transaction routed to shard 1 after the kill.
+  double downtime_ms = 0;
+  for (uint64_t j = 0;; ++j) {
+    if (RunTxn(client, 1, 2, /*cross=*/false, j)) {
+      downtime_ms = SecondsSince(kill_start) * 1e3;
+      break;
+    }
+    if (SecondsSince(kill_start) > 60) {
+      Die(Status::IOError("killed shard never came back"), "kill phase");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  loader_stop.store(true);
+  loader.join();
+
+  // The kill left prepared-but-undecided transactions on the restarted
+  // shard; the router's resolver converges them against the decision
+  // log. Measure how long until the shard's in-doubt list is empty.
+  const auto converge_start = Clock::now();
+  net::ClientOptions probe_opts;
+  probe_opts.port = killed_port;
+  net::Client probe(probe_opts);
+  Die(probe.Connect(), "probe killed shard");
+  double converge_ms = 0;
+  for (;;) {
+    auto in_doubt = probe.InDoubt();
+    if (in_doubt.ok() && in_doubt->empty()) {
+      converge_ms = SecondsSince(converge_start) * 1e3;
+      break;
+    }
+    if (SecondsSince(converge_start) > 30) {
+      Die(Status::IOError("in-doubt transactions never converged"),
+          "kill phase");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e13\",\"shards\":2,\"phase\":1,"
+      "\"downtime_ms\":%.1f,\"survivor_ok\":%llu,"
+      "\"survivor_failed\":%llu,\"in_doubt_converge_ms\":%.1f,"
+      "\"restart_recovery_s\":%.4f}\n",
+      downtime_ms, static_cast<unsigned long long>(survivor_ok),
+      static_cast<unsigned long long>(survivor_failed), converge_ms,
+      restarted.recovery_s);
+  std::fflush(stdout);
+  KillShard(restarted.pid);
+}
+
+void RunClusterSize(size_t num_shards) {
+  const std::string dir = MakeBenchDir("bench_e13");
+  std::vector<uint16_t> ports(num_shards);
+  std::vector<ShardHandle> shards(num_shards);
+  cluster::RouterOptions router_options;
+  for (size_t s = 0; s < num_shards; ++s) {
+    ports[s] = PickPort();
+    std::filesystem::create_directories(dir + "/shard" + std::to_string(s));
+    shards[s] = SpawnShard(dir + "/shard" + std::to_string(s), ports[s],
+                           /*create=*/true);
+    router_options.shards.push_back({"127.0.0.1", ports[s]});
+  }
+  router_options.data_dir = dir + "/router";
+  std::filesystem::create_directories(router_options.data_dir);
+  router_options.partitioning = cluster::Partitioning::kRange;
+  router_options.range_width = kKeysPerShard;
+  router_options.resolver_interval_ms = 50;
+  auto router =
+      Unwrap(cluster::Router::Start(router_options), "start router");
+
+  net::ClientOptions client_options;
+  client_options.port = router->port();
+  net::Client client(client_options);
+  Die(client.Connect(), "connect to router");
+  Die(client
+          .CreateTable("kv", {{"k", storage::DataType::kInt64},
+                              {"v", storage::DataType::kString}})
+          .status(),
+      "create table");
+  Die(client.CreateIndex("kv", 0), "create index");
+
+  const uint64_t txns = Scaled(1'500);
+  for (const int cross_pct : {0, 10}) {
+    if (cross_pct > 0 && num_shards == 1) continue;  // no second shard
+    const MixStats stats = MeasureMix(client, num_shards, txns, cross_pct);
+    std::printf(
+        "BENCH_JSON {\"bench\":\"e13\",\"shards\":%zu,\"mix\":\"%s\","
+        "\"tput_tps\":%.0f,\"p50_us\":%.1f,\"p99_us\":%.1f}\n",
+        num_shards, cross_pct > 0 ? "cross10" : "single", stats.tput_tps,
+        stats.p50_us, stats.p99_us);
+    std::fflush(stdout);
+  }
+
+  if (num_shards == 2) {
+    RunKillPhase(client, router->port(), dir, ports[1], shards[1].pid);
+    shards[1].pid = -1;  // RunKillPhase reaped both incarnations
+  }
+
+  router->Stop();
+  router.reset();
+  for (const ShardHandle& shard : shards) {
+    if (shard.pid > 0) KillShard(shard.pid);
+  }
+  RemoveBenchDir(dir);
+}
+
+}  // namespace
+}  // namespace hyrise_nv::bench
+
+int main() {
+  for (const size_t num_shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    hyrise_nv::bench::RunClusterSize(num_shards);
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "cluster/decision_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace hyrise_nv::cluster {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x32504C4351564Eull;  // "NVQLP2"
+constexpr size_t kHeaderBytes = 24;  // magic(8) epoch(8) crc(4) pad(4)
+constexpr size_t kRecordBytes = 13;  // type(1) gtid(8) crc(4)
+
+constexpr uint8_t kRecCommit = 1;
+constexpr uint8_t kRecAbort = 2;
+constexpr uint8_t kRecRetired = 3;
+
+void EncodeHeader(uint8_t out[kHeaderBytes], uint64_t epoch) {
+  std::memcpy(out, &kMagic, 8);
+  std::memcpy(out + 8, &epoch, 8);
+  const uint32_t crc = MaskCrc(Crc32c(out, 16));
+  std::memcpy(out + 16, &crc, 4);
+  std::memset(out + 20, 0, 4);
+}
+
+Status WriteAllAt(int fd, const void* data, size_t len, uint64_t offset) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("decision log write: " +
+                             std::string(std::strerror(errno)));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DecisionLog>> DecisionLog::Open(
+    const std::string& path) {
+  auto log = std::unique_ptr<DecisionLog>(new DecisionLog());
+  log->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (log->fd_ < 0) {
+    return Status::IOError("opening decision log " + path + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  const off_t size = ::lseek(log->fd_, 0, SEEK_END);
+  if (size < 0) {
+    return Status::IOError("decision log seek: " +
+                           std::string(std::strerror(errno)));
+  }
+
+  uint64_t prior_epoch = 0;
+  uint64_t valid_end = kHeaderBytes;
+  if (static_cast<size_t>(size) >= kHeaderBytes) {
+    uint8_t header[kHeaderBytes];
+    const ssize_t n = ::pread(log->fd_, header, kHeaderBytes, 0);
+    if (n != static_cast<ssize_t>(kHeaderBytes)) {
+      return Status::IOError("decision log header read failed");
+    }
+    uint64_t magic = 0;
+    uint32_t crc = 0;
+    std::memcpy(&magic, header, 8);
+    std::memcpy(&prior_epoch, header + 8, 8);
+    std::memcpy(&crc, header + 16, 4);
+    if (magic != kMagic || UnmaskCrc(crc) != Crc32c(header, 16)) {
+      return Status::Corruption("decision log header is corrupt");
+    }
+    // Replay every sealed record; a torn tail (crash mid-append) is cut
+    // off at the first record that fails its CRC.
+    uint64_t offset = kHeaderBytes;
+    uint8_t rec[kRecordBytes];
+    while (offset + kRecordBytes <= static_cast<uint64_t>(size)) {
+      const ssize_t r = ::pread(log->fd_, rec, kRecordBytes,
+                                static_cast<off_t>(offset));
+      if (r != static_cast<ssize_t>(kRecordBytes)) break;
+      uint32_t rec_crc = 0;
+      std::memcpy(&rec_crc, rec + 9, 4);
+      if (UnmaskCrc(rec_crc) != Crc32c(rec, 9)) {
+        HYRISE_NV_LOG(kWarn)
+            << "decision log: torn tail at offset " << offset
+            << "; truncating";
+        break;
+      }
+      uint64_t gtid = 0;
+      std::memcpy(&gtid, rec + 1, 8);
+      switch (rec[0]) {
+        case kRecCommit:
+          log->committed_.insert(gtid);
+          break;
+        case kRecAbort:
+          log->aborted_.insert(gtid);
+          break;
+        case kRecRetired:
+          log->committed_.erase(gtid);
+          log->aborted_.erase(gtid);
+          break;
+        default:
+          return Status::Corruption("decision log: unknown record type");
+      }
+      offset += kRecordBytes;
+    }
+    valid_end = offset;
+    if (valid_end < static_cast<uint64_t>(size) &&
+        ::ftruncate(log->fd_, static_cast<off_t>(valid_end)) < 0) {
+      return Status::IOError("decision log truncate: " +
+                             std::string(std::strerror(errno)));
+    }
+  } else if (size != 0) {
+    // Shorter than a header: a crash during the very first create.
+    if (::ftruncate(log->fd_, 0) < 0) {
+      return Status::IOError("decision log truncate: " +
+                             std::string(std::strerror(errno)));
+    }
+  }
+
+  // Bump + persist the epoch before handing out any gtid: ids minted by
+  // this incarnation can never collide with ids a dead incarnation
+  // prepared on some participant but did not get to log.
+  log->epoch_ = prior_epoch + 1;
+  log->next_seq_ = 0;
+  uint8_t header[kHeaderBytes];
+  EncodeHeader(header, log->epoch_);
+  HYRISE_NV_RETURN_NOT_OK(WriteAllAt(log->fd_, header, kHeaderBytes, 0));
+  if (::fsync(log->fd_) < 0) {
+    return Status::IOError("decision log fsync: " +
+                           std::string(std::strerror(errno)));
+  }
+  HYRISE_NV_LOG(kInfo) << "decision log open: epoch " << log->epoch_
+                       << ", " << log->committed_.size()
+                       << " unretired commit decisions, "
+                       << (valid_end - kHeaderBytes) / kRecordBytes
+                       << " records";
+  return log;
+}
+
+DecisionLog::~DecisionLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t DecisionLog::NextGtid() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return (epoch_ << 32) | ++next_seq_;
+}
+
+Status DecisionLog::AppendRecord(uint8_t type, uint64_t gtid, bool sync) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  uint8_t rec[kRecordBytes];
+  rec[0] = type;
+  std::memcpy(rec + 1, &gtid, 8);
+  const uint32_t crc = MaskCrc(Crc32c(rec, 9));
+  std::memcpy(rec + 9, &crc, 4);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    return Status::IOError("decision log seek: " +
+                           std::string(std::strerror(errno)));
+  }
+  HYRISE_NV_RETURN_NOT_OK(
+      WriteAllAt(fd_, rec, kRecordBytes, static_cast<uint64_t>(end)));
+  if (sync && ::fsync(fd_) < 0) {
+    return Status::IOError("decision log fsync: " +
+                           std::string(std::strerror(errno)));
+  }
+  switch (type) {
+    case kRecCommit:
+      committed_.insert(gtid);
+      break;
+    case kRecAbort:
+      aborted_.insert(gtid);
+      break;
+    case kRecRetired:
+      committed_.erase(gtid);
+      aborted_.erase(gtid);
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+Status DecisionLog::LogCommit(uint64_t gtid) {
+  return AppendRecord(kRecCommit, gtid, /*sync=*/true);
+}
+
+Status DecisionLog::LogAbort(uint64_t gtid) {
+  return AppendRecord(kRecAbort, gtid, /*sync=*/false);
+}
+
+Status DecisionLog::LogRetired(uint64_t gtid) {
+  return AppendRecord(kRecRetired, gtid, /*sync=*/false);
+}
+
+bool DecisionLog::KnownCommit(uint64_t gtid) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return committed_.count(gtid) > 0;
+}
+
+bool DecisionLog::KnownAbort(uint64_t gtid) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return aborted_.count(gtid) > 0;
+}
+
+size_t DecisionLog::live_commits() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return committed_.size();
+}
+
+}  // namespace hyrise_nv::cluster

@@ -1,0 +1,87 @@
+#ifndef HYRISE_NV_CLUSTER_DECISION_LOG_H_
+#define HYRISE_NV_CLUSTER_DECISION_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyrise_nv::cluster {
+
+/// The coordinator's durable decision log (DESIGN.md §16.3): a tiny
+/// CRC-sealed append-only file that makes two-phase commit outcomes
+/// survive router restarts.
+///
+/// Protocol contract (presumed abort):
+///  - A COMMIT decision is fsynced here BEFORE any decide-commit is sent
+///    to a participant. A gtid present in the log is committed, period.
+///  - ABORT decisions are appended but never need the fsync: an in-doubt
+///    gtid absent from the log is aborted by presumption, which covers
+///    both an unlogged abort and a coordinator crash before the decision.
+///  - RETIRE records mark a gtid fully acknowledged by every participant;
+///    retired gtids drop out of the in-memory committed set so it stays
+///    bounded (the file itself is append-only and tiny: ~25 bytes per
+///    cross-shard transaction).
+///
+/// Gtids are epoch-qualified: `epoch << 32 | seq`, where the epoch is a
+/// header counter bumped and fsynced at every open. A restarted router
+/// can therefore never mint a gtid that collides with one a dead
+/// incarnation prepared but did not log.
+///
+/// Thread-safe: all methods lock internally (2PC traffic is rare
+/// relative to single-shard commits, one mutex is fine).
+class DecisionLog {
+ public:
+  static Result<std::unique_ptr<DecisionLog>> Open(const std::string& path);
+  ~DecisionLog();
+
+  HYRISE_NV_DISALLOW_COPY_AND_MOVE(DecisionLog);
+
+  /// Mints the next globally-unique transaction id.
+  uint64_t NextGtid();
+
+  /// Durably records a commit decision (append + fsync). Must return OK
+  /// before any decide-commit goes out.
+  Status LogCommit(uint64_t gtid);
+  /// Records an abort decision (append, no fsync needed — absence from
+  /// the log already means abort).
+  Status LogAbort(uint64_t gtid);
+  /// Records that every participant acknowledged the decision for
+  /// `gtid`; forgets it from the committed set.
+  Status LogRetired(uint64_t gtid);
+
+  /// Whether `gtid` has a durable commit decision. The recovery
+  /// handshake answer: in-doubt and committed → decide commit; in-doubt
+  /// and unknown → presumed abort.
+  bool KnownCommit(uint64_t gtid) const;
+
+  /// Whether `gtid` has a logged abort decision. Needed for
+  /// current-epoch gtids: presumed abort only applies to dead epochs, so
+  /// a participant that durably logged a prepare whose ack the crash
+  /// swallowed (coordinator saw a failed prepare and aborted) would stay
+  /// in-doubt forever without this lookup.
+  bool KnownAbort(uint64_t gtid) const;
+
+  uint64_t epoch() const { return epoch_; }
+  size_t live_commits() const;
+
+ private:
+  DecisionLog() = default;
+
+  Status AppendRecord(uint8_t type, uint64_t gtid, bool sync);
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  uint64_t epoch_ = 0;
+  uint64_t next_seq_ = 0;
+  std::unordered_set<uint64_t> committed_;
+  std::unordered_set<uint64_t> aborted_;
+};
+
+}  // namespace hyrise_nv::cluster
+
+#endif  // HYRISE_NV_CLUSTER_DECISION_LOG_H_

@@ -1,0 +1,53 @@
+#include "cluster/shard_map.h"
+
+#include <functional>
+#include <variant>
+
+namespace hyrise_nv::cluster {
+
+namespace {
+
+/// splitmix64 finalizer — decorrelates sequential keys (TPC-C ids are
+/// dense integers) so hash partitioning spreads them evenly.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t ShardMap::ShardForKey(const storage::Value& key) const {
+  if (num_shards_ == 1) return 0;
+  if (const auto* i = std::get_if<int64_t>(&key)) {
+    if (partitioning_ == Partitioning::kRange) {
+      const int64_t v = *i < 0 ? 0 : *i;
+      const uint64_t shard = static_cast<uint64_t>(v) /
+                             static_cast<uint64_t>(range_width_);
+      return shard >= num_shards_ ? num_shards_ - 1
+                                  : static_cast<size_t>(shard);
+    }
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(*i)) %
+                               num_shards_);
+  }
+  if (const auto* d = std::get_if<double>(&key)) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(*d));
+    __builtin_memcpy(&bits, d, sizeof(bits));
+    return static_cast<size_t>(Mix64(bits) % num_shards_);
+  }
+  const auto& s = std::get<std::string>(key);
+  return static_cast<size_t>(Mix64(std::hash<std::string>{}(s)) %
+                             num_shards_);
+}
+
+std::string ShardMap::ToJson() const {
+  std::string json = "{\"num_shards\":" + std::to_string(num_shards_) +
+                     ",\"partitioning\":\"";
+  json += partitioning_ == Partitioning::kRange ? "range" : "hash";
+  json += "\",\"range_width\":" + std::to_string(range_width_) + "}";
+  return json;
+}
+
+}  // namespace hyrise_nv::cluster

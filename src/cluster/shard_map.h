@@ -1,0 +1,56 @@
+#ifndef HYRISE_NV_CLUSTER_SHARD_MAP_H_
+#define HYRISE_NV_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::cluster {
+
+/// How keys map to shards (DESIGN.md §16.1).
+enum class Partitioning : uint8_t {
+  /// shard = mix64(key) % num_shards — uniform, order-free.
+  kHash,
+  /// shard = key / range_width (clamped) — contiguous key ranges per
+  /// shard, the TPC-C by-warehouse layout: range_width = warehouses per
+  /// shard, so warehouse w lives wholly on shard w / range_width and
+  /// single-warehouse transactions never cross shards.
+  kRange,
+};
+
+/// Pluggable key→shard partitioning function. By convention the shard
+/// key is column 0 of every sharded table (the TPC-C warehouse id); the
+/// router extracts it from inserted rows and equality predicates on
+/// column 0, and fans out everything else.
+///
+/// Immutable after construction — safe to share across session threads.
+class ShardMap {
+ public:
+  ShardMap(size_t num_shards, Partitioning partitioning,
+           int64_t range_width = 1)
+      : num_shards_(num_shards == 0 ? 1 : num_shards),
+        partitioning_(partitioning),
+        range_width_(range_width < 1 ? 1 : range_width) {}
+
+  size_t num_shards() const { return num_shards_; }
+  Partitioning partitioning() const { return partitioning_; }
+  int64_t range_width() const { return range_width_; }
+
+  /// The shard owning `key`. Strings always hash (ranges over strings
+  /// are not supported); doubles hash their bit pattern.
+  size_t ShardForKey(const storage::Value& key) const;
+
+  /// {"num_shards":N,"partitioning":"hash"|"range","range_width":W}
+  std::string ToJson() const;
+
+ private:
+  size_t num_shards_;
+  Partitioning partitioning_;
+  int64_t range_width_;
+};
+
+}  // namespace hyrise_nv::cluster
+
+#endif  // HYRISE_NV_CLUSTER_SHARD_MAP_H_

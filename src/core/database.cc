@@ -34,6 +34,34 @@ void NoteOpened() {
 #endif
 }
 
+// Adopts every in-doubt 2PC transaction a log replay surfaced: builds a
+// kPrepared context carrying the rebuilt write set and seals a prepared
+// commit slot for it (no OnPrepare hook — the log already holds the
+// prepare record), so the transaction survives further restarts and its
+// row claims stay protected from claim-stealing until a decision lands.
+Status AdoptInDoubt(const recovery::LogRecoveryReport& report,
+                    storage::Catalog& catalog,
+                    txn::TxnManager& txn_manager) {
+  for (const auto& in_doubt : report.in_doubt) {
+    auto ctx = std::make_shared<txn::TxnContext>();
+    ctx->tid = in_doubt.tid;
+    ctx->gtid = in_doubt.gtid;
+    ctx->state = txn::TxnState::kPrepared;
+    ctx->writes.reserve(in_doubt.writes.size());
+    for (const auto& write : in_doubt.writes) {
+      auto table = catalog.GetTableById(write.table_id);
+      if (!table.ok()) return table.status();
+      ctx->writes.push_back(txn::Write{*table, write.loc, write.invalidate});
+    }
+    HYRISE_NV_LOG(kInfo) << "adopting in-doubt transaction gtid="
+                         << in_doubt.gtid << " tid=" << in_doubt.tid
+                         << " (" << in_doubt.writes.size()
+                         << " writes) from the log";
+    HYRISE_NV_RETURN_NOT_OK(txn_manager.SealAdoptedPrepared(std::move(ctx)));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 nvm::PmemRegionOptions Database::MakeRegionOptions() const {
@@ -144,6 +172,12 @@ Result<std::unique_ptr<Database>> Database::Open(
     tracer.Begin("attach_index_sets");
     HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
     tracer.End();
+    if (!db->read_only_) {
+      // Re-adopt prepared-but-undecided 2PC transactions straight from
+      // their kPrepared commit slots (instant restart keeps them sealed).
+      HYRISE_NV_RETURN_NOT_OK(
+          db->txn_manager_->AdoptPreparedFromTable(*db->catalog_));
+    }
     db->recovery_.trace = tracer.Finish();
     db->recovery_.total_seconds = db->recovery_.trace.seconds;
     NoteOpened();
@@ -156,7 +190,25 @@ Result<std::unique_ptr<Database>> Database::Open(
     if (!db_result.ok()) return db_result;
     auto& db = *db_result;
 
-    if (options.log_recovery == LogRecoveryPolicy::kServeOnDemand) {
+    bool serve_on_demand =
+        options.log_recovery == LogRecoveryPolicy::kServeOnDemand;
+    if (serve_on_demand) {
+      // In-doubt 2PC transactions need the eager replay machinery (row
+      // claims + write-set reconstruction, DESIGN.md §16); the on-demand
+      // analysis pass cannot stage them. Rare by construction — prepares
+      // exist only in the window between prepare and decide — so the
+      // fallback costs nothing in the common case.
+      auto in_doubt_result =
+          recovery::LogHasInDoubt(options.MakeLogOptions());
+      if (!in_doubt_result.ok()) return in_doubt_result.status();
+      if (*in_doubt_result) {
+        HYRISE_NV_LOG(kWarn)
+            << "log holds in-doubt 2PC transactions; falling back from "
+               "serve-on-demand to eager replay";
+        serve_on_demand = false;
+      }
+    }
+    if (serve_on_demand) {
       // Serve-during-recovery: analysis stages pending rows instead of
       // replaying them, the engine opens degraded in O(log-scan) time,
       // and a background drain restores the rest while serving.
@@ -207,6 +259,8 @@ Result<std::unique_ptr<Database>> Database::Open(
     tracer.Begin("attach_index_sets");
     HYRISE_NV_RETURN_NOT_OK(db->AttachAllIndexSets());
     tracer.End();
+    HYRISE_NV_RETURN_NOT_OK(AdoptInDoubt(
+        db->recovery_.log, *db->catalog_, *db->txn_manager_));
     db->recovery_.trace = tracer.Finish();
     db->recovery_.total_seconds = db->recovery_.trace.seconds;
     NoteOpened();
@@ -246,6 +300,11 @@ Result<std::unique_ptr<Database>> Database::OpenViaLogFallback(
     if (!report_result.ok()) return report_result.status();
     log_report = *report_result;
     tracer.Attach(log_report.trace);
+    // Seal prepared slots for in-doubt 2PC transactions into the rebuilt
+    // image: the log is retired below, so the image alone must carry the
+    // prepared state for the re-open to adopt.
+    HYRISE_NV_RETURN_NOT_OK(
+        AdoptInDoubt(log_report, **catalog_result, **txn_result));
     recovery::SealForCleanShutdown(*heap);
     HYRISE_NV_RETURN_NOT_OK(heap->CloseClean());
   }
@@ -327,6 +386,9 @@ Result<std::unique_ptr<Database>> Database::CrashAndRecover(
     tracer.Begin("attach_index_sets");
     HYRISE_NV_RETURN_NOT_OK(recovered->AttachAllIndexSets());
     tracer.End();
+    HYRISE_NV_RETURN_NOT_OK(
+        recovered->txn_manager_->AdoptPreparedFromTable(
+            *recovered->catalog_));
     recovered->recovery_.trace = tracer.Finish();
     recovered->recovery_.total_seconds = recovered->recovery_.trace.seconds;
     NoteOpened();
@@ -435,6 +497,20 @@ Result<storage::Table*> Database::GetTable(const std::string& name) const {
 
 Status Database::Commit(txn::Transaction& tx) {
   Status status = txn_manager_->Commit(tx);
+  NoteLogFailure(status);
+  return status;
+}
+
+Status Database::Prepare(txn::Transaction& tx, uint64_t gtid) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
+  Status status = txn_manager_->Prepare(tx, gtid);
+  NoteLogFailure(status);
+  return status;
+}
+
+Status Database::Decide(uint64_t gtid, bool commit) {
+  HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
+  Status status = txn_manager_->Decide(gtid, commit);
   NoteLogFailure(status);
   return status;
 }
@@ -639,6 +715,13 @@ Result<std::vector<storage::RowLocation>> Database::ScanRange(
 Result<storage::MergeStats> Database::Merge(const std::string& table_name) {
   HYRISE_NV_RETURN_NOT_OK(EnsureNotDegraded("merge"));
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
+  if (txn_manager_->PreparedCount() > 0) {
+    // A merge would relocate rows the prepared write sets point at, and
+    // the checkpoint below would move the replay base past the prepare
+    // records. Retry once the coordinator has decided.
+    return Status::Aborted(
+        "merge refused: prepared 2PC transactions are in doubt");
+  }
   auto table_result = catalog_->GetTable(table_name);
   if (!table_result.ok()) return table_result.status();
   obs::BlackboxWriter* bb = heap_->blackbox();
@@ -676,6 +759,12 @@ Status Database::Checkpoint() {
   // kInvalidValueId cells as real data.
   HYRISE_NV_RETURN_NOT_OK(EnsureNotDegraded("checkpoint"));
   HYRISE_NV_RETURN_NOT_OK(EnsureWritable());
+  if (txn_manager_->PreparedCount() > 0) {
+    // A checkpoint would move the replay base past the kPrepare records
+    // that keep in-doubt transactions recoverable. Retry after decide.
+    return Status::Aborted(
+        "checkpoint refused: prepared 2PC transactions are in doubt");
+  }
   const uint64_t start_ticks = obs::FastClock::NowTicks();
   if (obs::BlackboxWriter* bb = heap_->blackbox()) {
     bb->Record(obs::BlackboxEventType::kCheckpointStart);

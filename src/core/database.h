@@ -85,6 +85,24 @@ class Database {
   Status Commit(txn::Transaction& tx);
   Status Abort(txn::Transaction& tx) { return txn_manager_->Abort(tx); }
 
+  // --- Two-phase commit (DESIGN.md §16) ------------------------------------
+
+  /// Phase one: durably prepares `tx` under the coordinator-issued global
+  /// transaction id. On success the transaction is detached from its
+  /// session (kPrepared); only Decide moves it further. On failure the
+  /// transaction stays active and the caller should abort it.
+  Status Prepare(txn::Transaction& tx, uint64_t gtid);
+
+  /// Phase two: commits or aborts the prepared transaction `gtid`.
+  /// Idempotent — unknown gtids answer OK.
+  Status Decide(uint64_t gtid, bool commit);
+
+  /// Gtids of every prepared-but-undecided transaction (recovery
+  /// handshake answer).
+  std::vector<uint64_t> InDoubtGtids() const {
+    return txn_manager_->InDoubtGtids();
+  }
+
   // --- DML (within a transaction) ------------------------------------------
 
   /// Inserts a row; returns its location.

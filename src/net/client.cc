@@ -177,6 +177,46 @@ Status Client::Abort() {
   return Call(Opcode::kAbort, payload).status();
 }
 
+Status Client::Prepare(uint64_t gtid) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kPrepare));
+  writer.U64(0);  // 0 = the session's open transaction
+  writer.U64(gtid);
+  Status status = Call(Opcode::kPrepare, payload).status();
+  // A successful prepare detaches the transaction from this session.
+  if (status.ok()) current_tid_ = 0;
+  return status;
+}
+
+Status Client::Decide(uint64_t gtid, bool commit) {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kDecide));
+  writer.U64(gtid);
+  writer.U8(commit ? 1 : 0);
+  return Call(Opcode::kDecide, payload).status();
+}
+
+Result<std::vector<uint64_t>> Client::InDoubt() {
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kInDoubt));
+  auto body_result = Call(Opcode::kInDoubt, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  const uint32_t count = reader.U32();
+  std::vector<uint64_t> gtids;
+  gtids.reserve(count);
+  for (uint32_t i = 0; i < count && reader.ok(); ++i) {
+    gtids.push_back(reader.U64());
+  }
+  if (!reader.ok() || gtids.size() != count) {
+    return Status::IOError("truncated in_doubt response");
+  }
+  return gtids;
+}
+
 Result<storage::RowLocation> Client::Insert(
     const std::string& table, const std::vector<storage::Value>& row) {
   std::vector<uint8_t> payload;

@@ -103,6 +103,20 @@ class Client {
   Result<uint64_t> Commit();
   Status Abort();
 
+  // --- Two-phase commit (coordinator-side verbs) ---------------------------
+
+  /// Phase one: durably prepares the session's open transaction under
+  /// the coordinator-issued gtid. On success the transaction detaches
+  /// from this session; only Decide moves it further. On failure it
+  /// stays open (abort it).
+  Status Prepare(uint64_t gtid);
+  /// Phase two: commit or abort the prepared transaction `gtid`. Not
+  /// session-bound — valid on any connection, idempotent by gtid.
+  Status Decide(uint64_t gtid, bool commit);
+  /// Every prepared-but-undecided gtid on the server (recovery
+  /// handshake).
+  Result<std::vector<uint64_t>> InDoubt();
+
   // --- DML -----------------------------------------------------------------
 
   Result<storage::RowLocation> Insert(const std::string& table,

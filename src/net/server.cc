@@ -115,7 +115,7 @@ class ServerImpl {
         slow_request_counter_(obs::MetricsRegistry::Instance().GetCounter(
             "net.slow_requests.count")) {
     for (uint8_t op = static_cast<uint8_t>(Opcode::kHello);
-         op <= static_cast<uint8_t>(Opcode::kDrain); ++op) {
+         op <= static_cast<uint8_t>(kLastOpcode); ++op) {
       op_counters_[op] = &obs::MetricsRegistry::Instance().GetCounter(
           std::string("net.op.") +
           OpcodeName(static_cast<Opcode>(op)) + ".count");
@@ -882,6 +882,11 @@ class ServerImpl {
       case Opcode::kStats:
       case Opcode::kRecoveryInfo:
       case Opcode::kDrain:
+      // 2PC decisions and the in-doubt handshake must never be shed:
+      // the coordinator's recovery protocol depends on them to converge
+      // prepared transactions, and both are O(1) engine work.
+      case Opcode::kDecide:
+      case Opcode::kInDoubt:
         return true;
       default:
         return false;
@@ -919,6 +924,12 @@ class ServerImpl {
         return ExecCommit(conn, reader);
       case Opcode::kAbort:
         return ExecAbort(conn, reader);
+      case Opcode::kPrepare:
+        return ExecPrepare(conn, reader);
+      case Opcode::kDecide:
+        return ExecDecide(reader);
+      case Opcode::kInDoubt:
+        return ExecInDoubt();
       case Opcode::kInsert:
         return ExecInsert(conn, reader);
       case Opcode::kUpdate:
@@ -1052,6 +1063,57 @@ class ServerImpl {
     conn->txn_open = false;
     open_txns_.fetch_add(-1, std::memory_order_relaxed);
     return MakeStatusPayload(Opcode::kAbort, status);
+  }
+
+  /// 2PC phase one. Body: [u64 tid][u64 gtid]. On success the
+  /// transaction detaches from the session (the prepared registry owns
+  /// it; a session drop must not abort it), so `txn_open` flips false —
+  /// only a coordinator kDecide moves it further. On failure the
+  /// transaction stays owned by the session and the coordinator aborts
+  /// it through the normal kAbort path.
+  std::vector<uint8_t> ExecPrepare(Connection* conn, WireReader& reader) {
+    const uint64_t tid = reader.U64();
+    const uint64_t gtid = reader.U64();
+    if (!reader.ok()) {
+      return MakeErrorPayload(Opcode::kPrepare, WireCode::kInvalidArgument,
+                              "malformed prepare body");
+    }
+    Status status = SessionTxn(conn, tid);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kPrepare, status);
+    status = db_->Prepare(conn->txn, gtid);
+    if (!status.ok()) return MakeStatusPayload(Opcode::kPrepare, status);
+    conn->txn = txn::Transaction();
+    conn->txn_open = false;
+    open_txns_.fetch_add(-1, std::memory_order_relaxed);
+    return MakeStatusPayload(Opcode::kPrepare, Status::OK());
+  }
+
+  /// 2PC phase two. Body: [u64 gtid][u8 commit]. Deliberately not bound
+  /// to any session transaction: the decision may arrive on a fresh
+  /// connection after the preparing session (or the whole server) died.
+  /// Idempotent — an unknown gtid answers OK.
+  std::vector<uint8_t> ExecDecide(WireReader& reader) {
+    const uint64_t gtid = reader.U64();
+    const uint8_t commit = reader.U8();
+    if (!reader.ok() || commit > 1) {
+      return MakeErrorPayload(Opcode::kDecide, WireCode::kInvalidArgument,
+                              "malformed decide body");
+    }
+    return MakeStatusPayload(Opcode::kDecide,
+                             db_->Decide(gtid, commit != 0));
+  }
+
+  /// Recovery handshake: every prepared-but-undecided gtid on this
+  /// shard. Body: empty. Response: [u32 count][u64 gtid]*.
+  std::vector<uint8_t> ExecInDoubt() {
+    const std::vector<uint64_t> gtids = db_->InDoubtGtids();
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(Opcode::kInDoubt));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U32(static_cast<uint32_t>(gtids.size()));
+    for (uint64_t gtid : gtids) writer.U64(gtid);
+    return payload;
   }
 
   std::vector<uint8_t> ExecInsert(Connection* conn, WireReader& reader) {

@@ -40,13 +40,19 @@ const char* OpcodeName(Opcode op) {
       return "checkpoint";
     case Opcode::kDrain:
       return "drain";
+    case Opcode::kPrepare:
+      return "prepare";
+    case Opcode::kDecide:
+      return "decide";
+    case Opcode::kInDoubt:
+      return "in_doubt";
   }
   return "unknown";
 }
 
 bool IsKnownOpcode(uint8_t op) {
   return op >= static_cast<uint8_t>(Opcode::kHello) &&
-         op <= static_cast<uint8_t>(Opcode::kDrain);
+         op <= static_cast<uint8_t>(kLastOpcode);
 }
 
 WireCode WireCodeFromStatus(const Status& status) {

@@ -62,7 +62,18 @@ enum class Opcode : uint8_t {
   kRecoveryInfo = 15,
   kCheckpoint = 16,
   kDrain = 17,
+  // Two-phase commit (DESIGN.md §16). kPrepare seals the session
+  // transaction's writes durably under a coordinator-issued global txn id;
+  // kDecide commits or aborts a prepared transaction by gtid (idempotent —
+  // unknown gtids answer OK so coordinator retries and reconnect races are
+  // harmless); kInDoubt lists prepared-but-undecided gtids for the
+  // coordinator's recovery handshake.
+  kPrepare = 18,
+  kDecide = 19,
+  kInDoubt = 20,
 };
+
+constexpr Opcode kLastOpcode = Opcode::kInDoubt;
 
 const char* OpcodeName(Opcode op);
 bool IsKnownOpcode(uint8_t op);

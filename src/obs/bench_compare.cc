@@ -46,6 +46,7 @@ bool IsAxisKey(std::string_view key) {
       "keys",     "scale",       "batch",          "phase",
       "second",   "round",       "latency_factor", "iteration",
       "value_size", "run",       "delta_rows",     "delete_fraction",
+      "shards",
   };
   for (std::string_view axis : kAxes) {
     if (key == axis) return true;

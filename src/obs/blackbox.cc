@@ -129,6 +129,10 @@ const char* BlackboxEventName(uint16_t type) {
       return "slow_request";
     case BlackboxEventType::kCheckpointStart:
       return "checkpoint_start";
+    case BlackboxEventType::kTxnPrepare:
+      return "txn_prepare";
+    case BlackboxEventType::kTxnDecide:
+      return "txn_decide";
   }
   return "unknown";
 }
@@ -532,6 +536,16 @@ std::string BlackboxEventDetail(const BlackboxDecodedEvent& ev) {
       break;
     case BlackboxEventType::kCheckpointStart:
       std::snprintf(buf, sizeof(buf), "checkpoint started");
+      break;
+    case BlackboxEventType::kTxnPrepare:
+      std::snprintf(buf, sizeof(buf), "tid=%llu gtid=%llu writes=%llu",
+                    static_cast<ULL>(ev.a), static_cast<ULL>(ev.b),
+                    static_cast<ULL>(ev.c));
+      break;
+    case BlackboxEventType::kTxnDecide:
+      std::snprintf(buf, sizeof(buf), "gtid=%llu commit=%llu cid=%llu",
+                    static_cast<ULL>(ev.a), static_cast<ULL>(ev.b),
+                    static_cast<ULL>(ev.c));
       break;
     default:
       std::snprintf(buf, sizeof(buf),

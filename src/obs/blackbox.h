@@ -99,6 +99,8 @@ enum class BlackboxEventType : uint16_t {
   kSlowRequest = 24,   // a=opcode, b=dominant stage (RequestStage),
                        // c=total ns, d=dominant stage ns, e=connection id
   kCheckpointStart = 25,  // (no payload; kCheckpoint marks the end)
+  kTxnPrepare = 26,   // a=tid, b=gtid, c=write count (2PC phase one)
+  kTxnDecide = 27,    // a=gtid, b=1 commit / 0 abort, c=cid
 };
 
 const char* BlackboxEventName(uint16_t type);

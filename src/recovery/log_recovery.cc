@@ -75,8 +75,11 @@ Result<LogRecoveryReport> RecoverFromLog(
     report.log_bytes_scanned =
         device.size() > replay_offset ? device.size() - replay_offset : 0;
 
-    // Pass one: committed tid -> cid.
+    // Pass one: committed tid -> cid, plus prepared-but-undecided tids
+    // (a kPrepare with no later kCommit/kAbort for the same tid = the
+    // transaction is in-doubt and awaits the coordinator's decision).
     std::unordered_map<Tid, Cid> committed;
+    std::unordered_map<Tid, uint64_t> prepared;  // tid -> gtid, undecided
     Cid max_cid = 0;
     Tid max_tid = 0;
     {
@@ -87,7 +90,12 @@ Result<LogRecoveryReport> RecoverFromLog(
             max_tid = std::max(max_tid, record.tid);
             if (record.type == wal::RecordType::kCommit) {
               committed.emplace(record.tid, record.cid);
+              prepared.erase(record.tid);
               max_cid = std::max(max_cid, record.cid);
+            } else if (record.type == wal::RecordType::kAbort) {
+              prepared.erase(record.tid);
+            } else if (record.type == wal::RecordType::kPrepare) {
+              prepared.emplace(record.tid, record.gtid);
             }
             return Status::OK();
           });
@@ -99,6 +107,10 @@ Result<LogRecoveryReport> RecoverFromLog(
     // positions stay valid; only committed ones are stamped visible.
     tracer.Begin("apply");
     auto& region = heap.region();
+    // Write sets of in-doubt transactions, rebuilt in log order so a
+    // later decide-commit stamps exactly what the prepare covered.
+    std::unordered_map<Tid, std::vector<LogRecoveryReport::InDoubtWrite>>
+        in_doubt_writes;
     wal::LogReader reader(&device);
     auto apply = [&](const wal::LogRecord& record) -> Status {
       switch (record.type) {
@@ -113,6 +125,11 @@ Result<LogRecoveryReport> RecoverFromLog(
             entry->begin = it->second;
             entry->tid = storage::kTidNone;
             region.Persist(entry, sizeof(*entry));
+          } else if (prepared.count(record.tid) > 0) {
+            // In-doubt insert: stays begin = ∞ (invisible) with the tid
+            // claim AppendRow already stamped; remember it for adoption.
+            in_doubt_writes[record.tid].push_back(
+                {record.table_id, *loc, false});
           }
           break;
         }
@@ -128,6 +145,9 @@ Result<LogRecoveryReport> RecoverFromLog(
             entry->begin = it->second;
             entry->tid = storage::kTidNone;
             region.Persist(entry, sizeof(*entry));
+          } else if (prepared.count(record.tid) > 0) {
+            in_doubt_writes[record.tid].push_back(
+                {record.table_id, *loc, false});
           }
           break;
         }
@@ -147,7 +167,11 @@ Result<LogRecoveryReport> RecoverFromLog(
         }
         case wal::RecordType::kDelete: {
           auto it = committed.find(record.tid);
-          if (it == committed.end()) break;  // uncommitted delete: no-op
+          const bool is_in_doubt =
+              it == committed.end() && prepared.count(record.tid) > 0;
+          if (it == committed.end() && !is_in_doubt) {
+            break;  // uncommitted delete: no-op
+          }
           auto table = catalog.GetTableById(record.table_id);
           if (!table.ok()) return table.status();
           const uint64_t rows = record.loc.in_main
@@ -157,6 +181,15 @@ Result<LogRecoveryReport> RecoverFromLog(
             return Status::Corruption("logged delete references bad row");
           }
           auto* entry = (*table)->mvcc(record.loc);
+          if (is_in_doubt) {
+            // In-doubt delete: re-claim the row (keeps it visible but
+            // locked against other writers) until the decision lands.
+            entry->tid = record.tid;
+            region.Persist(entry, sizeof(*entry));
+            in_doubt_writes[record.tid].push_back(
+                {record.table_id, record.loc, true});
+            break;
+          }
           entry->end = it->second;
           entry->tid = storage::kTidNone;
           region.Persist(entry, sizeof(*entry));
@@ -182,6 +215,7 @@ Result<LogRecoveryReport> RecoverFromLog(
         }
         case wal::RecordType::kCommit:
         case wal::RecordType::kAbort:
+        case wal::RecordType::kPrepare:
           break;
       }
       ++report.replayed_records;
@@ -191,6 +225,16 @@ Result<LogRecoveryReport> RecoverFromLog(
     if (!scan.ok()) return scan.status();
 
     report.committed_txns = committed.size();
+    for (const auto& [tid, gtid] : prepared) {
+      LogRecoveryReport::InDoubtTxn txn;
+      txn.tid = tid;
+      txn.gtid = gtid;
+      auto writes_it = in_doubt_writes.find(tid);
+      if (writes_it != in_doubt_writes.end()) {
+        txn.writes = std::move(writes_it->second);
+      }
+      report.in_doubt.push_back(std::move(txn));
+    }
 
     // Advance transaction state beyond anything the log used.
     auto* block = txn_manager.commit_table().block();
@@ -225,6 +269,31 @@ Result<LogRecoveryReport> RecoverFromLog(
   report.trace = tracer.Finish();
   report.total_seconds = report.trace.seconds;
   return report;
+}
+
+Result<bool> LogHasInDoubt(const wal::LogManagerOptions& options) {
+  if (!nvm::FileExists(options.log_path)) return false;
+  auto device_result =
+      wal::BlockDevice::Open(options.log_path, options.device);
+  if (!device_result.ok()) return device_result.status();
+  // Scan from offset 0 regardless of any checkpoint: checkpoints are
+  // refused while prepared transactions exist, so every undecided
+  // kPrepare is at or past the checkpoint offset anyway — scanning the
+  // whole log just keeps this helper independent of checkpoint parsing.
+  std::unordered_set<Tid> prepared;
+  wal::LogReader reader(device_result->get());
+  auto scan =
+      reader.ForEach(0, [&](const wal::LogRecord& record) -> Status {
+        if (record.type == wal::RecordType::kPrepare) {
+          prepared.insert(record.tid);
+        } else if (record.type == wal::RecordType::kCommit ||
+                   record.type == wal::RecordType::kAbort) {
+          prepared.erase(record.tid);
+        }
+        return Status::OK();
+      });
+  if (!scan.ok()) return scan.status();
+  return !prepared.empty();
 }
 
 }  // namespace hyrise_nv::recovery

@@ -40,6 +40,21 @@ struct LogRecoveryReport {
   bool on_demand = false;
   double analysis_seconds = 0;
   uint64_t deferred_rows = 0;
+  /// Prepared-but-undecided 2PC transactions found in the log (a kPrepare
+  /// record with no following kCommit/kAbort for the same tid). Replay
+  /// leaves their effects invisible but claimed; the engine adopts them
+  /// as in-doubt transactions awaiting a coordinator decision.
+  struct InDoubtWrite {
+    uint64_t table_id;
+    storage::RowLocation loc;
+    bool invalidate;
+  };
+  struct InDoubtTxn {
+    storage::Tid tid;
+    uint64_t gtid;
+    std::vector<InDoubtWrite> writes;
+  };
+  std::vector<InDoubtTxn> in_doubt;
 };
 
 /// Records the checkpoint-fallback decision (blackbox event + metric) so
@@ -61,6 +76,13 @@ Result<LogRecoveryReport> RecoverFromLog(alloc::PHeap& heap,
                                          storage::Catalog& catalog,
                                          txn::TxnManager& txn_manager,
                                          const wal::LogManagerOptions& options);
+
+/// Cheap sequential scan: does the log hold any prepared-but-undecided
+/// 2PC transaction? Serve-during-recovery opens check this first — an
+/// in-doubt transaction needs the full eager replay machinery (claims +
+/// write-set reconstruction), so such opens fall back to eager replay
+/// (DESIGN.md §16). Returns false when the log does not exist.
+Result<bool> LogHasInDoubt(const wal::LogManagerOptions& options);
 
 }  // namespace hyrise_nv::recovery
 

@@ -247,11 +247,26 @@ void VerifyCommitTable(Ctx& ctx) {
   }
   for (const auto& slot : block->slots) {
     if (slot.state != txn::PCommitSlot::kFree &&
-        slot.state != txn::PCommitSlot::kCommitting) {
+        slot.state != txn::PCommitSlot::kCommitting &&
+        slot.state != txn::PCommitSlot::kPrepared) {
       AddFinding(ctx, "commit_table", FindingSeverity::kFatal,
                  "commit slot in impossible state " +
                      std::to_string(slot.state));
       healthy = false;
+      continue;
+    }
+    if (slot.state == txn::PCommitSlot::kPrepared) {
+      // In-doubt 2PC transaction: no CID yet, but the touch list and the
+      // owning TID must be sound for later decide-commit/abort.
+      if (slot.tid == 0 || slot.touch_count > slot.touch_capacity ||
+          (slot.touch_count > 0 &&
+           At<txn::TouchEntry>(region, slot.touch_off, slot.touch_count) ==
+               nullptr)) {
+        AddFinding(ctx, "commit_table", FindingSeverity::kFatal,
+                   "prepared commit slot is inconsistent (gtid " +
+                       std::to_string(slot.gtid) + ")");
+        healthy = false;
+      }
       continue;
     }
     if (slot.state != txn::PCommitSlot::kCommitting) continue;

@@ -126,6 +126,19 @@ void CommitTable::SealSlot(PCommitSlot* slot, storage::Cid cid) {
   heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kCommitting);
 }
 
+void CommitTable::SealSlotPrepared(PCommitSlot* slot, storage::Tid tid,
+                                   uint64_t gtid) {
+  // Same all-or-nothing discipline as SealSlot: the touch list is durable
+  // already, so persist the header (tid + gtid, cid stays 0), then flip
+  // the state last. A crash before the flip leaves the slot kFree and the
+  // prepare never happened; after it, the transaction is in-doubt.
+  slot->cid = 0;
+  slot->tid = tid;
+  slot->gtid = gtid;
+  heap_->region().Persist(slot, sizeof(PCommitSlot));
+  heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kPrepared);
+}
+
 void CommitTable::ReleaseSlot(PCommitSlot* slot) {
   heap_->region().AtomicPersist64(&slot->state, PCommitSlot::kFree);
   const uint64_t idx = static_cast<uint64_t>(slot - block_->slots);
@@ -155,6 +168,30 @@ Result<std::vector<CommitTable::InFlight>> CommitTable::FindInFlight() {
                   slot.touch_count * sizeof(TouchEntry));
     }
     result.push_back(std::move(in_flight));
+  }
+  return result;
+}
+
+Result<std::vector<CommitTable::Prepared>> CommitTable::FindPrepared() {
+  std::vector<Prepared> result;
+  for (auto& slot : block_->slots) {
+    if (slot.state != PCommitSlot::kPrepared) continue;
+    Prepared prepared;
+    prepared.slot = &slot;
+    prepared.tid = slot.tid;
+    prepared.gtid = slot.gtid;
+    if (slot.touch_count > 0) {
+      if (slot.touch_off == 0 ||
+          slot.touch_off + slot.touch_count * sizeof(TouchEntry) >
+              heap_->region().size()) {
+        return Status::Corruption("prepared slot touch list out of range");
+      }
+      prepared.touches.resize(slot.touch_count);
+      std::memcpy(prepared.touches.data(),
+                  heap_->region().base() + slot.touch_off,
+                  slot.touch_count * sizeof(TouchEntry));
+    }
+    result.push_back(std::move(prepared));
   }
   return result;
 }

@@ -51,17 +51,24 @@ struct TouchEntry {
 
 /// One on-NVM commit slot. `state` flips to kCommitting only after cid
 /// and the touch list are durable; recovery completes any slot found in
-/// that state. The touch buffer is owned by the slot and reused across
-/// commits (grown on demand), so the commit path allocates nothing.
+/// that state. kPrepared is the two-phase-commit variant: the touch list
+/// and gtid are durable but no CID exists yet — recovery neither rolls the
+/// slot forward nor releases it; the transaction stays in-doubt until the
+/// coordinator's decision (or presumed abort) arrives. The touch buffer is
+/// owned by the slot and reused across commits (grown on demand), so the
+/// commit path allocates nothing.
 struct PCommitSlot {
   static constexpr uint64_t kFree = 0;
   static constexpr uint64_t kCommitting = 1;
+  static constexpr uint64_t kPrepared = 2;
 
   uint64_t state;
   uint64_t cid;
   uint64_t touch_off;       // payload offset of the TouchEntry buffer
   uint64_t touch_count;     // entries of the current commit
   uint64_t touch_capacity;  // buffer capacity in entries
+  uint64_t tid;             // owning TID (kPrepared slots; 0 otherwise)
+  uint64_t gtid;            // coordinator's global txn id (kPrepared slots)
 };
 
 /// The on-NVM transaction state block (root "txn_state").
@@ -123,8 +130,15 @@ class CommitTable {
 
   /// Persists `cid` into the slot and flips it to kCommitting (in that
   /// persist order). After this returns the commit survives a crash.
-  /// Lock-free: the slot is owned by the calling committer.
+  /// Lock-free: the slot is owned by the calling committer. Also the
+  /// decide-commit step for a kPrepared slot (kPrepared → kCommitting).
   void SealSlot(PCommitSlot* slot, storage::Cid cid);
+
+  /// Persists the owning tid + coordinator gtid into the slot and flips
+  /// it to kPrepared (2PC prepare durability point on NVM). The slot then
+  /// survives crashes as an in-doubt transaction until SealSlot (decide
+  /// commit) or ReleaseSlot (decide abort).
+  void SealSlotPrepared(PCommitSlot* slot, storage::Tid tid, uint64_t gtid);
 
   /// Returns the slot to the free pool (after publish, or on a failed
   /// commit) and wakes one AcquireSlot waiter.
@@ -139,6 +153,19 @@ class CommitTable {
 
   /// All slots in kCommitting state (recovery input).
   Result<std::vector<InFlight>> FindInFlight();
+
+  /// Prepared-but-undecided transaction found on NVM after a restart.
+  struct Prepared {
+    PCommitSlot* slot;
+    storage::Tid tid;
+    uint64_t gtid;
+    std::vector<TouchEntry> touches;
+  };
+
+  /// All slots in kPrepared state (in-doubt recovery input). Attach
+  /// already marked them claimed, so decide-commit reuses the original
+  /// slot rather than acquiring a fresh one.
+  Result<std::vector<Prepared>> FindPrepared();
 
   PTxnStateBlock* block() { return block_; }
 

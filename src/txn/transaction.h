@@ -10,6 +10,8 @@
 
 namespace hyrise_nv::txn {
 
+struct PCommitSlot;  // commit_table.h
+
 /// One row touched by a transaction.
 struct Write {
   storage::Table* table;
@@ -17,7 +19,11 @@ struct Write {
   bool invalidate;  // false = inserted version, true = invalidated version
 };
 
-enum class TxnState { kActive, kCommitted, kAborted };
+/// kPrepared is the two-phase-commit limbo: the write set is durably
+/// sealed under a coordinator gtid, the transaction is no longer owned by
+/// a session, and only a coordinator decision (or presumed abort) moves it
+/// to kCommitted/kAborted.
+enum class TxnState { kActive, kPrepared, kCommitted, kAborted };
 
 /// Volatile per-transaction state. All durable effects live in the
 /// tables' MVCC entries and the commit table; the context only tracks the
@@ -44,6 +50,13 @@ struct TxnContext {
   /// ordered publish. Zero for read-only commits and hook-less engines.
   uint64_t wal_sync_ns = 0;
   uint64_t commit_publish_ns = 0;
+  /// Coordinator-issued global transaction id (kPrepared state only).
+  uint64_t gtid = 0;
+  /// The sealed commit slot held across the prepared window (NVM mode);
+  /// decide-commit reuses it so a restart never sees a stale prepared
+  /// slot for a decided transaction. Null for WAL-mode / log-adopted
+  /// in-doubt transactions, which acquire a slot at decide time.
+  PCommitSlot* prepared_slot = nullptr;
   std::vector<Write> writes;
 };
 
@@ -58,6 +71,7 @@ class Transaction {
       : ctx_(std::move(ctx)) {}
 
   bool valid() const { return ctx_ != nullptr; }
+  const std::shared_ptr<TxnContext>& context() const { return ctx_; }
 
   storage::Tid tid() const {
     return ctx_ ? ctx_->tid : storage::kTidNone;

@@ -55,10 +55,25 @@ Result<Transaction> TxnManager::Begin() {
 }
 
 bool TxnManager::IsActive(storage::Tid tid) const {
-  return active_.Contains(tid);
+  if (active_.Contains(tid)) return true;
+  std::lock_guard<std::mutex> guard(prepared_mutex_);
+  return prepared_tids_.count(tid) > 0;
 }
 
 size_t TxnManager::ActiveCount() const { return active_.Count(); }
+
+size_t TxnManager::PreparedCount() const {
+  std::lock_guard<std::mutex> guard(prepared_mutex_);
+  return prepared_.size();
+}
+
+std::vector<uint64_t> TxnManager::InDoubtGtids() const {
+  std::lock_guard<std::mutex> guard(prepared_mutex_);
+  std::vector<uint64_t> gtids;
+  gtids.reserve(prepared_.size());
+  for (const auto& [gtid, ctx] : prepared_) gtids.push_back(gtid);
+  return gtids;
+}
 
 size_t TxnManager::AbortAllActive() {
   size_t aborted = 0;
@@ -375,6 +390,287 @@ Status TxnManager::Abort(Transaction& tx) {
   }
 #endif
   active_.Erase(tx.tid());
+  return Status::OK();
+}
+
+Status TxnManager::Prepare(Transaction& tx, uint64_t gtid) {
+  if (!tx.active()) {
+    return Status::InvalidArgument("prepare of non-active transaction");
+  }
+  {
+    std::lock_guard<std::mutex> guard(prepared_mutex_);
+    if (prepared_.count(gtid) > 0) {
+      return Status::AlreadyExists("gtid " + std::to_string(gtid) +
+                                   " already prepared");
+    }
+  }
+
+  PCommitSlot* slot = nullptr;
+  if (!tx.read_only()) {
+    // Same slot-before-seal discipline as Commit stages 1+3, but the seal
+    // carries (tid, gtid) instead of a CID: the durability point of the
+    // prepare vote. No CID exists yet — visibility stays untouched.
+    std::vector<TouchEntry> touches;
+    touches.reserve(tx.writes().size());
+    for (const Write& write : tx.writes()) {
+      touches.push_back(TouchEntry::Make(write.table->id(), write.loc,
+                                         write.invalidate));
+    }
+    auto slot_result = commit_table_->AcquireSlot(touches);
+    if (!slot_result.ok()) return slot_result.status();
+    slot = *slot_result;
+    commit_table_->SealSlotPrepared(slot, tx.tid(), gtid);
+
+    if (hook_ != nullptr) {
+      Status hook_status = hook_->OnPrepare(gtid, tx);
+      if (!hook_status.ok()) {
+        // Unwind: the slot goes back to kFree, the transaction stays
+        // active, and the caller aborts it (a half-written WAL prepare
+        // record without a decide resolves to presumed abort on replay).
+        commit_table_->ReleaseSlot(slot);
+        return hook_status;
+      }
+    }
+  }
+
+  // Register as prepared *before* leaving the active registry so IsActive
+  // never has a gap — a gap would let a concurrent writer steal this
+  // transaction's row claims mid-handoff.
+  std::shared_ptr<TxnContext> ctx = tx.context();
+  ctx->gtid = gtid;
+  ctx->prepared_slot = slot;
+  {
+    std::lock_guard<std::mutex> guard(prepared_mutex_);
+    prepared_.emplace(gtid, ctx);
+    prepared_tids_.emplace(ctx->tid, gtid);
+  }
+  tx.set_state(TxnState::kPrepared);
+  active_.Erase(ctx->tid);
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& prepare_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.prepare.count");
+  prepare_count.Inc();
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kTxnPrepare, ctx->tid, gtid,
+               ctx->writes.size());
+  }
+#endif
+  return Status::OK();
+}
+
+Status TxnManager::Decide(uint64_t gtid, bool commit) {
+  std::shared_ptr<TxnContext> ctx;
+  {
+    std::lock_guard<std::mutex> guard(prepared_mutex_);
+    auto it = prepared_.find(gtid);
+    if (it == prepared_.end()) {
+      // Unknown gtid: already decided here (possibly by a concurrent
+      // retry that still holds the ctx) or never prepared. Either way OK
+      // — the coordinator never flips a logged decision, so answering
+      // success to a duplicate or stale decide is always safe.
+      return Status::OK();
+    }
+    ctx = it->second;
+    prepared_.erase(it);  // this call owns the decision now
+  }
+  Transaction tx(ctx);
+  Status status = commit ? DecideCommit(tx) : DecideAbort(tx);
+  if (!status.ok()) {
+    // Put it back so a coordinator retry can try again.
+    std::lock_guard<std::mutex> guard(prepared_mutex_);
+    prepared_.emplace(gtid, ctx);
+    return status;
+  }
+  {
+    // Drop the TID only after all effects landed (claims must look live
+    // until stamped/released), and remember the gtid in the retired ring.
+    std::lock_guard<std::mutex> guard(prepared_mutex_);
+    prepared_tids_.erase(ctx->tid);
+    if (retired_gtids_.size() < kRetiredGtidRing) {
+      retired_gtids_.push_back(gtid);
+    } else {
+      retired_gtids_[retired_cursor_] = gtid;
+      retired_cursor_ = (retired_cursor_ + 1) % kRetiredGtidRing;
+    }
+  }
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& decide_commit_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.decide.commit");
+  static obs::Counter& decide_abort_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.decide.abort");
+  (commit ? decide_commit_count : decide_abort_count).Inc();
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kTxnDecide, gtid, commit ? 1 : 0,
+               ctx->commit_cid);
+  }
+#endif
+  return Status::OK();
+}
+
+Status TxnManager::DecideCommit(Transaction& tx) {
+  if (tx.read_only()) {
+    tx.set_state(TxnState::kCommitted);
+    return Status::OK();
+  }
+  // A live-prepared or NVM-adopted transaction still holds its sealed
+  // slot; a WAL-replay-adopted one (prepared_slot == nullptr) acquires a
+  // fresh slot now, through the normal path.
+  PCommitSlot* slot = tx.context()->prepared_slot;
+  bool fresh_slot = false;
+  if (slot == nullptr) {
+    std::vector<TouchEntry> touches;
+    touches.reserve(tx.writes().size());
+    for (const Write& write : tx.writes()) {
+      touches.push_back(TouchEntry::Make(write.table->id(), write.loc,
+                                         write.invalidate));
+    }
+    auto slot_result = commit_table_->AcquireSlot(touches);
+    if (!slot_result.ok()) return slot_result.status();
+    slot = *slot_result;
+    fresh_slot = true;
+  }
+
+  auto cid_result = AllocCid();
+  if (!cid_result.ok()) {
+    if (fresh_slot) commit_table_->ReleaseSlot(slot);
+    return cid_result.status();
+  }
+  const storage::Cid cid = *cid_result;
+
+  // kPrepared → kCommitting: from here a crash rolls the commit forward
+  // through the ordinary in-flight recovery, and the prepared slot can
+  // never resurrect as in-doubt again.
+  commit_table_->SealSlot(slot, cid);
+
+  if (hook_ != nullptr) {
+    Status hook_status = hook_->OnCommit(cid, tx);
+    if (!hook_status.ok()) {
+      if (fresh_slot) {
+        commit_table_->ReleaseSlot(slot);
+      } else {
+        // Re-seal as prepared: in WAL mode the log (which still says
+        // "prepared, undecided") is the recovery source, so the volatile
+        // slot must agree for a coordinator retry to find the txn.
+        commit_table_->SealSlotPrepared(slot, tx.tid(),
+                                        tx.context()->gtid);
+      }
+      publisher_.Skip(cid, *commit_table_, heap_->blackbox());
+      return hook_status;
+    }
+  }
+
+  StampWrites(tx.writes(), cid);
+  publisher_.Publish(cid, *commit_table_, heap_->blackbox());
+  commit_table_->ReleaseSlot(slot);
+  tx.set_commit_cid(cid);
+  tx.set_state(TxnState::kCommitted);
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& commit_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.commit.count");
+  commit_count.Inc();
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kTxnCommit, tx.tid(), cid,
+               tx.writes().size(), 0);
+  }
+#endif
+  return Status::OK();
+}
+
+Status TxnManager::DecideAbort(Transaction& tx) {
+  auto& region = heap_->region();
+  for (const Write& write : tx.writes()) {
+    storage::MvccEntry* entry = write.table->mvcc(write.loc);
+    if (write.invalidate) {
+      if (entry->begin != storage::kCidInfinity) {
+        storage::ReleaseClaim(region, entry, tx.tid());
+      }
+    } else {
+      region.AtomicPersist64(&entry->tid, storage::kTidNone);
+    }
+  }
+  if (hook_ != nullptr) {
+    HYRISE_NV_RETURN_NOT_OK(hook_->OnAbort(tx));
+  }
+  if (PCommitSlot* slot = tx.context()->prepared_slot) {
+    commit_table_->ReleaseSlot(slot);
+    tx.context()->prepared_slot = nullptr;
+  }
+  tx.set_state(TxnState::kAborted);
+#if HYRISE_NV_METRICS_ENABLED
+  static obs::Counter& abort_count =
+      obs::MetricsRegistry::Instance().GetCounter("txn.abort.count");
+  abort_count.Inc();
+  if (obs::BlackboxWriter* bb = heap_->blackbox()) {
+    bb->Record(obs::BlackboxEventType::kTxnAbort, tx.tid(),
+               tx.writes().size());
+  }
+#endif
+  return Status::OK();
+}
+
+Status TxnManager::SealAdoptedPrepared(std::shared_ptr<TxnContext> ctx) {
+  HYRISE_NV_DCHECK(ctx->state == TxnState::kPrepared,
+                   "adopted ctx must be prepared");
+  if (!ctx->writes.empty()) {
+    std::vector<TouchEntry> touches;
+    touches.reserve(ctx->writes.size());
+    for (const Write& write : ctx->writes) {
+      touches.push_back(TouchEntry::Make(write.table->id(), write.loc,
+                                         write.invalidate));
+    }
+    auto slot_result = commit_table_->AcquireSlot(touches);
+    if (!slot_result.ok()) return slot_result.status();
+    commit_table_->SealSlotPrepared(*slot_result, ctx->tid, ctx->gtid);
+    ctx->prepared_slot = *slot_result;
+  }
+  AdoptPrepared(std::move(ctx));
+  return Status::OK();
+}
+
+void TxnManager::AdoptPrepared(std::shared_ptr<TxnContext> ctx) {
+  HYRISE_NV_DCHECK(ctx->state == TxnState::kPrepared,
+                   "adopted ctx must be prepared");
+  std::lock_guard<std::mutex> guard(prepared_mutex_);
+  prepared_tids_.emplace(ctx->tid, ctx->gtid);
+  prepared_.emplace(ctx->gtid, std::move(ctx));
+}
+
+Status TxnManager::AdoptPreparedFromTable(storage::Catalog& catalog) {
+  auto prepared_result = commit_table_->FindPrepared();
+  if (!prepared_result.ok()) return prepared_result.status();
+  if (prepared_result->empty()) return Status::OK();
+  std::unordered_map<uint64_t, storage::Table*> tables_by_id;
+  tables_by_id.reserve(catalog.tables().size());
+  for (const auto& t : catalog.tables()) {
+    tables_by_id.emplace(t->id(), t.get());
+  }
+  for (auto& prepared : *prepared_result) {
+    auto ctx = std::make_shared<TxnContext>();
+    ctx->tid = prepared.tid;
+    ctx->gtid = prepared.gtid;
+    ctx->state = TxnState::kPrepared;
+    ctx->prepared_slot = prepared.slot;
+    ctx->writes.reserve(prepared.touches.size());
+    for (const TouchEntry& touch : prepared.touches) {
+      auto table_it = tables_by_id.find(touch.table_id);
+      if (table_it == tables_by_id.end()) {
+        return Status::Corruption("prepared txn references table id " +
+                                  std::to_string(touch.table_id));
+      }
+      storage::Table* table = table_it->second;
+      const storage::RowLocation loc = touch.location();
+      const uint64_t rows = loc.in_main ? table->main_row_count()
+                                        : table->delta_row_count();
+      if (loc.row >= rows) {
+        return Status::Corruption("prepared txn references bad row");
+      }
+      ctx->writes.push_back(Write{table, loc, touch.invalidate()});
+    }
+    HYRISE_NV_LOG(kInfo) << "adopted in-doubt transaction gtid="
+                         << prepared.gtid << " tid=" << prepared.tid
+                         << " with " << ctx->writes.size() << " writes";
+    AdoptPrepared(std::move(ctx));
+  }
   return Status::OK();
 }
 

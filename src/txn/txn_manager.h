@@ -33,6 +33,14 @@ class CommitHook {
   virtual Status OnCommit(storage::Cid cid, const Transaction& tx) = 0;
   /// Called after an abort rolled back volatile claims.
   virtual Status OnAbort(const Transaction& tx) = 0;
+  /// 2PC phase one (DESIGN.md §16): called after the commit-table slot is
+  /// sealed kPrepared; must make the prepare vote durable in the hook's
+  /// own medium (WAL kPrepare record joining the commit group fsync).
+  virtual Status OnPrepare(uint64_t gtid, const Transaction& tx) {
+    (void)gtid;
+    (void)tx;
+    return Status::OK();
+  }
 };
 
 /// Registry of active transactions, sharded by TID so concurrent
@@ -129,7 +137,51 @@ class TxnManager {
   /// Aborts: releases claims, tombstones own inserts.
   Status Abort(Transaction& tx);
 
-  /// Whether `tid` belongs to a currently active transaction.
+  /// 2PC phase one: durably seals the transaction's write set under the
+  /// coordinator-issued `gtid` (kPrepared commit slot + OnPrepare hook)
+  /// and moves it from the active registry to the prepared registry. The
+  /// transaction no longer belongs to any session; its row claims stay
+  /// held (IsActive covers prepared TIDs) and its effects stay invisible
+  /// until Decide. Fails (transaction still active, caller aborts) if the
+  /// durability step fails. Read-only transactions prepare without any
+  /// durable state. Rejects duplicate gtids.
+  Status Prepare(Transaction& tx, uint64_t gtid);
+
+  /// 2PC phase two: commits (assigns a CID, stamps, publishes) or aborts
+  /// (releases claims) the prepared transaction `gtid`. Idempotent by
+  /// design: an unknown gtid answers OK, so coordinator retries and
+  /// client reconnect races are harmless (the coordinator never flips a
+  /// logged decision).
+  Status Decide(uint64_t gtid, bool commit);
+
+  /// Gtids of every prepared-but-undecided transaction (the kInDoubt
+  /// wire answer for the coordinator's recovery handshake).
+  std::vector<uint64_t> InDoubtGtids() const;
+
+  /// Number of prepared-but-undecided transactions.
+  size_t PreparedCount() const;
+
+  /// Recovery: adopts a reconstructed in-doubt transaction (WAL replay
+  /// path; ctx->prepared_slot == nullptr, a slot is acquired at decide
+  /// time). The ctx must carry tid, gtid, state kPrepared and the
+  /// rebuilt write set.
+  void AdoptPrepared(std::shared_ptr<TxnContext> ctx);
+
+  /// Like AdoptPrepared, but first acquires and seals a kPrepared commit
+  /// slot for the write set (no OnPrepare hook — the log already holds
+  /// the prepare record). Used when the commit table itself must reflect
+  /// the in-doubt state, e.g. when rebuilding an NVM image from the log.
+  Status SealAdoptedPrepared(std::shared_ptr<TxnContext> ctx);
+
+  /// Recovery: scans the commit table for kPrepared slots (NVM instant
+  /// restart path) and adopts each as an in-doubt transaction, rebuilding
+  /// its write set from the persisted touch list. The original slot is
+  /// kept claimed and reused at decide time so a later restart never sees
+  /// a stale prepared slot for a decided transaction.
+  Status AdoptPreparedFromTable(storage::Catalog& catalog);
+
+  /// Whether `tid` belongs to a currently active or prepared transaction
+  /// (prepared TIDs must stay "live" or their row claims would be stolen).
   bool IsActive(storage::Tid tid) const;
 
   /// Number of currently active transactions.
@@ -185,11 +237,28 @@ class TxnManager {
                           uint64_t persist_end, uint64_t commit_end,
                           obs::BlackboxWriter* bb);
 
+  // Commits a prepared transaction (decide path; `tx` is kPrepared).
+  Status DecideCommit(Transaction& tx);
+  // Aborts a prepared transaction (decide / presumed-abort path).
+  Status DecideAbort(Transaction& tx);
+
   alloc::PHeap* heap_;
   std::unique_ptr<CommitTable> commit_table_;
   CommitHook* hook_ = nullptr;
 
   ActiveTxnRegistry active_;
+
+  /// Prepared-but-undecided transactions, keyed by coordinator gtid, plus
+  /// their TIDs (IsActive lookups). A bounded ring of recently decided
+  /// gtids makes duplicate decides observable as repeats rather than
+  /// unknowns (both answer OK). One mutex is fine: 2PC traffic is orders
+  /// of magnitude rarer than single-shard commits.
+  mutable std::mutex prepared_mutex_;
+  std::unordered_map<uint64_t, std::shared_ptr<TxnContext>> prepared_;
+  std::unordered_map<storage::Tid, uint64_t> prepared_tids_;
+  static constexpr size_t kRetiredGtidRing = 1024;
+  std::vector<uint64_t> retired_gtids_;
+  size_t retired_cursor_ = 0;
 
   IdAllocator tid_alloc_{kTidBlockSize};
   IdAllocator cid_alloc_{kTidBlockSize};

@@ -82,8 +82,21 @@ Status LogManager::OnCommit(storage::Cid cid, const txn::Transaction& tx) {
 }
 
 Status LogManager::OnAbort(const txn::Transaction& tx) {
+  if (tx.context() != nullptr && tx.context()->gtid != 0) {
+    // 2PC decide-abort: the ack promises the outcome, so the record must
+    // be durable like a commit — a buffered abort lost to kill -9 would
+    // resurrect the transaction as in-doubt after it was decided.
+    return writer_->Commit(LogRecord::Abort(tx.tid()));
+  }
   std::lock_guard<std::mutex> guard(mutex_);
   return writer_->Append(LogRecord::Abort(tx.tid()));
+}
+
+Status LogManager::OnPrepare(uint64_t gtid, const txn::Transaction& tx) {
+  // The prepare vote must be durable before it is acked to the
+  // coordinator, exactly like a commit record — Commit() joins the
+  // leader/follower group fsync, amortising prepares with commits.
+  return writer_->Commit(LogRecord::Prepare(tx.tid(), gtid));
 }
 
 Status LogManager::WriteCheckpointNow(storage::Catalog& catalog,

@@ -61,9 +61,12 @@ class LogManager : public txn::CommitHook {
   Status LogCreateTable(storage::Table& table);
   Status LogCreateIndex(uint64_t table_id, uint32_t column, uint32_t kind);
 
-  // txn::CommitHook: commit record + sync policy / abort record.
+  // txn::CommitHook: commit record + sync policy / abort record. The 2PC
+  // prepare record rides the same group-commit path as commits, so one
+  // fsync covers a whole batch of prepares and commits.
   Status OnCommit(storage::Cid cid, const txn::Transaction& tx) override;
   Status OnAbort(const txn::Transaction& tx) override;
+  Status OnPrepare(uint64_t gtid, const txn::Transaction& tx) override;
 
   /// Writes a checkpoint of the current state and records the log replay
   /// offset. Also resets dictionary logging watermarks.

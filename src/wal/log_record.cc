@@ -153,6 +153,14 @@ LogRecord LogRecord::Abort(storage::Tid tid) {
   return r;
 }
 
+LogRecord LogRecord::Prepare(storage::Tid tid, uint64_t gtid) {
+  LogRecord r;
+  r.type = RecordType::kPrepare;
+  r.tid = tid;
+  r.gtid = gtid;
+  return r;
+}
+
 LogRecord LogRecord::CreateTable(uint64_t table_id, std::string name,
                                  std::vector<uint8_t> schema_blob) {
   LogRecord r;
@@ -206,6 +214,10 @@ std::vector<uint8_t> EncodeRecord(const LogRecord& record) {
       break;
     case RecordType::kAbort:
       PutU64(record.tid, &body);
+      break;
+    case RecordType::kPrepare:
+      PutU64(record.tid, &body);
+      PutU64(record.gtid, &body);
       break;
     case RecordType::kCreateTable:
       PutU64(record.table_id, &body);
@@ -316,6 +328,11 @@ Result<LogRecord> DecodeRecord(const uint8_t* data, size_t len,
       break;
     case RecordType::kAbort:
       HYRISE_NV_RETURN_NOT_OK(need(GetU64(body, body_len, &pos, &record.tid)));
+      break;
+    case RecordType::kPrepare:
+      HYRISE_NV_RETURN_NOT_OK(need(GetU64(body, body_len, &pos, &record.tid)));
+      HYRISE_NV_RETURN_NOT_OK(
+          need(GetU64(body, body_len, &pos, &record.gtid)));
       break;
     case RecordType::kCreateTable: {
       uint32_t name_len, blob_len;

@@ -24,6 +24,8 @@ enum class RecordType : uint8_t {
   kAbort = 6,
   kCreateTable = 7,  // DDL: table id + name + schema
   kCreateIndex = 8,  // DDL: table id + column
+  kPrepare = 9,      // 2PC vote: tid + coordinator gtid; in-doubt until a
+                     // kCommit/kAbort for the same tid follows
 };
 
 /// A parsed log record (union-style; fields valid per type).
@@ -32,6 +34,7 @@ struct LogRecord {
   storage::Tid tid = 0;
   uint64_t table_id = 0;
   storage::Cid cid = 0;                     // kCommit
+  uint64_t gtid = 0;                        // kPrepare
   std::vector<storage::Value> values;       // kInsert
   std::vector<storage::ValueId> value_ids;  // kInsertEncoded
   uint32_t column = 0;                      // kDictAdd, kCreateIndex
@@ -51,6 +54,7 @@ struct LogRecord {
                           storage::RowLocation loc);
   static LogRecord Commit(storage::Tid tid, storage::Cid cid);
   static LogRecord Abort(storage::Tid tid);
+  static LogRecord Prepare(storage::Tid tid, uint64_t gtid);
   static LogRecord CreateTable(uint64_t table_id, std::string name,
                                std::vector<uint8_t> schema_blob);
   static LogRecord CreateIndex(uint64_t table_id, uint32_t column,

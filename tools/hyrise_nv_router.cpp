@@ -1,0 +1,166 @@
+// hyrise_nv_router — multi-shard front door for hyrise_nv_server
+// backends (DESIGN.md §16).
+//
+//   hyrise_nv_router --data-dir=DIR --shard=HOST:PORT [--shard=...] [options]
+//
+//   --data-dir=DIR          coordinator decision-log directory (required)
+//   --shard=HOST:PORT       backend shard endpoint; repeat per shard
+//                           (bare "PORT" means 127.0.0.1:PORT)
+//   --host=ADDR             listen address                  [127.0.0.1]
+//   --port=N                listen port (0 = ephemeral)     [5542]
+//   --partitioning=KIND     hash | range                    [hash]
+//   --range-width=N         keys per shard for range mode   [1]
+//   --resolver-interval-ms=N  in-doubt sweep interval       [200]
+//   --shard-retries=N       per-op shard reconnect budget   [12]
+//   --quiet                 log warnings and errors only
+//
+// Speaks the same NVQL wire protocol as a single server, so nvql and
+// nvload point at it unchanged. Transactions that touch one shard commit
+// by passthrough; cross-shard transactions run two-phase commit with the
+// decision log making outcomes survive router restarts. kill -9 of a
+// shard mid-2PC is converged by the background resolver once the shard
+// is back.
+//
+// Prints "READY port=<port>" once serving (same contract as the server).
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "cluster/router.h"
+#include "common/logging.h"
+
+using namespace hyrise_nv;  // NOLINT: tool brevity
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int) { g_stop.store(true); }
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+bool ParseFlag(const char* arg, const char* name, long long* out) {
+  std::string text;
+  if (!ParseFlag(arg, name, &text)) return false;
+  *out = std::atoll(text.c_str());
+  return true;
+}
+
+bool ParseShard(const std::string& text, cluster::ShardEndpoint* out) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    out->host = "127.0.0.1";
+    out->port = static_cast<uint16_t>(std::atoi(text.c_str()));
+  } else {
+    out->host = text.substr(0, colon);
+    out->port = static_cast<uint16_t>(std::atoi(text.c_str() + colon + 1));
+  }
+  return !out->host.empty() && out->port != 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hyrise_nv_router --data-dir=DIR --shard=HOST:PORT "
+               "[--shard=...] [--host=ADDR] [--port=N] "
+               "[--partitioning=hash|range] [--range-width=N] "
+               "[--resolver-interval-ms=N] [--shard-retries=N] [--quiet]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cluster::RouterOptions options;
+  options.port = 5542;
+  std::string partitioning = "hash";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long long n = 0;
+    std::string shard_text;
+    if (ParseFlag(arg, "--data-dir", &options.data_dir) ||
+        ParseFlag(arg, "--host", &options.host) ||
+        ParseFlag(arg, "--partitioning", &partitioning)) {
+      continue;
+    }
+    if (ParseFlag(arg, "--shard", &shard_text)) {
+      cluster::ShardEndpoint endpoint;
+      if (!ParseShard(shard_text, &endpoint)) {
+        std::fprintf(stderr, "bad --shard endpoint: %s\n",
+                     shard_text.c_str());
+        return Usage();
+      }
+      options.shards.push_back(endpoint);
+    } else if (ParseFlag(arg, "--port", &n)) {
+      options.port = static_cast<uint16_t>(n);
+    } else if (ParseFlag(arg, "--range-width", &n)) {
+      options.range_width = n;
+    } else if (ParseFlag(arg, "--resolver-interval-ms", &n)) {
+      options.resolver_interval_ms = static_cast<int>(n);
+    } else if (ParseFlag(arg, "--shard-retries", &n)) {
+      options.shard_max_retries = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--quiet") == 0) {
+      SetLogLevel(LogLevel::kWarn);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage();
+    }
+  }
+  if (options.data_dir.empty() || options.shards.empty()) return Usage();
+
+  if (partitioning == "hash") {
+    options.partitioning = cluster::Partitioning::kHash;
+  } else if (partitioning == "range") {
+    options.partitioning = cluster::Partitioning::kRange;
+  } else {
+    std::fprintf(stderr, "unknown partitioning: %s\n", partitioning.c_str());
+    return Usage();
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.data_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create data dir %s: %s\n",
+                 options.data_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  auto router_result = cluster::Router::Start(options);
+  if (!router_result.ok()) {
+    std::fprintf(stderr, "cannot start router: %s\n",
+                 router_result.status().ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<cluster::Router> router = std::move(*router_result);
+
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::printf("READY port=%u\n", router->port());
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("stopping router...\n");
+  router->Stop();
+  std::printf("clean shutdown\n");
+  return 0;
+}

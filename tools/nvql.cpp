@@ -25,6 +25,8 @@
 //   \watch SECONDS [COUNT]           re-issue the previous command every
 //                                    SECONDS (fractional ok) until COUNT
 //                                    runs or Ctrl-C (script mode)
+//   \shards                          shard map + per-shard serving state
+//                                    (when pointed at hyrise_nv_router)
 //   sql-like one-shot: "insert" outside a begin/commit runs autocommit.
 //
 // Exit codes: 0 success, 1 usage, 2 connection failure, 3 server error.
@@ -65,7 +67,8 @@ int Usage() {
                "          count TABLE | scan TABLE COL VALUE [LIMIT] |\n"
                "          range TABLE COL LO HI [LIMIT]\n"
                     "          begin | commit | abort (script mode)\n"
-               "          \\timing | \\watch SECONDS [COUNT] (script mode)\n");
+               "          \\timing | \\watch SECONDS [COUNT] (script mode)\n"
+               "          \\shards (router only: shard map + states)\n");
   return 1;
 }
 
@@ -127,6 +130,53 @@ int RunCommand(net::Client& client, const std::vector<std::string>& args,
         cmd == "stats" ? client.Stats() : client.RecoveryInfo();
     if (!json_result.ok()) return fail(json_result.status());
     std::printf("%s\n", json_result->c_str());
+    return 0;
+  }
+  if (cmd == "\\shards" || cmd == "shards") {
+    auto json_result = client.Stats();
+    if (!json_result.ok()) return fail(json_result.status());
+    const std::string& json = *json_result;
+    const size_t cluster = json.find("\"cluster\":");
+    if (cluster == std::string::npos) {
+      std::printf("not a router (no cluster section in stats)\n");
+      return 0;
+    }
+    const size_t map_at = json.find("\"shard_map\":", cluster);
+    if (map_at != std::string::npos) {
+      const size_t open = json.find('{', map_at);
+      const size_t close = json.find('}', open);
+      if (open != std::string::npos && close != std::string::npos) {
+        std::printf("shard map: %s\n",
+                    json.substr(open, close - open + 1).c_str());
+      }
+    }
+    // One line per {"id":N,"host":"H","port":P,"state":"S"} entry.
+    size_t at = json.find("\"shards\":[", cluster);
+    while (at != std::string::npos) {
+      at = json.find("{\"id\":", at);
+      if (at == std::string::npos) break;
+      const long long id = std::atoll(json.c_str() + at + 6);
+      std::string host = "?";
+      const size_t host_at = json.find("\"host\":\"", at);
+      if (host_at != std::string::npos) {
+        const size_t end = json.find('"', host_at + 8);
+        host = json.substr(host_at + 8, end - host_at - 8);
+      }
+      long long port = 0;
+      const size_t port_at = json.find("\"port\":", at);
+      if (port_at != std::string::npos) {
+        port = std::atoll(json.c_str() + port_at + 7);
+      }
+      std::string state = "?";
+      const size_t state_at = json.find("\"state\":\"", at);
+      if (state_at != std::string::npos) {
+        const size_t end = json.find('"', state_at + 9);
+        state = json.substr(state_at + 9, end - state_at - 9);
+      }
+      std::printf("shard %lld: %s:%lld state=%s\n", id, host.c_str(), port,
+                  state.c_str());
+      at = json.find('}', at);
+    }
     return 0;
   }
   if (cmd == "wait-ready") {
