@@ -14,11 +14,28 @@
 // over the previous point falls below 10% — past it, more connections
 // buy latency, not throughput.
 //
+// Four phases (EXPERIMENTS.md E11 + E14):
+//   depth  — ONE connection, pipeline depth {1,4,16,64}, offered rate
+//            far past what a single depth-1 connection can deliver; the
+//            capacity curve is the pipelining win in isolation (runs
+//            first, on the pristine table, before mixed phases pollute
+//            the zipf hot keys with duplicate rows)
+//   serial — the classic connection sweep at depth 1 (call-and-response)
+//   piped  — the same sweep at depth 16, same rate, point-for-point
+//            comparable with serial
+//   hot    — saturating pure-read sweep over {1,2,8} connections at
+//            depth 1 then depth 16; the depth-16 peak should match or
+//            beat serial's with a fraction of the sockets
+//
 // Emits BENCH_JSON lines:
-//   {"bench":"e11","connections":N,"rate_rps":...,"tput_rps":...,
-//    "p50_us":...,"p99_us":...,"p999_us":...,"backlog_peak":N,...}
-//   {"bench":"e11_knee","connections":N}           (the detected knee)
-//   {"bench":"e11_timeline","second":S,...}        (final sweep point)
+//   {"bench":"e11","phase":"depth","connections":1,"depth":D,...}
+//   {"bench":"e11","phase":"serial","connections":N,"depth":1,...}
+//   {"bench":"e11","phase":"piped","connections":N,"depth":16,...}
+//   {"bench":"e11","phase":"serial_hot"|"piped_hot",...}
+//   {"bench":"e11_knee","phase":P,"connections":N}  (detected knees)
+//   {"bench":"e11_depth_speedup","speedup_16x":R}   (capacity ratio)
+//   {"bench":"e11_peak","serial_hot_rps":X,"piped_hot_rps":Y}
+//   {"bench":"e11_timeline","second":S,...}         (final serial point)
 
 #include <chrono>
 #include <cstdio>
@@ -38,6 +55,9 @@ using storage::Value;
 
 constexpr uint64_t kKeys = 20'000;
 constexpr double kRate = 8'000;     // offered ops/s, fixed across sweep
+constexpr double kDepthRate = 250'000;  // depth phase: saturate 1 socket
+constexpr double kHotRate = 120'000;    // hot pair: saturate small sweeps
+constexpr double kDepthDrain = 1.0;     // cap drain: capacity probe, not wait
 constexpr double kDuration = 3.0;   // measure seconds per point
 constexpr double kWarmup = 1.0;
 
@@ -62,33 +82,72 @@ void Preload(uint16_t port, uint64_t keys) {
   }
 }
 
-net::LoadgenReport RunPoint(uint16_t port, int connections, bool timeline) {
+net::LoadgenReport RunPoint(uint16_t port, int connections, int depth,
+                            double rate, bool timeline,
+                            double read_pct = -1, double drain_s = -1) {
   net::LoadgenOptions options;
   options.port = port;
   options.connections = connections;
-  options.rate_rps = Scale() * kRate;
+  options.pipeline_depth = depth;
+  options.rate_rps = Scale() * rate;
   options.duration_s = kDuration;
   options.warmup_s = kWarmup;
   options.keys = Scaled(kKeys);
   options.timeline = timeline;
+  if (read_pct >= 0) options.read_pct = read_pct;
+  if (drain_s >= 0) options.drain_timeout_s = drain_s;
   return Unwrap(net::RunOpenLoopLoad(options), "load run");
 }
 
-void PrintPoint(int connections, const net::LoadgenReport& report) {
+void PrintPoint(const char* phase, int connections, int depth, double rate,
+                const net::LoadgenReport& report) {
   std::printf(
-      "BENCH_JSON {\"bench\":\"e11\",\"connections\":%d,"
+      "BENCH_JSON {\"bench\":\"e11\",\"phase\":\"%s\",\"connections\":%d,"
+      "\"depth\":%d,"
       "\"rate_rps\":%.0f,\"ops_offered\":%llu,\"ops_completed\":%llu,"
-      "\"tput_rps\":%.1f,\"p50_us\":%.1f,\"p99_us\":%.1f,"
+      "\"tput_rps\":%.1f,\"capacity_rps\":%.1f,\"p50_us\":%.1f,"
+      "\"p99_us\":%.1f,"
       "\"p999_us\":%.1f,\"max_us\":%.1f,\"errors\":%llu,\"shed\":%llu,"
       "\"backlog_peak\":%llu}\n",
-      connections, Scale() * kRate,
+      phase, connections, depth, Scale() * rate,
       static_cast<unsigned long long>(report.ops_offered),
       static_cast<unsigned long long>(report.ops_completed),
-      report.tput_rps, report.p50_us, report.p99_us, report.p999_us,
+      report.tput_rps, report.capacity_rps, report.p50_us, report.p99_us,
+      report.p999_us,
       report.max_us, static_cast<unsigned long long>(report.errors),
       static_cast<unsigned long long>(report.shed),
       static_cast<unsigned long long>(report.backlog_peak));
   std::fflush(stdout);
+}
+
+/// Runs the connection sweep at `depth`, prints each point, returns the
+/// detected knee (first point whose gain over the previous is < 10%).
+int SweepConnections(const char* phase, uint16_t port,
+                     const std::vector<int>& sweep, int depth,
+                     bool timeline_last,
+                     net::LoadgenReport* last_report = nullptr) {
+  double prev_tput = 0;
+  int knee = sweep.front();
+  bool knee_found = false;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const bool last = i + 1 == sweep.size();
+    const net::LoadgenReport report =
+        RunPoint(port, sweep[i], depth, kRate, timeline_last && last);
+    PrintPoint(phase, sweep[i], depth, kRate, report);
+    if (i > 0 && !knee_found && report.tput_rps < prev_tput * 1.10) {
+      knee = sweep[i];
+      knee_found = true;
+    }
+    prev_tput = report.tput_rps;
+    if (last && last_report != nullptr) *last_report = report;
+  }
+  if (!knee_found) knee = sweep.back();
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e11_knee\",\"phase\":\"%s\","
+      "\"connections\":%d}\n",
+      phase, knee);
+  std::fflush(stdout);
+  return knee;
 }
 
 void Run() {
@@ -110,34 +169,79 @@ void Run() {
   Preload(port, Scaled(kKeys));
 
   const std::vector<int> sweep = {8, 32, 128, 512, 1'024};
-  double prev_tput = 0;
-  int knee = sweep.front();
-  bool knee_found = false;
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    const bool last = i + 1 == sweep.size();
-    const net::LoadgenReport report = RunPoint(port, sweep[i], last);
-    PrintPoint(sweep[i], report);
-    if (i > 0 && !knee_found && report.tput_rps < prev_tput * 1.10) {
-      knee = sweep[i];
-      knee_found = true;
-    }
-    prev_tput = report.tput_rps;
-    if (last) {
-      for (size_t second = 0; second < report.timeline.size(); ++second) {
-        const net::LoadgenTimelineBucket& bucket = report.timeline[second];
-        if (bucket.completed == 0) continue;
-        std::printf(
-            "BENCH_JSON {\"bench\":\"e11_timeline\",\"second\":%zu,"
-            "\"completed\":%llu,\"mean_us\":%.1f,\"max_us\":%.1f}\n",
-            second, static_cast<unsigned long long>(bucket.completed),
-            bucket.sum_us / static_cast<double>(bucket.completed),
-            bucket.max_us);
+
+  // Phase 1 — depth: ONE connection, offered rate deliberately past
+  // what a single call-and-response connection can complete. At depth 1
+  // throughput saturates at 1/RTT; deeper windows amortise the
+  // syscall+wake cost across a batch of frames, so capacity(depth) is
+  // the pipelining win in isolation. Runs FIRST, on the pristine
+  // preloaded table: the later mixed-workload phases insert duplicate
+  // zipfian hot keys whose version chains inflate every subsequent
+  // scan, which would compress the depth ratio. Pure reads: a write's
+  // commit fsync is sequential per connection regardless of depth (each
+  // DML is its own single-op batch here), so a write mix would measure
+  // fsync latency, not the wire. capacity_rps (all completions over
+  // wall time) is the honest metric past saturation — tput_rps gates
+  // completions on intended times the run may never reach.
+  double depth1_cap = 0;
+  double depth16_cap = 0;
+  for (int depth : {1, 4, 16, 64}) {
+    const net::LoadgenReport report =
+        RunPoint(port, /*connections=*/1, depth, kDepthRate, false,
+                 /*read_pct=*/1.0, /*drain_s=*/kDepthDrain);
+    PrintPoint("depth", 1, depth, kDepthRate, report);
+    if (depth == 1) depth1_cap = report.capacity_rps;
+    if (depth == 16) depth16_cap = report.capacity_rps;
+  }
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e11_depth_speedup\",\"speedup_16x\":%.2f}\n",
+      depth1_cap > 0 ? depth16_cap / depth1_cap : 0.0);
+  std::fflush(stdout);
+
+  // Phase 2 — serial: depth-1 connection sweep (the original E11).
+  net::LoadgenReport serial_last;
+  SweepConnections("serial", port, sweep, /*depth=*/1,
+                   /*timeline_last=*/true, &serial_last);
+  for (size_t second = 0; second < serial_last.timeline.size(); ++second) {
+    const net::LoadgenTimelineBucket& bucket = serial_last.timeline[second];
+    if (bucket.completed == 0) continue;
+    std::printf(
+        "BENCH_JSON {\"bench\":\"e11_timeline\",\"second\":%zu,"
+        "\"completed\":%llu,\"mean_us\":%.1f,\"max_us\":%.1f}\n",
+        second, static_cast<unsigned long long>(bucket.completed),
+        bucket.sum_us / static_cast<double>(bucket.completed),
+        bucket.max_us);
+  }
+
+  // Phase 3 — piped: the connection sweep again at depth 16, same
+  // offered rate as serial so the two sweeps are point-for-point
+  // comparable (at a sub-saturating rate both complete everything; the
+  // latency columns show what the window costs or saves per point).
+  SweepConnections("piped", port, sweep, /*depth=*/16,
+                   /*timeline_last=*/false);
+
+  // Phase 4 — hot pair: a saturating pure-read sweep over small
+  // connection counts, once at depth 1 and once at depth 16. This is
+  // where "the peak rises": serial needs many sockets to approach the
+  // server's read capacity, the piped sweep gets there with one.
+  double hot_peak[2] = {0, 0};
+  for (int pass = 0; pass < 2; ++pass) {
+    const int depth = pass == 0 ? 1 : 16;
+    const char* phase = pass == 0 ? "serial_hot" : "piped_hot";
+    for (int connections : {1, 2, 8}) {
+      const net::LoadgenReport report =
+          RunPoint(port, connections, depth, kHotRate, false,
+                   /*read_pct=*/1.0, /*drain_s=*/kDepthDrain);
+      PrintPoint(phase, connections, depth, kHotRate, report);
+      if (report.capacity_rps > hot_peak[pass]) {
+        hot_peak[pass] = report.capacity_rps;
       }
     }
   }
-  if (!knee_found) knee = sweep.back();
-  std::printf("BENCH_JSON {\"bench\":\"e11_knee\",\"connections\":%d}\n",
-              knee);
+  std::printf(
+      "BENCH_JSON {\"bench\":\"e11_peak\",\"serial_hot_rps\":%.1f,"
+      "\"piped_hot_rps\":%.1f}\n",
+      hot_peak[0], hot_peak[1]);
   std::fflush(stdout);
 
   server->Drain();

@@ -172,7 +172,7 @@ class Router::Impl {
       if (ready <= 0) continue;
       const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
       if (fd < 0) continue;
-      (void)net::SetNoDelay(fd);
+      (void)net::ConfigureAcceptedSocket(fd);
       auto session = std::make_unique<Session>();
       session->fd = net::OwnedFd(fd);
       session->id = ++next_session_id_;
@@ -188,11 +188,27 @@ class Router::Impl {
     SessionCtx ctx;
     ctx.clients.resize(num_shards());
     bool handshaken = false;
+    uint16_t version = 1;
     const int fd = session->fd.get();
     for (;;) {
-      auto frame_result = net::ReadFrame(fd);
-      if (!frame_result.ok()) break;
-      const std::vector<uint8_t>& payload = *frame_result;
+      // Pre-handshake traffic (and the whole hello exchange) is always
+      // v1-framed; a negotiated v2 session switches to tagged frames on
+      // the first post-hello frame, and the router echoes each request's
+      // tag on its response. The session is processed strictly FIFO —
+      // a legal v2 completion order — so pipelined clients simply keep
+      // the router's socket fed.
+      uint32_t tag = 0;
+      std::vector<uint8_t> payload;
+      if (version >= 2) {
+        auto frame_result = net::ReadTaggedFrame(fd);
+        if (!frame_result.ok()) break;
+        tag = frame_result->tag;
+        payload = std::move(frame_result->payload);
+      } else {
+        auto frame_result = net::ReadFrame(fd);
+        if (!frame_result.ok()) break;
+        payload = std::move(*frame_result);
+      }
       if (payload.empty()) break;
       const uint8_t op_byte = payload[0];
       if (!net::IsKnownOpcode(op_byte)) break;
@@ -201,12 +217,14 @@ class Router::Impl {
       if (!handshaken) {
         if (op != Opcode::kHello) break;
         std::vector<uint8_t> response;
-        if (!HandleHello(session, reader, &response)) {
+        uint16_t chosen = 1;
+        if (!HandleHello(session, reader, &response, &chosen)) {
           (void)net::WriteFrame(fd, response);
           break;
         }
         handshaken = true;
         if (!net::WriteFrame(fd, response).ok()) break;
+        version = chosen;
         continue;
       }
       requests_.fetch_add(1, std::memory_order_relaxed);
@@ -219,7 +237,10 @@ class Router::Impl {
       } else {
         response = Route(op, &ctx, reader, &close_after);
       }
-      if (!net::WriteFrame(fd, response).ok()) break;
+      const Status write_status =
+          version >= 2 ? net::WriteTaggedFrame(fd, tag, response)
+                       : net::WriteFrame(fd, response);
+      if (!write_status.ok()) break;
       if (close_after) break;
     }
     // Client gone with a transaction still open: abort it on every shard
@@ -237,10 +258,14 @@ class Router::Impl {
   }
 
   bool HandleHello(Session* session, WireReader& reader,
-                   std::vector<uint8_t>* response) {
+                   std::vector<uint8_t>* response, uint16_t* chosen_out) {
     const uint32_t magic = reader.U32();
     const uint16_t min_version = reader.U16();
     const uint16_t max_version = reader.U16();
+    uint32_t requested_window = 0;
+    if (reader.ok() && reader.remaining() >= sizeof(uint32_t)) {
+      requested_window = reader.U32();
+    }
     if (!reader.ok() || magic != net::kHelloMagic) {
       *response = MakeErrorPayload(Opcode::kHello,
                                    WireCode::kProtocolError, "bad hello");
@@ -252,12 +277,24 @@ class Router::Impl {
                                    "no common protocol version");
       return false;
     }
+    const uint16_t chosen =
+        std::min(max_version, net::kProtocolVersionMax);
     WireWriter writer(response);
     writer.U8(static_cast<uint8_t>(Opcode::kHello));
     writer.U8(static_cast<uint8_t>(WireCode::kOk));
-    writer.U16(std::min(max_version, net::kProtocolVersionMax));
+    writer.U16(chosen);
     writer.U8(shard_mode_.load(std::memory_order_relaxed));
     writer.U64(session->id);
+    if (chosen >= 2) {
+      // The router never sheds on window overflow (its session loop is
+      // FIFO — excess requests just queue in the socket), so granting
+      // the requested window verbatim is safe.
+      uint32_t window = requested_window == 0 ? net::kDefaultPipelineWindow
+                                              : requested_window;
+      window = std::min(std::max(window, 1u), net::kMaxPipelineWindow);
+      writer.U32(window);
+    }
+    *chosen_out = chosen;
     return true;
   }
 
@@ -327,6 +364,8 @@ class Router::Impl {
         return ExecUpdate(ctx, reader);
       case Opcode::kDelete:
         return ExecDelete(ctx, reader);
+      case Opcode::kDmlBatch:
+        return ExecDmlBatch(ctx, reader);
       case Opcode::kScanEqual:
       case Opcode::kScanRange:
         return ExecScan(op, ctx, reader);
@@ -475,6 +514,97 @@ class Router::Impl {
     }
     status = (*client_result)->Delete(table, UntagLoc(tagged));
     return MakeStatusPayload(Opcode::kDelete, status);
+  }
+
+  /// Batched autocommit DML rides through the router when every op in
+  /// the batch lands on ONE shard — then the whole batch forwards as a
+  /// single frame and keeps its one-fsync/one-publish atomicity. A batch
+  /// spanning shards would need 2PC to stay atomic; callers split per
+  /// shard instead (kNotSupported tells them so).
+  std::vector<uint8_t> ExecDmlBatch(SessionCtx* ctx, WireReader& reader) {
+    constexpr Opcode kOp = Opcode::kDmlBatch;
+    if (ctx->txn_open) {
+      return MakeErrorPayload(
+          kOp, WireCode::kInvalidArgument,
+          "dml_batch is autocommit; commit or abort the session "
+          "transaction first");
+    }
+    const uint32_t count = reader.U32();
+    if (!reader.ok() || count == 0) {
+      return MakeErrorPayload(kOp, WireCode::kInvalidArgument,
+                              "malformed dml_batch body");
+    }
+    std::vector<net::Client::DmlOp> ops;
+    ops.reserve(count);
+    size_t shard = SIZE_MAX;
+    for (uint32_t i = 0; i < count; ++i) {
+      net::Client::DmlOp op;
+      op.kind = reader.U8();
+      op.table = reader.Str();
+      size_t op_shard = SIZE_MAX;
+      if (op.kind == net::Client::DmlOp::kInsert) {
+        op.row = reader.Row();
+        if (!reader.ok() || op.row.empty()) {
+          return MakeErrorPayload(kOp, WireCode::kInvalidArgument,
+                                  "malformed dml_batch body");
+        }
+        op_shard = shard_map_.ShardForKey(op.row[0]);
+      } else if (op.kind == net::Client::DmlOp::kUpdate ||
+                 op.kind == net::Client::DmlOp::kDelete) {
+        const storage::RowLocation tagged = reader.Loc();
+        if (op.kind == net::Client::DmlOp::kUpdate) op.row = reader.Row();
+        if (!reader.ok()) {
+          return MakeErrorPayload(kOp, WireCode::kInvalidArgument,
+                                  "malformed dml_batch body");
+        }
+        op_shard = LocShard(tagged);
+        if (op_shard >= num_shards()) {
+          return MakeErrorPayload(
+              kOp, WireCode::kInvalidArgument,
+              "op " + std::to_string(i) +
+                  ": row location names an unknown shard");
+        }
+        if (op.kind == net::Client::DmlOp::kUpdate && !op.row.empty() &&
+            shard_map_.ShardForKey(op.row[0]) != op_shard) {
+          return MakeStatusPayload(
+              kOp, Status::NotSupported(
+                       "op " + std::to_string(i) +
+                       ": update may not move a row across shards"));
+        }
+        op.loc = UntagLoc(tagged);
+      } else {
+        return MakeErrorPayload(kOp, WireCode::kInvalidArgument,
+                                "malformed dml_batch op");
+      }
+      if (shard == SIZE_MAX) {
+        shard = op_shard;
+      } else if (shard != op_shard) {
+        return MakeStatusPayload(
+            kOp, Status::NotSupported(
+                     "dml_batch ops span shards " + std::to_string(shard) +
+                     " and " + std::to_string(op_shard) +
+                     "; split the batch per shard to keep it atomic"));
+      }
+      ops.push_back(std::move(op));
+    }
+    auto client_result = EnsureClient(ctx, shard);
+    if (!client_result.ok()) {
+      return MakeStatusPayload(kOp, client_result.status());
+    }
+    auto batch_result = (*client_result)->DmlBatch(ops);
+    if (!batch_result.ok()) {
+      return MakeStatusPayload(kOp, batch_result.status());
+    }
+    std::vector<uint8_t> payload;
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(kOp));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U32(count);
+    for (const storage::RowLocation& loc : batch_result->locs) {
+      writer.Loc(TagLoc(loc, shard));
+    }
+    writer.U64(batch_result->cid);
+    return payload;
   }
 
   std::vector<uint8_t> ExecScan(Opcode op, SessionCtx* ctx,

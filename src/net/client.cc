@@ -54,12 +54,20 @@ void Client::Close() {
 }
 
 Status Client::Handshake() {
+  // The hello exchange is ALWAYS v1-framed in both directions; framing
+  // switches to tagged v2 only after both sides know the negotiated
+  // version (DESIGN.md §17).
+  const uint16_t offer_max =
+      std::min(options_.protocol_max, kProtocolVersionMax);
   std::vector<uint8_t> payload;
   WireWriter writer(&payload);
   writer.U8(static_cast<uint8_t>(Opcode::kHello));
   writer.U32(kHelloMagic);
   writer.U16(kProtocolVersionMin);
-  writer.U16(kProtocolVersionMax);
+  writer.U16(std::max(offer_max, kProtocolVersionMin));
+  if (offer_max >= 2) {
+    writer.U32(options_.request_window);
+  }
   HYRISE_NV_RETURN_NOT_OK(WriteFrame(fd_.get(), payload));
   auto frame_result = ReadFrame(fd_.get(), options_.read_timeout_ms);
   if (!frame_result.ok()) return frame_result.status();
@@ -76,9 +84,14 @@ Status Client::Handshake() {
   protocol_version_ = reader.U16();
   server_mode_ = reader.U8();
   session_id_ = reader.U64();
+  pipeline_window_ = 0;
+  if (reader.ok() && protocol_version_ >= 2) {
+    pipeline_window_ = reader.U32();
+  }
   if (!reader.ok()) {
     return Status::IOError("truncated handshake response");
   }
+  next_tag_ = 1;
   return Status::OK();
 }
 
@@ -94,14 +107,42 @@ Result<std::vector<uint8_t>> Client::Roundtrip(
             std::chrono::steady_clock::now() - rtt_start)
             .count());
   };
-  Status status = WriteFrame(fd_.get(), payload);
-  if (status.ok()) {
-    auto frame_result = ReadFrame(fd_.get(), options_.read_timeout_ms);
-    stamp_rtt();
-    if (frame_result.ok()) return frame_result;
-    status = frame_result.status();
+  Status status;
+  if (protocol_version_ >= 2) {
+    // One outstanding request at a time, but over the negotiated tagged
+    // framing: the server echoes the tag and a mismatch means the
+    // session's response stream is out of sync — unrecoverable here.
+    const uint32_t tag = next_tag_++;
+    if (next_tag_ == 0) next_tag_ = 1;  // 0 is fine but keep tags nonzero
+    status = WriteTaggedFrame(fd_.get(), tag, payload);
+    if (status.ok()) {
+      auto frame_result =
+          ReadTaggedFrame(fd_.get(), options_.read_timeout_ms);
+      stamp_rtt();
+      if (frame_result.ok()) {
+        if (frame_result->tag != tag) {
+          status = Status::IOError(
+              "response tag mismatch: sent " + std::to_string(tag) +
+              ", got " + std::to_string(frame_result->tag));
+        } else {
+          return std::move(frame_result->payload);
+        }
+      } else {
+        status = frame_result.status();
+      }
+    } else {
+      stamp_rtt();
+    }
   } else {
-    stamp_rtt();
+    status = WriteFrame(fd_.get(), payload);
+    if (status.ok()) {
+      auto frame_result = ReadFrame(fd_.get(), options_.read_timeout_ms);
+      stamp_rtt();
+      if (frame_result.ok()) return frame_result;
+      status = frame_result.status();
+    } else {
+      stamp_rtt();
+    }
   }
   // Transport failure: this connection is gone. Re-dial so the next
   // request works, but surface the failure — the request may or may not
@@ -259,6 +300,49 @@ Status Client::Delete(const std::string& table, storage::RowLocation loc) {
   writer.Str(table);
   writer.Loc(loc);
   return Call(Opcode::kDelete, payload).status();
+}
+
+Result<Client::DmlBatchResult> Client::DmlBatch(
+    const std::vector<DmlOp>& ops) {
+  if (ops.empty()) {
+    return Status::InvalidArgument("empty dml batch");
+  }
+  std::vector<uint8_t> payload;
+  WireWriter writer(&payload);
+  writer.U8(static_cast<uint8_t>(Opcode::kDmlBatch));
+  writer.U32(static_cast<uint32_t>(ops.size()));
+  for (const DmlOp& op : ops) {
+    writer.U8(op.kind);
+    writer.Str(op.table);
+    switch (op.kind) {
+      case DmlOp::kInsert:
+        writer.Row(op.row);
+        break;
+      case DmlOp::kUpdate:
+        writer.Loc(op.loc);
+        writer.Row(op.row);
+        break;
+      case DmlOp::kDelete:
+        writer.Loc(op.loc);
+        break;
+      default:
+        return Status::InvalidArgument("bad dml op kind " +
+                                       std::to_string(op.kind));
+    }
+  }
+  auto body_result = Call(Opcode::kDmlBatch, payload);
+  if (!body_result.ok()) return body_result.status();
+  WireReader reader(body_result->data(), body_result->size());
+  DmlBatchResult result;
+  const uint32_t count = reader.U32();
+  if (!reader.ok() || count != ops.size()) {
+    return Status::IOError("truncated dml_batch response");
+  }
+  result.locs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) result.locs.push_back(reader.Loc());
+  result.cid = reader.U64();
+  if (!reader.ok()) return Status::IOError("truncated dml_batch response");
+  return result;
 }
 
 namespace {

@@ -30,6 +30,15 @@ struct ClientOptions {
   /// connection, then surface the original error (the request itself is
   /// NOT replayed: the client cannot know whether it executed).
   bool auto_reconnect = true;
+  /// Highest protocol version to offer at the handshake. Lower it to 1
+  /// to speak v1 framing against any server (cross-version compat
+  /// tests); by default the client negotiates up to v2 tagged frames.
+  uint16_t protocol_max = kProtocolVersionMax;
+  /// Pipeline window to request in a v2 hello. 0 asks for the server
+  /// default; the granted window is readable via pipeline_window().
+  /// The blocking client itself never has more than one request in
+  /// flight — this matters when the fd is handed to a pipelined driver.
+  uint32_t request_window = 0;
 };
 
 /// Result shape of a scan over the wire.
@@ -70,6 +79,8 @@ class Client {
   bool connected() const { return fd_.valid(); }
 
   uint16_t protocol_version() const { return protocol_version_; }
+  /// Pipeline window granted by a v2 handshake (0 on a v1 session).
+  uint32_t pipeline_window() const { return pipeline_window_; }
   /// core::DurabilityMode of the server, as a raw byte.
   uint8_t server_mode() const { return server_mode_; }
   uint64_t session_id() const { return session_id_; }
@@ -126,6 +137,28 @@ class Client {
                                       const std::vector<storage::Value>& row);
   Status Delete(const std::string& table, storage::RowLocation loc);
 
+  /// One operation of a kDmlBatch frame. `kind` uses the wire values.
+  struct DmlOp {
+    static constexpr uint8_t kInsert = 1;
+    static constexpr uint8_t kUpdate = 2;
+    static constexpr uint8_t kDelete = 3;
+    uint8_t kind = kInsert;
+    std::string table;
+    storage::RowLocation loc;              // update/delete
+    std::vector<storage::Value> row;       // insert/update
+  };
+  struct DmlBatchResult {
+    /// One location per op, in op order (a delete echoes the location it
+    /// removed).
+    std::vector<storage::RowLocation> locs;
+    uint64_t cid = 0;
+  };
+  /// Sends the whole batch as ONE frame; the server applies it as one
+  /// transaction (one group-commit fsync, one publish) and the batch is
+  /// atomic — any failing op aborts it all, and the error message names
+  /// the op index. Requires no open session transaction (autocommit).
+  Result<DmlBatchResult> DmlBatch(const std::vector<DmlOp>& ops);
+
   // --- Queries -------------------------------------------------------------
 
   /// in_txn reads through the session transaction; otherwise the server
@@ -180,6 +213,8 @@ class Client {
   ClientOptions options_;
   OwnedFd fd_;
   uint16_t protocol_version_ = 0;
+  uint32_t pipeline_window_ = 0;
+  uint32_t next_tag_ = 1;
   uint8_t server_mode_ = 0;
   uint64_t session_id_ = 0;
   uint64_t current_tid_ = 0;

@@ -44,10 +44,19 @@ struct LoadConn {
   std::deque<ExpectedFrame> expected;
   bool want_write = false;
   bool dead = false;
+  /// Queued for the next FlushDirty pass (batched send coalescing).
+  bool flush_pending = false;
   /// Aggregated outcome of the op currently completing (a write triple
-  /// fails as one op even if only its begin frame failed).
+  /// fails as one op even if only its begin frame failed). v1 only —
+  /// a v2 op is a single frame, so its outcome needs no aggregation.
   bool op_failed = false;
   bool op_shed = false;
+  /// Negotiated protocol version; v2 connections carry `slots`
+  /// concurrently pipelined ops, matched to responses by tag.
+  uint16_t version = 1;
+  int slots = 1;
+  uint32_t next_tag = 1;
+  std::unordered_map<uint32_t, uint64_t> tag_to_op;
 };
 
 class OpenLoopDriver {
@@ -88,9 +97,8 @@ class OpenLoopDriver {
       const uint64_t due = schedule_.DueCount(now_ns);
       while (issued < due) {
         const uint64_t op_id = issued++;
-        if (!idle_.empty()) {
-          LoadConn* conn = idle_.back();
-          idle_.pop_back();
+        LoadConn* conn = TakeIdleSlot();
+        if (conn != nullptr) {
           SendOp(conn, op_id);
         } else {
           backlog_.push_back(op_id);
@@ -99,6 +107,7 @@ class OpenLoopDriver {
           }
         }
       }
+      FlushDirty();
 
       const bool schedule_done = issued >= schedule_.total_ops();
       if (schedule_done && InFlight() == 0 && backlog_.empty()) break;
@@ -127,6 +136,18 @@ class OpenLoopDriver {
 
   uint64_t InFlight() const { return in_flight_; }
 
+  /// Pops the next usable send slot. idle_ holds one token per free
+  /// pipeline slot; a dead connection's tokens are skipped lazily here
+  /// instead of being hunted down at kill time.
+  LoadConn* TakeIdleSlot() {
+    while (!idle_.empty()) {
+      LoadConn* conn = idle_.back();
+      idle_.pop_back();
+      if (!conn->dead) return conn;
+    }
+    return nullptr;
+  }
+
   Status ConnectAll() {
     epoll_fd_ = OwnedFd(::epoll_create1(EPOLL_CLOEXEC));
     if (!epoll_fd_.valid()) {
@@ -134,12 +155,22 @@ class OpenLoopDriver {
                              std::string(std::strerror(errno)));
     }
     // Handshake frame shared by every connection.
+    const int depth = std::max(1, options_.pipeline_depth);
+    const uint16_t offer_max = std::max(
+        kProtocolVersionMin,
+        std::min(options_.protocol_max, kProtocolVersionMax));
     std::vector<uint8_t> hello;
     WireWriter writer(&hello);
     writer.U8(static_cast<uint8_t>(Opcode::kHello));
     writer.U32(kHelloMagic);
     writer.U16(kProtocolVersionMin);
-    writer.U16(kProtocolVersionMax);
+    writer.U16(offer_max);
+    if (offer_max >= 2) {
+      // Ask for headroom beyond the depth so the server never sheds the
+      // generator's own window (2x, capped by the protocol maximum).
+      writer.U32(std::min<uint32_t>(2u * static_cast<uint32_t>(depth),
+                                    kMaxPipelineWindow));
+    }
 
     conns_.reserve(static_cast<size_t>(options_.connections));
     for (int i = 0; i < options_.connections; ++i) {
@@ -162,6 +193,21 @@ class OpenLoopDriver {
           (*response)[1] != static_cast<uint8_t>(WireCode::kOk)) {
         return Status::IOError("handshake rejected by server");
       }
+      WireReader hello_reader(response->data(), response->size());
+      hello_reader.U8();  // opcode echo
+      hello_reader.U8();  // wire code (kOk, checked above)
+      conn->version = hello_reader.U16();
+      hello_reader.U8();   // server mode
+      hello_reader.U64();  // session id
+      conn->slots = 1;
+      if (conn->version >= 2 && hello_reader.ok()) {
+        const uint32_t granted = hello_reader.U32();
+        if (!hello_reader.ok() || granted == 0) {
+          return Status::IOError("v2 handshake carries no window");
+        }
+        conn->slots = static_cast<int>(
+            std::min<uint32_t>(static_cast<uint32_t>(depth), granted));
+      }
       HYRISE_NV_RETURN_NOT_OK(SetNonBlocking(conn->fd.get()));
       HYRISE_NV_RETURN_NOT_OK(SetNoDelay(conn->fd.get()));
       epoll_event ev{};
@@ -172,7 +218,9 @@ class OpenLoopDriver {
         return Status::IOError("epoll_ctl: " +
                                std::string(std::strerror(errno)));
       }
-      idle_.push_back(conn.get());
+      for (int slot = 0; slot < conn->slots; ++slot) {
+        idle_.push_back(conn.get());
+      }
       conns_.push_back(std::move(conn));
     }
     alive_ = options_.connections;
@@ -183,6 +231,36 @@ class OpenLoopDriver {
   void SendOp(LoadConn* conn, uint64_t op_id) {
     const bool is_read = rng_.NextDouble() < options_.read_pct;
     const int64_t key = static_cast<int64_t>(zipf_.Next());
+    if (conn->version >= 2) {
+      // v2: every op is ONE tagged frame. Reads keep ScanEqual; the
+      // write triple collapses into a one-op kDmlBatch (the server runs
+      // begin+insert+commit in a single transaction-stage pass).
+      std::vector<uint8_t> payload;
+      WireWriter writer(&payload);
+      if (is_read) {
+        writer.U8(static_cast<uint8_t>(Opcode::kScanEqual));
+        writer.U64(0);  // ad-hoc snapshot
+        writer.Str(options_.table);
+        writer.U32(0);
+        writer.Value(storage::Value(key));
+        writer.U32(options_.scan_limit);
+      } else {
+        writer.U8(static_cast<uint8_t>(Opcode::kDmlBatch));
+        writer.U32(1);
+        writer.U8(1);  // insert
+        writer.Str(options_.table);
+        writer.Row({storage::Value(key),
+                    storage::Value(value_payload_)});
+      }
+      const uint32_t tag = conn->next_tag++;
+      if (conn->next_tag == 0) conn->next_tag = 1;
+      const std::vector<uint8_t> frame = EncodeTaggedFrame(tag, payload);
+      conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+      conn->tag_to_op.emplace(tag, op_id);
+      ++in_flight_;
+      MarkDirty(conn);
+      return;
+    }
     conn->op_failed = false;
     conn->op_shed = false;
     if (is_read) {
@@ -225,7 +303,28 @@ class OpenLoopDriver {
           {op_id, static_cast<uint8_t>(Opcode::kCommit), true});
     }
     ++in_flight_;
-    FlushConn(conn);
+    MarkDirty(conn);
+  }
+
+  /// SendOp only queues bytes; the actual ::send happens once per
+  /// event-loop round via FlushDirty. Without this, every completion
+  /// refills its slot with its own small send, each send wakes the
+  /// server for one frame, and the per-wake overhead never amortises —
+  /// measured, that caps one pipelined connection at the same
+  /// throughput as depth 1. Coalescing the refills into one send per
+  /// parsed batch is what makes the window actually pipeline.
+  void MarkDirty(LoadConn* conn) {
+    if (conn->flush_pending || conn->dead) return;
+    conn->flush_pending = true;
+    dirty_.push_back(conn);
+  }
+
+  void FlushDirty() {
+    for (LoadConn* conn : dirty_) {
+      conn->flush_pending = false;
+      if (!conn->dead) FlushConn(conn);
+    }
+    dirty_.clear();
   }
 
   static void AppendFrame(LoadConn* conn,
@@ -268,7 +367,8 @@ class OpenLoopDriver {
   void KillConn(LoadConn* conn) {
     if (conn->dead) return;
     ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
-    uint64_t ops_lost = 0;
+    uint64_t ops_lost = conn->tag_to_op.size();
+    conn->tag_to_op.clear();
     uint64_t last_op = UINT64_MAX;
     for (const ExpectedFrame& exp : conn->expected) {
       if (exp.op_id != last_op) {
@@ -330,6 +430,9 @@ class OpenLoopDriver {
       return;
     }
     ParseResponses(conn);
+    // Flush the refill ops queued by the completions just parsed as ONE
+    // send — see MarkDirty for why per-op sends defeat pipelining.
+    FlushDirty();
     if (conn->dead) return;
     if (conn->in_pos > 0) {
       conn->in.erase(conn->in.begin(),
@@ -340,7 +443,9 @@ class OpenLoopDriver {
   }
 
   void ParseResponses(LoadConn* conn) {
-    while (conn->in.size() - conn->in_pos >= kFrameHeaderBytes) {
+    const size_t header_bytes =
+        conn->version >= 2 ? kFrameHeaderBytesV2 : kFrameHeaderBytes;
+    while (conn->in.size() - conn->in_pos >= header_bytes) {
       const uint8_t* header = conn->in.data() + conn->in_pos;
       auto len_result = DecodeFrameHeader(header, kMaxFrameBytes);
       if (!len_result.ok()) {
@@ -349,17 +454,42 @@ class OpenLoopDriver {
         return;
       }
       const uint32_t len = *len_result;
-      if (conn->in.size() - conn->in_pos < kFrameHeaderBytes + len) break;
-      const uint8_t* payload = header + kFrameHeaderBytes;
-      if (!CheckFrameCrc(header, payload, len).ok()) {
+      if (conn->in.size() - conn->in_pos < header_bytes + len) break;
+      const uint8_t* payload = header + header_bytes;
+      const Status crc = conn->version >= 2
+                             ? CheckTaggedFrameCrc(header, payload, len)
+                             : CheckFrameCrc(header, payload, len);
+      if (!crc.ok()) {
         ++report_.protocol_errors;
         KillConn(conn);
         return;
       }
-      conn->in_pos += kFrameHeaderBytes + len;
-      OnResponseFrame(conn, payload, len);
+      conn->in_pos += header_bytes + len;
+      if (conn->version >= 2) {
+        OnTaggedResponseFrame(conn, TaggedFrameTag(header), payload, len);
+      } else {
+        OnResponseFrame(conn, payload, len);
+      }
       if (conn->dead) return;
     }
+  }
+
+  /// v2 completion: one frame = one op, matched by tag (responses may
+  /// arrive out of submission order).
+  void OnTaggedResponseFrame(LoadConn* conn, uint32_t tag,
+                             const uint8_t* payload, uint32_t len) {
+    const auto it = conn->tag_to_op.find(tag);
+    if (it == conn->tag_to_op.end() || len < 2) {
+      ++report_.protocol_errors;
+      KillConn(conn);
+      return;
+    }
+    const uint64_t op_id = it->second;
+    conn->tag_to_op.erase(it);
+    const WireCode code = static_cast<WireCode>(payload[1]);
+    const bool ok = code == WireCode::kOk;
+    CompleteOp(conn, op_id, !ok && !IsRetryableWireCode(code),
+               !ok && IsRetryableWireCode(code));
   }
 
   void OnResponseFrame(LoadConn* conn, const uint8_t* payload,
@@ -385,20 +515,26 @@ class OpenLoopDriver {
       }
     }
     if (!exp.last) return;
+    CompleteOp(conn, exp.op_id, conn->op_failed, conn->op_shed);
+  }
 
-    // Operation complete: attribute the outcome and the open-loop
-    // latency, then put the connection back to work.
+  /// Operation complete: attribute the outcome and the open-loop
+  /// latency, then put the freed pipeline slot back to work.
+  void CompleteOp(LoadConn* conn, uint64_t op_id, bool failed, bool shed) {
     --in_flight_;
     const uint64_t now_ns = NowNs();
-    const uint64_t intended_ns = schedule_.IntendedNs(exp.op_id);
+    const uint64_t intended_ns = schedule_.IntendedNs(op_id);
     const uint64_t warmup_ns =
         static_cast<uint64_t>(options_.warmup_s * 1e9);
     const bool in_measure = intended_ns >= warmup_ns;
-    if (conn->op_failed) {
+    if (failed) {
       if (in_measure) ++report_.errors;
-    } else if (conn->op_shed) {
+    } else if (shed) {
       if (in_measure) ++report_.shed;
-    } else if (in_measure) {
+    } else {
+      ++report_.completed_total;
+    }
+    if (!failed && !shed && in_measure) {
       ++report_.ops_completed;
       const uint64_t latency_ns =
           workload::OpenLoopSchedule::LatencyNs(intended_ns, now_ns);
@@ -431,6 +567,12 @@ class OpenLoopDriver {
     report_.measure_s = options_.duration_s;
     report_.tput_rps =
         static_cast<double>(report_.ops_completed) / options_.duration_s;
+    report_.elapsed_s = static_cast<double>(NowNs()) / 1e9;
+    report_.capacity_rps =
+        report_.elapsed_s > 0
+            ? static_cast<double>(report_.completed_total) /
+                  report_.elapsed_s
+            : 0;
     report_.latency = latency_hist_.Snapshot();
     const obs::HistogramData& lat = report_.latency;
     report_.p50_us = lat.Percentile(50) / 1e3;
@@ -451,6 +593,9 @@ class OpenLoopDriver {
   std::vector<std::unique_ptr<LoadConn>> conns_;
   std::vector<LoadConn*> idle_;
   std::deque<uint64_t> backlog_;
+  /// Connections with queued-but-unsent frames, flushed once per
+  /// event-loop round (send coalescing).
+  std::vector<LoadConn*> dirty_;
   Clock::time_point start_;
   int alive_ = 0;
   uint64_t in_flight_ = 0;
@@ -468,6 +613,13 @@ Result<LoadgenReport> RunOpenLoopLoad(const LoadgenOptions& options) {
   }
   if (options.rate_rps <= 0 || options.duration_s <= 0) {
     return Status::InvalidArgument("loadgen needs a positive rate/duration");
+  }
+  if (options.pipeline_depth < 1) {
+    return Status::InvalidArgument("pipeline depth must be >= 1");
+  }
+  if (options.pipeline_depth > 1 && options.protocol_max < 2) {
+    return Status::InvalidArgument(
+        "pipeline depth > 1 needs protocol v2 (tagged frames)");
   }
   OpenLoopDriver driver(options);
   return driver.Run();

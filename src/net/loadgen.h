@@ -45,6 +45,16 @@ struct LoadgenOptions {
   /// operations to complete before giving up on them.
   double drain_timeout_s = 10;
   int connect_timeout_ms = 5000;
+  /// Requests a connection may have in flight at once (wire v2
+  /// pipelining). Depth 1 is classic call-and-response; higher depths
+  /// keep the connection's window full so one socket amortises
+  /// syscalls, wakeups, and group commits across many requests. Forced
+  /// to 1 when the negotiated protocol is v1 (strict FIFO framing).
+  int pipeline_depth = 1;
+  /// Highest protocol version to offer. 1 = legacy framing (v1-compat
+  /// runs); 2 = tagged frames, single-frame ops (reads stay ScanEqual,
+  /// writes become one-op kDmlBatch autocommit frames).
+  uint16_t protocol_max = 2;
 };
 
 struct LoadgenTimelineBucket {
@@ -63,6 +73,14 @@ struct LoadgenReport {
   uint64_t abandoned = 0;      // still in flight at drain timeout
   double measure_s = 0;
   double tput_rps = 0;  // completed / measure_s
+  /// Every successful completion, warmup included. With an offered rate
+  /// past the server's capacity, `ops_completed` is gated by intended
+  /// times that the run may never reach before the drain cutoff —
+  /// `completed_total / elapsed_s` stays an honest service-rate probe
+  /// there, which is what the pipeline depth sweep reports.
+  uint64_t completed_total = 0;
+  double elapsed_s = 0;      // wall time from start to loop exit
+  double capacity_rps = 0;   // completed_total / elapsed_s
   double p50_us = 0;
   double p99_us = 0;
   double p999_us = 0;

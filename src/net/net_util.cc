@@ -54,6 +54,17 @@ Status SetNoDelay(int fd) {
   return Status::OK();
 }
 
+Result<bool> GetNoDelay(int fd) {
+  int value = 0;
+  socklen_t len = sizeof(value);
+  if (::getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &value, &len) < 0) {
+    return Errno("getsockopt(TCP_NODELAY)");
+  }
+  return value != 0;
+}
+
+Status ConfigureAcceptedSocket(int fd) { return SetNoDelay(fd); }
+
 Result<OwnedFd> CreateListener(const std::string& host, uint16_t port) {
   auto addr_result = MakeAddr(host, port);
   if (!addr_result.ok()) return addr_result.status();
@@ -178,6 +189,29 @@ Result<std::vector<uint8_t>> ReadFrame(int fd, int timeout_ms,
       CheckFrameCrc(header, payload.data(),
                     static_cast<uint32_t>(payload.size())));
   return payload;
+}
+
+Status WriteTaggedFrame(int fd, uint32_t tag,
+                        const std::vector<uint8_t>& payload) {
+  const std::vector<uint8_t> frame = EncodeTaggedFrame(tag, payload);
+  return SendAll(fd, frame.data(), frame.size());
+}
+
+Result<TaggedFrame> ReadTaggedFrame(int fd, int timeout_ms,
+                                    uint32_t max_payload) {
+  uint8_t header[kFrameHeaderBytesV2];
+  HYRISE_NV_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header), timeout_ms));
+  auto len_result = DecodeFrameHeader(header, max_payload);
+  if (!len_result.ok()) return len_result.status();
+  TaggedFrame frame;
+  frame.tag = TaggedFrameTag(header);
+  frame.payload.resize(*len_result);
+  HYRISE_NV_RETURN_NOT_OK(
+      RecvAll(fd, frame.payload.data(), frame.payload.size(), timeout_ms));
+  HYRISE_NV_RETURN_NOT_OK(
+      CheckTaggedFrameCrc(header, frame.payload.data(),
+                          static_cast<uint32_t>(frame.payload.size())));
+  return frame;
 }
 
 uint64_t RaiseFdLimit(uint64_t want) {

@@ -51,6 +51,15 @@ Result<OwnedFd> ConnectTcp(const std::string& host, uint16_t port,
 
 Status SetNonBlocking(int fd);
 Status SetNoDelay(int fd);
+/// True when TCP_NODELAY is set on `fd` (socket-option regression tests).
+Result<bool> GetNoDelay(int fd);
+
+/// One place for every accept path (server, router) to configure a
+/// freshly accepted socket. Sets TCP_NODELAY — a single Nagle socket
+/// serialises the pipelined protocol against delayed ACKs and hides the
+/// whole batching win, so this is asserted by a regression test rather
+/// than sprinkled per call site.
+Status ConfigureAcceptedSocket(int fd);
 
 /// Writes all of `data` (blocking; MSG_NOSIGNAL, EINTR-safe).
 Status SendAll(int fd, const void* data, size_t len);
@@ -68,6 +77,16 @@ Status WriteFrame(int fd, const std::vector<uint8_t>& payload);
 Result<std::vector<uint8_t>> ReadFrame(int fd, int timeout_ms = 0,
                                        uint32_t max_payload =
                                            kMaxFrameBytes);
+
+/// Blocking v2 tagged-frame I/O (post-handshake on a v2 connection).
+struct TaggedFrame {
+  uint32_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+Status WriteTaggedFrame(int fd, uint32_t tag,
+                        const std::vector<uint8_t>& payload);
+Result<TaggedFrame> ReadTaggedFrame(int fd, int timeout_ms = 0,
+                                    uint32_t max_payload = kMaxFrameBytes);
 
 /// Raises RLIMIT_NOFILE's soft limit towards min(want, hard limit).
 /// Best-effort: returns the soft limit in effect afterwards, which may be

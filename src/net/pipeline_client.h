@@ -1,0 +1,124 @@
+#ifndef HYRISE_NV_NET_PIPELINE_CLIENT_H_
+#define HYRISE_NV_NET_PIPELINE_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/net_util.h"
+#include "net/wire.h"
+#include "storage/types.h"
+
+namespace hyrise_nv::net {
+
+struct PipelineClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connect_timeout_ms = 2'000;
+  /// Per-completion read timeout. 0 waits forever.
+  int read_timeout_ms = 10'000;
+  /// Pipeline window to request at the handshake (0 = server default).
+  /// The server may grant less; window() has the negotiated value and
+  /// Submit() respects it.
+  uint32_t request_window = 0;
+};
+
+/// Async pipelined client for NVQL wire v2 (DESIGN.md §17).
+///
+/// Submit() hands a request payload to the connection and returns its
+/// tag immediately — the slot. Up to window() requests ride the wire at
+/// once; when the window is full, Submit blocks reading completions
+/// until a slot frees. Completions are delivered by Next() in SUBMIT
+/// order regardless of the order the server finished them in (v2 lets
+/// ad-hoc reads complete out of order; this client stashes early
+/// arrivals), or by Await(tag) for a specific request.
+///
+/// Not thread-safe: one PipelinedClient per thread. A response carrying
+/// a tag that was never submitted (or already completed) means the
+/// stream is out of sync — the client surfaces IOError and closes.
+class PipelinedClient {
+ public:
+  PipelinedClient() = default;
+  explicit PipelinedClient(PipelineClientOptions options)
+      : options_(std::move(options)) {}
+  ~PipelinedClient() { Close(); }
+
+  HYRISE_NV_DISALLOW_COPY(PipelinedClient);
+  PipelinedClient(PipelinedClient&&) = default;
+  PipelinedClient& operator=(PipelinedClient&&) = default;
+
+  /// Dials and handshakes. Fails with kNotSupported if the server only
+  /// speaks v1 — pipelining needs tagged frames.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_.valid(); }
+
+  /// Negotiated pipeline window (after Connect).
+  uint32_t window() const { return window_; }
+  uint8_t server_mode() const { return server_mode_; }
+  uint64_t session_id() const { return session_id_; }
+  /// Requests submitted whose completions have not been consumed.
+  size_t outstanding() const { return order_.size(); }
+
+  struct Completion {
+    uint32_t tag = 0;
+    Opcode op = Opcode::kPing;
+    WireCode code = WireCode::kOk;
+    /// Response body after [opcode][code] — the error message for a
+    /// non-OK code.
+    std::vector<uint8_t> body;
+    /// The wire code as an engine Status (OK for kOk).
+    Status ToStatus() const;
+  };
+
+  /// Queues one request; returns its tag. Blocks draining completions
+  /// into the stash only when the window is full.
+  Result<uint32_t> Submit(const std::vector<uint8_t>& payload);
+
+  /// Completion of the OLDEST not-yet-consumed submission (FIFO by
+  /// submit order). Blocks until it arrives, stashing out-of-order
+  /// completions for later Next/Await calls.
+  Result<Completion> Next();
+
+  /// Completion of a specific submitted tag.
+  Result<Completion> Await(uint32_t tag);
+
+  /// Convenience: drains every outstanding completion, returning the
+  /// first non-OK status (transport or wire) and OK otherwise.
+  Status DrainAll();
+
+ private:
+  /// Reads one tagged frame into the stash.
+  Status ReadOne();
+
+  PipelineClientOptions options_;
+  OwnedFd fd_;
+  uint32_t window_ = 0;
+  uint8_t server_mode_ = 0;
+  uint64_t session_id_ = 0;
+  uint32_t next_tag_ = 1;
+  /// Submitted-but-unconsumed tags, oldest first.
+  std::deque<uint32_t> order_;
+  /// Completions that arrived before their Next()/Await() turn.
+  std::unordered_map<uint32_t, Completion> stash_;
+};
+
+/// Request-payload builders for pipelined submission (the blocking
+/// Client hides payloads behind its typed API; a pipelined caller hands
+/// them to Submit directly).
+std::vector<uint8_t> MakePingPayload();
+std::vector<uint8_t> MakeScanEqualPayload(const std::string& table,
+                                          uint32_t column,
+                                          const storage::Value& value,
+                                          uint32_t limit = 0);
+std::vector<uint8_t> MakeCountPayload(const std::string& table);
+/// Single-insert kDmlBatch frame (autocommit).
+std::vector<uint8_t> MakeInsertBatchPayload(
+    const std::string& table, const std::vector<storage::Value>& row);
+
+}  // namespace hyrise_nv::net
+
+#endif  // HYRISE_NV_NET_PIPELINE_CLIENT_H_

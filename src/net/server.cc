@@ -6,6 +6,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -17,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "core/query.h"
 #include "net/net_util.h"
@@ -55,10 +57,22 @@ struct PendingRequest {
   uint64_t flush_end = 0;     // conn->bytes_queued after this response
   uint64_t start_ticks = 0;   // frame-read-complete
   uint64_t queued_ticks = 0;  // response appended to the out buffer
+  uint32_t tag = 0;           // v2 request tag (0 on v1 connections)
   uint8_t op = 0;
   obs::StageBreakdown stages;  // parse..commit_publish filled at execute
   bool sampled = false;        // carries an engine trace to graft
   obs::SpanNode engine_trace;  // sampled txn_commit subtree, if any
+};
+
+/// One encoded response waiting to reach the socket: the frame header
+/// (8 bytes on v1, 12 on v2) plus the payload it frames. Responses are
+/// flushed as an iovec chain via writev — the payload is never copied
+/// into a contiguous out buffer.
+struct OutBuf {
+  uint8_t header[kFrameHeaderBytesV2];
+  uint32_t header_len = 0;
+  std::vector<uint8_t> payload;
+  size_t size() const { return header_len + payload.size(); }
 };
 
 /// One connection = one session. Owned by exactly one worker thread; no
@@ -68,9 +82,17 @@ struct Connection {
   uint64_t id = 0;
   std::vector<uint8_t> in;
   size_t in_pos = 0;  // parse cursor into `in`
-  std::vector<uint8_t> out;
-  size_t out_pos = 0;
+  /// Encoded responses awaiting the socket, oldest first; chain_pos is
+  /// how many bytes of the front response have already been sent.
+  std::deque<OutBuf> out_chain;
+  size_t chain_pos = 0;
   bool handshaken = false;
+  /// Negotiated protocol version; flips to 2 after a v2 hello response
+  /// is queued (the hello exchange itself is always v1-framed).
+  uint16_t version = 1;
+  /// Granted pipeline window (v2): requests outstanding beyond this are
+  /// shed with the retryable kOverloaded code.
+  uint32_t window = kDefaultPipelineWindow;
   bool close_after_flush = false;
   bool wants_writable = false;
   txn::Transaction txn;
@@ -81,13 +103,47 @@ struct Connection {
   uint64_t bytes_queued = 0;
   uint64_t bytes_flushed = 0;
   std::deque<PendingRequest> pending_requests;
+  /// Encode scratch: response-payload vectors recycled after their frame
+  /// is flushed, so the hot path reuses capacity instead of reallocating
+  /// per response.
+  std::vector<std::vector<uint8_t>> buf_pool;
   /// Scratch filled by ExecCommit for the request currently executing so
   /// ExecuteFrame can attribute the engine's commit stages; reset before
   /// every Execute().
   uint64_t last_wal_sync_ns = 0;
   uint64_t last_commit_publish_ns = 0;
   bool last_commit_sampled = false;
+
+  size_t out_backlog() const {
+    return static_cast<size_t>(bytes_queued - bytes_flushed);
+  }
 };
+
+namespace {
+
+/// Encode-scratch pool bounds: enough buffers for a full pipeline
+/// window's worth of small responses, without pinning scan-sized
+/// allocations to an idle connection.
+constexpr size_t kMaxPooledBufs = 8;
+constexpr size_t kMaxPooledBufBytes = 64u << 10;
+
+void RecycleBuf(Connection* conn, std::vector<uint8_t>&& buf) {
+  if (conn->buf_pool.size() >= kMaxPooledBufs ||
+      buf.capacity() > kMaxPooledBufBytes) {
+    return;
+  }
+  buf.clear();
+  conn->buf_pool.push_back(std::move(buf));
+}
+
+std::vector<uint8_t> TakeBuf(Connection* conn) {
+  if (conn->buf_pool.empty()) return {};
+  std::vector<uint8_t> buf = std::move(conn->buf_pool.back());
+  conn->buf_pool.pop_back();
+  return buf;
+}
+
+}  // namespace
 
 class ServerImpl {
  public:
@@ -248,7 +304,7 @@ class ServerImpl {
                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
         if (fd < 0) break;
         OwnedFd conn_fd(fd);
-        (void)SetNoDelay(fd);
+        (void)ConfigureAcceptedSocket(fd);
         if (open_conns_.load(std::memory_order_relaxed) >=
             options_.max_connections) {
           // Connection-level admission control: a one-frame 503 and an
@@ -426,21 +482,17 @@ class ServerImpl {
 
   // --- I/O ----------------------------------------------------------------
 
-  /// Non-blocking send of the out buffer. Returns false when the
+  /// Non-blocking send of the out chain. Returns false when the
   /// connection was closed (error or close_after_flush completion).
   bool FlushOut(Worker* worker, Connection* conn) {
     if (!TrySend(conn)) {
       CloseConnection(worker, conn);
       return false;
     }
-    const bool drained = conn->out_pos == conn->out.size();
-    if (drained) {
-      conn->out.clear();
-      conn->out_pos = 0;
-      if (conn->close_after_flush) {
-        CloseConnection(worker, conn);
-        return false;
-      }
+    const bool drained = conn->out_chain.empty();
+    if (drained && conn->close_after_flush) {
+      CloseConnection(worker, conn);
+      return false;
     }
     const bool want_writable = !drained;
     if (want_writable != conn->wants_writable) {
@@ -454,23 +506,65 @@ class ServerImpl {
     return true;
   }
 
-  /// Raw send loop; returns false on a hard socket error. Every byte
-  /// accepted by the kernel advances bytes_flushed, which is what
-  /// completes pending requests' latency attribution.
+  /// Raw send loop; returns false on a hard socket error. The whole
+  /// response chain goes out as one scatter-gather writev (header +
+  /// payload iovecs, no coalescing copy); every byte accepted by the
+  /// kernel advances bytes_flushed, which is what completes pending
+  /// requests' latency attribution. Fully flushed payload buffers are
+  /// recycled into the connection's encode-scratch pool.
   bool TrySend(Connection* conn) {
+    constexpr int kMaxIov = 64;
     bool ok = true;
-    while (conn->out_pos < conn->out.size()) {
-      const ssize_t n = ::send(conn->fd.get(), conn->out.data() + conn->out_pos,
-                               conn->out.size() - conn->out_pos,
-                               MSG_NOSIGNAL);
+    while (!conn->out_chain.empty()) {
+      iovec iov[kMaxIov];
+      int iovcnt = 0;
+      size_t skip = conn->chain_pos;  // applies to the front buffer only
+      for (const OutBuf& buf : conn->out_chain) {
+        if (iovcnt > kMaxIov - 2) break;
+        if (skip < buf.header_len) {
+          iov[iovcnt].iov_base =
+              const_cast<uint8_t*>(buf.header) + skip;
+          iov[iovcnt].iov_len = buf.header_len - skip;
+          ++iovcnt;
+          skip = 0;
+        } else {
+          skip -= buf.header_len;
+        }
+        if (!buf.payload.empty() && skip < buf.payload.size()) {
+          iov[iovcnt].iov_base =
+              const_cast<uint8_t*>(buf.payload.data()) + skip;
+          iov[iovcnt].iov_len = buf.payload.size() - skip;
+          ++iovcnt;
+        }
+        skip = 0;
+      }
+      // sendmsg == writev + flags; MSG_NOSIGNAL keeps a dead peer from
+      // raising SIGPIPE out of the worker thread.
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<size_t>(iovcnt);
+      const ssize_t n = ::sendmsg(conn->fd.get(), &msg, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
         ok = false;
         break;
       }
-      conn->out_pos += static_cast<size_t>(n);
       conn->bytes_flushed += static_cast<uint64_t>(n);
+      size_t advanced = static_cast<size_t>(n);
+      while (advanced > 0 && !conn->out_chain.empty()) {
+        OutBuf& front = conn->out_chain.front();
+        const size_t left = front.size() - conn->chain_pos;
+        if (advanced >= left) {
+          advanced -= left;
+          conn->chain_pos = 0;
+          RecycleBuf(conn, std::move(front.payload));
+          conn->out_chain.pop_front();
+        } else {
+          conn->chain_pos += advanced;
+          advanced = 0;
+        }
+      }
     }
     CompleteFlushedRequests(conn);
     return ok;
@@ -548,7 +642,7 @@ class ServerImpl {
   }
 
   void OnReadable(Worker* worker, Connection* conn) {
-    if (conn->out.size() - conn->out_pos > kMaxOutBacklog) {
+    if (conn->out_backlog() > kMaxOutBacklog) {
       // Backpressure: the client is not draining responses; stop
       // reading until it does (level-triggered epoll re-arms this).
       return;
@@ -591,86 +685,169 @@ class ServerImpl {
     FlushOut(worker, conn);
   }
 
-  /// Parses complete frames out of conn->in and executes them. Returns
+  /// One complete frame discovered by the batch scan, pending execution.
+  struct FrameRef {
+    size_t header_off = 0;  // offset of the frame header in conn->in
+    uint32_t len = 0;
+    uint32_t tag = 0;
+    uint64_t ticks = 0;  // frame-read-complete timestamp
+    bool hoist = false;  // v2 ad-hoc read: may complete ahead of DML
+  };
+
+  /// True for requests the v2 ordering rules allow to complete out of
+  /// order: pings and ad-hoc (tid 0) reads, which carry their own
+  /// snapshot and touch no session state. DML, transaction control and
+  /// in-transaction reads stay FIFO (DESIGN.md §17).
+  static bool IsHoistableRead(const uint8_t* payload, uint32_t len) {
+    if (len < 1) return false;
+    const Opcode op = static_cast<Opcode>(payload[0]);
+    if (op == Opcode::kPing) return true;
+    if (op != Opcode::kScanEqual && op != Opcode::kScanRange &&
+        op != Opcode::kCount) {
+      return false;
+    }
+    if (len < 1 + sizeof(uint64_t)) return false;
+    uint64_t tid;
+    std::memcpy(&tid, payload + 1, sizeof(tid));
+    return tid == 0;
+  }
+
+  /// Drains conn->in into per-connection request batches and executes
+  /// them. Each batch is scanned for complete frames first (so the
+  /// queue-depth gauge sees the real backlog and v2 read hoisting knows
+  /// the whole wake's worth of work), then executed: on v2 connections
+  /// ad-hoc reads run first and complete out of order ahead of any DML
+  /// queued behind them; everything else runs in arrival order. Returns
   /// false when the connection was closed (protocol error).
   bool ParseAndExecute(Worker* worker, Connection* conn) {
-    // Count complete frames first so the queue-depth gauge reflects the
-    // backlog this batch is about to work through.
-    size_t queued = 0;
-    {
+    while (true) {
+      const uint32_t header_bytes = conn->version >= 2
+                                        ? kFrameHeaderBytesV2
+                                        : kFrameHeaderBytes;
+      std::vector<FrameRef> batch;
+      Status fatal;  // malformed header: poisons the stream
       size_t pos = conn->in_pos;
-      while (conn->in.size() - pos >= kFrameHeaderBytes) {
-        uint32_t len;
-        std::memcpy(&len, conn->in.data() + pos, sizeof(len));
-        if (len > options_.max_frame_bytes) break;
-        if (conn->in.size() - pos < kFrameHeaderBytes + len) break;
-        pos += kFrameHeaderBytes + len;
-        ++queued;
+      while (conn->in.size() - pos >= header_bytes) {
+        const uint8_t* header = conn->in.data() + pos;
+        auto len_result =
+            DecodeFrameHeader(header, options_.max_frame_bytes);
+        if (!len_result.ok()) {
+          fatal = len_result.status();
+          break;
+        }
+        const uint32_t len = *len_result;
+        if (conn->in.size() - pos < header_bytes + len) break;
+        FrameRef ref;
+        ref.header_off = pos;
+        ref.len = len;
+        // Frame-read-complete: request latency is measured from here,
+        // so the CRC check and opcode decode land in the parse stage.
+        ref.ticks = obs::FastClock::NowTicks();
+        if (conn->version >= 2) {
+          ref.tag = TaggedFrameTag(header);
+          ref.hoist = IsHoistableRead(header + header_bytes, len);
+        }
+        batch.push_back(ref);
+        pos += header_bytes + len;
+        // Before the handshake the framing of everything past the first
+        // frame is unknown (hello may negotiate v2): execute one frame,
+        // then rescan under the negotiated version.
+        if (!conn->handshaken) break;
+      }
+      if (batch.empty() && fatal.ok()) return true;  // need more bytes
+      conn->in_pos = pos;  // every scanned frame is consumed below
+      size_t queued = batch.size();
+      queue_gauge_.Add(static_cast<int64_t>(queued));
+      // Two passes on v2 (hoisted reads, then the FIFO remainder); the
+      // single pass over a v1 batch is the degenerate second pass.
+      for (const int pass : {0, 1}) {
+        for (const FrameRef& ref : batch) {
+          if (ref.hoist != (pass == 0)) continue;
+          const uint8_t* payload =
+              conn->in.data() + ref.header_off + header_bytes;
+          Status crc_status =
+              conn->version >= 2
+                  ? CheckTaggedFrameCrc(conn->in.data() + ref.header_off,
+                                        payload, ref.len)
+                  : CheckFrameCrc(conn->in.data() + ref.header_off,
+                                  payload, ref.len);
+          if (!crc_status.ok()) {
+            queue_gauge_.Add(-static_cast<int64_t>(queued));
+            ProtocolError(worker, conn, static_cast<Opcode>(0),
+                          crc_status.message(), ref.tag);
+            return false;
+          }
+          --queued;
+          queue_gauge_.Add(-1);
+          if (!ExecuteFrame(worker, conn, payload, ref.len, ref.ticks,
+                            ref.tag)) {
+            queue_gauge_.Add(-static_cast<int64_t>(queued));
+            return false;
+          }
+        }
+      }
+      if (!fatal.ok()) {
+        ProtocolError(worker, conn, static_cast<Opcode>(0),
+                      fatal.message(), 0);
+        return false;
       }
     }
-    queue_gauge_.Add(static_cast<int64_t>(queued));
-
-    while (conn->in.size() - conn->in_pos >= kFrameHeaderBytes) {
-      const uint8_t* header = conn->in.data() + conn->in_pos;
-      auto len_result =
-          DecodeFrameHeader(header, options_.max_frame_bytes);
-      if (!len_result.ok()) {
-        queue_gauge_.Add(-static_cast<int64_t>(queued));
-        ProtocolError(worker, conn, static_cast<Opcode>(0),
-                      len_result.status().message());
-        return false;
-      }
-      const uint32_t len = *len_result;
-      if (conn->in.size() - conn->in_pos < kFrameHeaderBytes + len) break;
-      // Frame-read-complete: request latency is measured from here, so
-      // the CRC check and opcode decode land in the parse stage.
-      const uint64_t frame_ticks = obs::FastClock::NowTicks();
-      const uint8_t* payload = header + kFrameHeaderBytes;
-      Status crc_status = CheckFrameCrc(header, payload, len);
-      if (!crc_status.ok()) {
-        queue_gauge_.Add(-static_cast<int64_t>(queued));
-        ProtocolError(worker, conn, static_cast<Opcode>(0),
-                      crc_status.message());
-        return false;
-      }
-      conn->in_pos += kFrameHeaderBytes + len;
-      if (queued > 0) {
-        --queued;
-        queue_gauge_.Add(-1);
-      }
-      if (!ExecuteFrame(worker, conn, payload, len, frame_ticks)) {
-        return false;
-      }
-    }
-    return true;
   }
 
   /// A malformed frame: count it, send a ProtocolError frame, close the
   /// connection after the flush (a byte stream past a bad frame cannot
   /// be resynchronised).
   void ProtocolError(Worker* worker, Connection* conn, Opcode op,
-                     const std::string& message) {
+                     const std::string& message, uint32_t tag = 0) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     protocol_error_counter_.Inc();
     AppendResponse(conn,
-                   MakeErrorPayload(op, WireCode::kProtocolError, message));
+                   MakeErrorPayload(op, WireCode::kProtocolError, message),
+                   tag);
     conn->close_after_flush = true;
     FlushOut(worker, conn);
   }
 
-  void AppendResponse(Connection* conn,
-                      const std::vector<uint8_t>& payload) {
-    const std::vector<uint8_t> frame = EncodeFrame(payload);
-    conn->out.insert(conn->out.end(), frame.begin(), frame.end());
-    conn->bytes_queued += frame.size();
+  /// Frames `payload` (v1 or tagged v2, per the connection's negotiated
+  /// version) straight into the out chain — the payload moves, it is
+  /// never copied into a contiguous buffer.
+  void AppendResponse(Connection* conn, std::vector<uint8_t>&& payload,
+                      uint32_t tag = 0) {
+    OutBuf buf;
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    std::memcpy(buf.header, &len, sizeof(len));
+    uint32_t crc;
+    if (conn->version >= 2) {
+      crc = MaskCrc(
+          Crc32c(payload.data(), payload.size(), Crc32c(&tag, sizeof(tag))));
+      std::memcpy(buf.header + 8, &tag, sizeof(tag));
+      buf.header_len = kFrameHeaderBytesV2;
+    } else {
+      crc = MaskCrc(Crc32c(payload.data(), payload.size()));
+      buf.header_len = kFrameHeaderBytes;
+    }
+    std::memcpy(buf.header + 4, &crc, sizeof(crc));
+    buf.payload = std::move(payload);
+    conn->bytes_queued += buf.size();
+    conn->out_chain.push_back(std::move(buf));
   }
 
   // --- Request execution --------------------------------------------------
 
+  /// True when `tag` is already attached to an outstanding request on
+  /// this connection (response not yet fully flushed). Bounded by the
+  /// pipeline window, so the linear scan is cheap.
+  static bool TagInFlight(Connection* conn, uint32_t tag) {
+    for (const PendingRequest& pr : conn->pending_requests) {
+      if (pr.tag == tag) return true;
+    }
+    return false;
+  }
+
   /// Returns false when the connection was closed.
   bool ExecuteFrame(Worker* worker, Connection* conn,
                     const uint8_t* payload, uint32_t len,
-                    uint64_t start_ticks) {
+                    uint64_t start_ticks, uint32_t tag = 0) {
     using obs::FastClock;
     using obs::RequestStage;
     WireReader reader(payload, len);
@@ -680,10 +857,12 @@ class ServerImpl {
       // answer cleanly and keep the connection.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       protocol_error_counter_.Inc();
-      AppendResponse(conn, MakeErrorPayload(
-                               static_cast<Opcode>(raw_op),
-                               WireCode::kNotSupported,
-                               "unknown opcode " + std::to_string(raw_op)));
+      AppendResponse(conn,
+                     MakeErrorPayload(
+                         static_cast<Opcode>(raw_op),
+                         WireCode::kNotSupported,
+                         "unknown opcode " + std::to_string(raw_op)),
+                     tag);
       return true;
     }
     const Opcode op = static_cast<Opcode>(raw_op);
@@ -692,7 +871,7 @@ class ServerImpl {
     requests_counter_.Inc();
 
     if (!conn->handshaken && op != Opcode::kHello) {
-      ProtocolError(worker, conn, op, "first frame must be hello");
+      ProtocolError(worker, conn, op, "first frame must be hello", tag);
       return false;
     }
 
@@ -704,6 +883,7 @@ class ServerImpl {
     PendingRequest req;
     req.start_ticks = start_ticks;
     req.op = raw_op;
+    req.tag = tag;
     const uint64_t parse_end_ticks = FastClock::NowTicks();
     req.stages[RequestStage::kParse] = FastClock::TicksToNanos(
         static_cast<int64_t>(parse_end_ticks - start_ticks));
@@ -723,7 +903,29 @@ class ServerImpl {
 
     std::vector<uint8_t> response;
     uint64_t dispatch_end_ticks = parse_end_ticks;
-    if (draining()) {
+    if (conn->version >= 2 &&
+        conn->pending_requests.size() >= conn->window) {
+      // Pipeline window overflow: the client has more requests
+      // outstanding than it negotiated. Shed the excess with the
+      // retryable admission-control code — never a connection close.
+      overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+      overload_counter_.Inc();
+      response = MakeErrorPayload(
+          op, WireCode::kOverloaded,
+          "pipeline window exceeded (" + std::to_string(conn->window) +
+              " requests outstanding)");
+      dispatch_end_ticks = FastClock::NowTicks();
+    } else if (conn->version >= 2 && TagInFlight(conn, tag)) {
+      // Tags must be unique among outstanding requests — a duplicate
+      // would make two responses indistinguishable to the client. The
+      // frame boundary is intact, so answer cleanly and keep going.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_error_counter_.Inc();
+      response = MakeErrorPayload(
+          op, WireCode::kInvalidArgument,
+          "request tag " + std::to_string(tag) + " already in flight");
+      dispatch_end_ticks = FastClock::NowTicks();
+    } else if (draining()) {
       response = MakeErrorPayload(op, WireCode::kDraining,
                                   "server is draining");
       dispatch_end_ticks = FastClock::NowTicks();
@@ -776,7 +978,7 @@ class ServerImpl {
                                req.stages[RequestStage::kCommitPublish];
     req.stages[RequestStage::kExecute] =
         exec_ns > engine_ns ? exec_ns - engine_ns : 0;
-    AppendResponse(conn, response);
+    AppendResponse(conn, std::move(response), tag);
     FinishRequestStages(conn, std::move(req), FastClock::NowTicks());
     if (op == Opcode::kDrain) Drain();
     return true;
@@ -813,6 +1015,12 @@ class ServerImpl {
     const uint32_t magic = reader.U32();
     const uint16_t min_version = reader.U16();
     const uint16_t max_version = reader.U16();
+    // v2-capable clients append the pipeline window they want; a v1
+    // hello simply ends here.
+    uint32_t requested_window = 0;
+    if (reader.ok() && reader.remaining() >= sizeof(uint32_t)) {
+      requested_window = reader.U32();
+    }
     if (!reader.ok() || magic != kHelloMagic) {
       ProtocolError(worker, conn, Opcode::kHello, "bad hello magic");
       return false;
@@ -851,7 +1059,22 @@ class ServerImpl {
     writer.U16(chosen);
     writer.U8(static_cast<uint8_t>(db_->options().mode));
     writer.U64(conn->id);
-    AppendResponse(conn, response);
+    uint32_t window = 0;
+    if (chosen >= 2) {
+      const uint32_t cap = std::max(1u, options_.max_pipeline_window);
+      window = requested_window == 0 ? kDefaultPipelineWindow
+                                     : requested_window;
+      window = std::min(std::max(window, 1u), cap);
+      writer.U32(window);
+    }
+    // The hello response is v1-framed even when v2 was negotiated (the
+    // client cannot know the outcome before reading it); everything
+    // after this frame — in both directions — is tagged.
+    AppendResponse(conn, std::move(response));
+    if (chosen >= 2) {
+      conn->version = chosen;
+      conn->window = window;
+    }
     return true;
   }
 
@@ -936,6 +1159,8 @@ class ServerImpl {
         return ExecUpdate(conn, reader);
       case Opcode::kDelete:
         return ExecDelete(conn, reader);
+      case Opcode::kDmlBatch:
+        return ExecDmlBatch(conn, reader);
       case Opcode::kScanEqual:
       case Opcode::kScanRange:
         return ExecScan(op, conn, reader);
@@ -993,7 +1218,7 @@ class ServerImpl {
     conn->txn = *tx_result;
     conn->txn_open = true;
     open_txns_.fetch_add(1, std::memory_order_relaxed);
-    std::vector<uint8_t> payload;
+    std::vector<uint8_t> payload = TakeBuf(conn);
     WireWriter writer(&payload);
     writer.U8(static_cast<uint8_t>(Opcode::kBegin));
     writer.U8(static_cast<uint8_t>(WireCode::kOk));
@@ -1043,7 +1268,7 @@ class ServerImpl {
     conn->last_wal_sync_ns = conn->txn.wal_sync_ns();
     conn->last_commit_publish_ns = conn->txn.commit_publish_ns();
     conn->last_commit_sampled = sampled;
-    std::vector<uint8_t> payload;
+    std::vector<uint8_t> payload = TakeBuf(conn);
     WireWriter writer(&payload);
     writer.U8(static_cast<uint8_t>(Opcode::kCommit));
     writer.U8(static_cast<uint8_t>(WireCode::kOk));
@@ -1134,7 +1359,7 @@ class ServerImpl {
     if (!loc_result.ok()) {
       return MakeStatusPayload(Opcode::kInsert, loc_result.status());
     }
-    std::vector<uint8_t> payload;
+    std::vector<uint8_t> payload = TakeBuf(conn);
     WireWriter writer(&payload);
     writer.U8(static_cast<uint8_t>(Opcode::kInsert));
     writer.U8(static_cast<uint8_t>(WireCode::kOk));
@@ -1163,7 +1388,7 @@ class ServerImpl {
     if (!loc_result.ok()) {
       return MakeStatusPayload(Opcode::kUpdate, loc_result.status());
     }
-    std::vector<uint8_t> payload;
+    std::vector<uint8_t> payload = TakeBuf(conn);
     WireWriter writer(&payload);
     writer.U8(static_cast<uint8_t>(Opcode::kUpdate));
     writer.U8(static_cast<uint8_t>(WireCode::kOk));
@@ -1189,6 +1414,136 @@ class ServerImpl {
     if (!status.ok()) return MakeStatusPayload(Opcode::kDelete, status);
     return MakeStatusPayload(Opcode::kDelete,
                              db_->Delete(conn->txn, *table_result, loc));
+  }
+
+  /// Pipelined autocommit write: [u32 count] then per op [u8 kind]
+  /// + body (1=insert: [str table][row], 2=update: [str table][loc][row],
+  /// 3=delete: [str table][loc]). The whole batch runs as ONE engine
+  /// transaction — every op applies under one transaction-stage pass,
+  /// then a single commit pays one group-commit fsync and one ordered
+  /// publish for the lot. Atomic: any failing op aborts the batch and
+  /// the error names its index. Response: [u32 count][loc]*count[u64 cid]
+  /// (a delete echoes the location it removed).
+  std::vector<uint8_t> ExecDmlBatch(Connection* conn, WireReader& reader) {
+    constexpr Opcode kOp = Opcode::kDmlBatch;
+    if (conn->txn_open) {
+      return MakeErrorPayload(
+          kOp, WireCode::kInvalidArgument,
+          "dml_batch is autocommit; commit or abort the session "
+          "transaction first");
+    }
+    const uint32_t count = reader.U32();
+    if (!reader.ok() || count == 0) {
+      return MakeErrorPayload(kOp, WireCode::kInvalidArgument,
+                              "malformed dml_batch body");
+    }
+    auto tx_result = db_->Begin();
+    if (!tx_result.ok()) {
+      return MakeStatusPayload(kOp, tx_result.status());
+    }
+    txn::Transaction tx = std::move(*tx_result);
+    const bool sampled = tx.sampled();
+    std::vector<uint8_t> payload = TakeBuf(conn);
+    WireWriter writer(&payload);
+    writer.U8(static_cast<uint8_t>(kOp));
+    writer.U8(static_cast<uint8_t>(WireCode::kOk));
+    writer.U32(count);
+    // One-entry table cache: batches overwhelmingly target one table,
+    // and skipping the name lookup is part of the single-pass promise.
+    storage::Table* cached_table = nullptr;
+    std::string cached_name;
+    Status failure;
+    uint32_t fail_index = 0;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint8_t kind = reader.U8();
+      const std::string table_name = reader.Str();
+      if (!reader.ok() || kind < 1 || kind > 3) {
+        failure = Status::InvalidArgument("malformed dml_batch op");
+        fail_index = i;
+        break;
+      }
+      storage::Table* table = cached_table;
+      if (table == nullptr || table_name != cached_name) {
+        auto table_result = db_->GetTable(table_name);
+        if (!table_result.ok()) {
+          failure = table_result.status();
+          fail_index = i;
+          break;
+        }
+        table = *table_result;
+        cached_table = table;
+        cached_name = table_name;
+      }
+      if (kind == 1) {  // insert
+        const std::vector<storage::Value> row = reader.Row();
+        if (!reader.ok()) {
+          failure = Status::InvalidArgument("malformed insert row");
+          fail_index = i;
+          break;
+        }
+        auto loc_result = db_->Insert(tx, table, row);
+        if (!loc_result.ok()) {
+          failure = loc_result.status();
+          fail_index = i;
+          break;
+        }
+        writer.Loc(*loc_result);
+      } else if (kind == 2) {  // update
+        const storage::RowLocation loc = reader.Loc();
+        const std::vector<storage::Value> row = reader.Row();
+        if (!reader.ok()) {
+          failure = Status::InvalidArgument("malformed update op");
+          fail_index = i;
+          break;
+        }
+        failure = CheckLocation(table, loc);
+        if (failure.ok()) {
+          auto loc_result = db_->Update(tx, table, loc, row);
+          if (loc_result.ok()) {
+            writer.Loc(*loc_result);
+          } else {
+            failure = loc_result.status();
+          }
+        }
+        if (!failure.ok()) {
+          fail_index = i;
+          break;
+        }
+      } else {  // delete
+        const storage::RowLocation loc = reader.Loc();
+        if (!reader.ok()) {
+          failure = Status::InvalidArgument("malformed delete op");
+          fail_index = i;
+          break;
+        }
+        failure = CheckLocation(table, loc);
+        if (failure.ok()) failure = db_->Delete(tx, table, loc);
+        if (!failure.ok()) {
+          fail_index = i;
+          break;
+        }
+        writer.Loc(loc);
+      }
+    }
+    if (!failure.ok()) {
+      (void)db_->Abort(tx);
+      RecycleBuf(conn, std::move(payload));
+      return MakeErrorPayload(
+          kOp, WireCodeFromStatus(failure),
+          "op " + std::to_string(fail_index) + ": " +
+              std::string(failure.message()));
+    }
+    Status status = db_->Commit(tx);
+    if (!status.ok()) {
+      if (tx.active()) (void)db_->Abort(tx);
+      RecycleBuf(conn, std::move(payload));
+      return MakeStatusPayload(kOp, status);
+    }
+    conn->last_wal_sync_ns = tx.wal_sync_ns();
+    conn->last_commit_publish_ns = tx.commit_publish_ns();
+    conn->last_commit_sampled = sampled;
+    writer.U64(tx.commit_cid());
+    return payload;
   }
 
   /// Row locations come from an untrusted peer: bound-check them before
@@ -1252,7 +1607,7 @@ class ServerImpl {
       locs.resize(limit);
       truncated = true;
     }
-    std::vector<uint8_t> payload;
+    std::vector<uint8_t> payload = TakeBuf(conn);
     WireWriter writer(&payload);
     writer.U8(static_cast<uint8_t>(op));
     writer.U8(static_cast<uint8_t>(WireCode::kOk));
@@ -1296,7 +1651,7 @@ class ServerImpl {
     }
     const uint64_t count =
         core::CountRows(*table_result, snapshot, read_tid);
-    std::vector<uint8_t> payload;
+    std::vector<uint8_t> payload = TakeBuf(conn);
     WireWriter writer(&payload);
     writer.U8(static_cast<uint8_t>(Opcode::kCount));
     writer.U8(static_cast<uint8_t>(WireCode::kOk));

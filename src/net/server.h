@@ -33,6 +33,10 @@ struct ServerOptions {
   int idle_timeout_ms = 60'000;
   /// Payload cap enforced on receive, before the body is read.
   uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Cap on the per-connection pipeline window granted at a v2
+  /// handshake (requests outstanding per connection before the excess
+  /// is shed with the retryable kOverloaded code).
+  uint32_t max_pipeline_window = kMaxPipelineWindow;
   /// Tighter inflight cap while the engine serves degraded (recovery
   /// drain in progress): on-demand restores contend with the drain for
   /// the table locks, so the warming server sheds load early with the

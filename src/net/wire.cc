@@ -46,6 +46,8 @@ const char* OpcodeName(Opcode op) {
       return "decide";
     case Opcode::kInDoubt:
       return "in_doubt";
+    case Opcode::kDmlBatch:
+      return "dml_batch";
   }
   return "unknown";
 }
@@ -174,6 +176,38 @@ std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
   writer.U32(MaskCrc(Crc32c(payload.data(), payload.size())));
   frame.insert(frame.end(), payload.begin(), payload.end());
   return frame;
+}
+
+std::vector<uint8_t> EncodeTaggedFrame(uint32_t tag,
+                                       const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytesV2 + payload.size());
+  WireWriter writer(&frame);
+  writer.U32(static_cast<uint32_t>(payload.size()));
+  const uint32_t tag_crc = Crc32c(&tag, sizeof(tag));
+  writer.U32(MaskCrc(Crc32c(payload.data(), payload.size(), tag_crc)));
+  writer.U32(tag);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+uint32_t TaggedFrameTag(const uint8_t header[kFrameHeaderBytesV2]) {
+  uint32_t tag;
+  std::memcpy(&tag, header + 8, sizeof(tag));
+  return tag;
+}
+
+Status CheckTaggedFrameCrc(const uint8_t header[kFrameHeaderBytesV2],
+                           const uint8_t* payload, uint32_t len) {
+  uint32_t masked;
+  std::memcpy(&masked, header + 4, sizeof(masked));
+  const uint32_t expected = UnmaskCrc(masked);
+  const uint32_t tag_crc = Crc32c(header + 8, sizeof(uint32_t));
+  const uint32_t actual = Crc32c(payload, len, tag_crc);
+  if (expected != actual) {
+    return Status::Corruption("tagged frame CRC mismatch");
+  }
+  return Status::OK();
 }
 
 Result<uint32_t> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],

@@ -11,17 +11,24 @@
 
 namespace hyrise_nv::net {
 
-/// Binary wire protocol for the serving layer (DESIGN.md §10).
+/// Binary wire protocol for the serving layer (DESIGN.md §10, §17).
 ///
-/// Every message travels in a frame:
+/// Version 1 frames every message as:
 ///
 ///   [u32 payload_len][u32 masked CRC32C(payload)][payload bytes]
 ///
+/// Version 2 (negotiated at handshake) extends the header with a
+/// client-chosen request tag, CRC-covered so a corrupted tag cannot
+/// misroute a response:
+///
+///   [u32 payload_len][u32 masked CRC32C(tag || payload)][u32 tag][payload]
+///
 /// Integers are little-endian. The CRC is masked (LevelDB-style, same as
 /// the storage seals) so a frame whose payload itself carries CRCs never
-/// accidentally verifies. `payload_len` is bounded by kMaxFrameBytes; a
-/// peer announcing more is a protocol error and the connection is closed
-/// without reading the body.
+/// accidentally verifies. `payload_len` counts payload bytes only (the
+/// tag is header) and is bounded by kMaxFrameBytes; a peer announcing
+/// more is a protocol error and the connection is closed without reading
+/// the body.
 ///
 /// Request payload:  [u8 opcode][body...]
 /// Response payload: [u8 opcode (echoed)][u8 wire code][body... | error msg]
@@ -33,15 +40,27 @@ namespace hyrise_nv::net {
 ///
 /// The first frame on a connection must be kHello (protocol version
 /// negotiation). Everything else before a successful handshake is a
-/// protocol error.
+/// protocol error. The hello exchange itself is ALWAYS v1-framed in both
+/// directions — the framing switches to v2 only after both sides know the
+/// negotiated version. A v2 hello request appends [u32 requested_window]
+/// and a v2 hello response appends [u32 granted_window]; a v1 peer never
+/// sees either field (DESIGN.md §17).
 
 // --- Protocol constants ---------------------------------------------------
 
 constexpr uint32_t kHelloMagic = 0x4C51564E;  // "NVQL" little-endian
 constexpr uint16_t kProtocolVersionMin = 1;
-constexpr uint16_t kProtocolVersionMax = 1;
+constexpr uint16_t kProtocolVersionMax = 2;
 constexpr uint32_t kFrameHeaderBytes = 8;
+/// v2 tagged-frame header: [u32 len][u32 crc][u32 tag].
+constexpr uint32_t kFrameHeaderBytesV2 = 12;
 constexpr uint32_t kMaxFrameBytes = 8u << 20;  // 8 MiB payload cap
+/// Pipeline window bounds (v2). The window is the number of requests a
+/// connection may have outstanding (received by the server, response not
+/// yet handed to the socket); requests beyond it are shed with the
+/// retryable kOverloaded code, never a connection close.
+constexpr uint32_t kDefaultPipelineWindow = 32;
+constexpr uint32_t kMaxPipelineWindow = 256;
 
 /// Request opcodes. Values are wire format; append only.
 enum class Opcode : uint8_t {
@@ -71,9 +90,19 @@ enum class Opcode : uint8_t {
   kPrepare = 18,
   kDecide = 19,
   kInDoubt = 20,
+  // Pipelined autocommit write (v2 only). One frame carries a whole DML
+  // batch: the server begins a transaction, applies every op, and
+  // commits once — one group-commit fsync and one ordered publish for
+  // the batch, atomically (any failure aborts the whole batch). Body:
+  // [u32 count] then per op [u8 kind: 1=insert 2=update 3=delete]
+  // followed by the op's body without a tid (insert: [str table][row],
+  // update: [str table][loc][row], delete: [str table][loc]). Response
+  // body: [u32 count][loc]*count [u64 cid]; an error response carries
+  // the failing op index as "op N: message".
+  kDmlBatch = 21,
 };
 
-constexpr Opcode kLastOpcode = Opcode::kInDoubt;
+constexpr Opcode kLastOpcode = Opcode::kDmlBatch;
 
 const char* OpcodeName(Opcode op);
 bool IsKnownOpcode(uint8_t op);
@@ -205,18 +234,31 @@ class WireReader {
 
 // --- Framing --------------------------------------------------------------
 
-/// Wraps `payload` in a frame (length prefix + masked CRC).
+/// Wraps `payload` in a v1 frame (length prefix + masked CRC).
 std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
 
-/// Parses the 8-byte frame header. Fails with InvalidArgument when the
-/// announced length exceeds `max_payload` (oversized frames are rejected
-/// before any body byte is read).
+/// Wraps `payload` in a v2 tagged frame. The CRC covers tag || payload.
+std::vector<uint8_t> EncodeTaggedFrame(uint32_t tag,
+                                       const std::vector<uint8_t>& payload);
+
+/// Parses the frame header's length word (shared by v1 and v2 — the
+/// length is the first field of both). Fails with InvalidArgument when
+/// the announced length exceeds `max_payload` (oversized frames are
+/// rejected before any body byte is read).
 Result<uint32_t> DecodeFrameHeader(const uint8_t header[kFrameHeaderBytes],
                                    uint32_t max_payload = kMaxFrameBytes);
 
 /// Verifies the payload against the masked CRC from the frame header.
 Status CheckFrameCrc(const uint8_t header[kFrameHeaderBytes],
                      const uint8_t* payload, uint32_t len);
+
+/// The tag field of a v2 header.
+uint32_t TaggedFrameTag(const uint8_t header[kFrameHeaderBytesV2]);
+
+/// Verifies a v2 frame: the masked CRC must cover tag || payload, so a
+/// flipped tag bit fails exactly like a flipped payload bit.
+Status CheckTaggedFrameCrc(const uint8_t header[kFrameHeaderBytesV2],
+                           const uint8_t* payload, uint32_t len);
 
 // --- Message helpers ------------------------------------------------------
 

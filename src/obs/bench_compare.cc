@@ -46,7 +46,7 @@ bool IsAxisKey(std::string_view key) {
       "keys",     "scale",       "batch",          "phase",
       "second",   "round",       "latency_factor", "iteration",
       "value_size", "run",       "delta_rows",     "delete_fraction",
-      "shards",
+      "shards",   "depth",       "protocol",
   };
   for (std::string_view axis : kAxes) {
     if (key == axis) return true;
@@ -191,7 +191,8 @@ MetricDirection DirectionForMetric(std::string_view name) {
   }
   if (ContainsToken(name, "per_sec") || ContainsToken(name, "tput") ||
       ContainsToken(name, "throughput") || ContainsToken(name, "ops") ||
-      ContainsToken(name, "rate") || ContainsToken(name, "per_second")) {
+      ContainsToken(name, "rate") || ContainsToken(name, "per_second") ||
+      ContainsToken(name, "speedup") || EndsWith(name, "_rps")) {
     return MetricDirection::kHigherIsBetter;
   }
   return MetricDirection::kNeutral;

@@ -140,6 +140,28 @@ TEST(WireFormatTest, OversizedAndEmptyFramesRejected) {
   EXPECT_FALSE(DecodeFrameHeader(header, 8).ok());  // per-server cap
 }
 
+TEST(WireFormatTest, TaggedFrameRoundtripAndCrc) {
+  const std::vector<uint8_t> payload = {9, 8, 7, 6};
+  std::vector<uint8_t> frame = EncodeTaggedFrame(0xABCD1234u, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytesV2 + payload.size());
+  auto len_result = DecodeFrameHeader(frame.data());
+  ASSERT_TRUE(len_result.ok());
+  EXPECT_EQ(*len_result, payload.size());
+  EXPECT_EQ(TaggedFrameTag(frame.data()), 0xABCD1234u);
+  const uint8_t* body = frame.data() + kFrameHeaderBytesV2;
+  EXPECT_TRUE(CheckTaggedFrameCrc(frame.data(), body, *len_result).ok());
+  // Payload corruption is caught...
+  frame[kFrameHeaderBytesV2 + 1] ^= 0x01;
+  EXPECT_TRUE(
+      CheckTaggedFrameCrc(frame.data(), body, *len_result).IsCorruption());
+  frame[kFrameHeaderBytesV2 + 1] ^= 0x01;
+  // ...and so is tag corruption: the CRC covers the tag, so a response
+  // can never be attributed to the wrong request by a flipped tag bit.
+  frame[8] ^= 0x01;
+  EXPECT_TRUE(
+      CheckTaggedFrameCrc(frame.data(), body, *len_result).IsCorruption());
+}
+
 TEST(WireFormatTest, StatusMappingIsByteStable) {
   // Every engine StatusCode survives the wire byte-for-byte.
   for (int code = 0; code <= 10; ++code) {
@@ -192,19 +214,55 @@ class CorruptionMatrixTest : public ::testing::Test {
     return ConnectTcp("127.0.0.1", server_->port(), 2000);
   }
 
-  /// Performs a valid handshake on `fd`.
+  /// Performs a valid v1 handshake on `fd`. The legacy matrix pins the
+  /// offered range to v1 so the raw frames the tests then write keep
+  /// their v1 framing against a v2-capable server (that cross-version
+  /// path is itself part of the matrix).
   void Handshake(int fd) {
     std::vector<uint8_t> hello;
     WireWriter writer(&hello);
     writer.U8(static_cast<uint8_t>(Opcode::kHello));
     writer.U32(kHelloMagic);
     writer.U16(kProtocolVersionMin);
-    writer.U16(kProtocolVersionMax);
+    writer.U16(kProtocolVersionMin);
     ASSERT_TRUE(WriteFrame(fd, hello).ok());
     auto resp = ReadFrame(fd, 2000);
     ASSERT_TRUE(resp.ok()) << resp.status().ToString();
     ASSERT_GE(resp->size(), 2u);
     EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kOk));
+  }
+
+  /// Performs a v2 handshake requesting `window`; returns the granted
+  /// window. The hello exchange itself is always v1-framed.
+  uint32_t HandshakeV2(int fd, uint32_t window = 0) {
+    std::vector<uint8_t> hello;
+    WireWriter writer(&hello);
+    writer.U8(static_cast<uint8_t>(Opcode::kHello));
+    writer.U32(kHelloMagic);
+    writer.U16(kProtocolVersionMin);
+    writer.U16(kProtocolVersionMax);
+    writer.U32(window);
+    EXPECT_TRUE(WriteFrame(fd, hello).ok());
+    auto resp = ReadFrame(fd, 2000);
+    EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+    if (!resp.ok() || resp->size() < 2) return 0;
+    EXPECT_EQ((*resp)[1], static_cast<uint8_t>(WireCode::kOk));
+    WireReader reader(resp->data() + 2, resp->size() - 2);
+    const uint16_t chosen = reader.U16();
+    EXPECT_EQ(chosen, 2);
+    (void)reader.U8();   // durability mode
+    (void)reader.U64();  // session id
+    const uint32_t granted = reader.U32();
+    EXPECT_TRUE(reader.ok());
+    return granted;
+  }
+
+  /// Builds a tagged v2 ping frame.
+  static std::vector<uint8_t> TaggedPing(uint32_t tag) {
+    std::vector<uint8_t> ping;
+    WireWriter writer(&ping);
+    writer.U8(static_cast<uint8_t>(Opcode::kPing));
+    return EncodeTaggedFrame(tag, ping);
   }
 
   /// The server must still answer a fresh, well-formed connection.
@@ -352,6 +410,141 @@ TEST_F(CorruptionMatrixTest, MalformedBodyKeepsConnection) {
   writer.U8(static_cast<uint8_t>(Opcode::kPing));
   ASSERT_TRUE(WriteFrame(fd_result->get(), ping).ok());
   EXPECT_TRUE(ReadFrame(fd_result->get(), 2000).ok());
+}
+
+// --- v2 (tagged frames) matrix --------------------------------------------
+
+TEST_F(CorruptionMatrixTest, V2HandshakeNegotiatesWindow) {
+  // Default request (0) gets the server default window.
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  EXPECT_EQ(HandshakeV2(fd_result->get(), 0), kDefaultPipelineWindow);
+  // An absurd request is clamped to the server cap, never granted.
+  auto fd2_result = Dial();
+  ASSERT_TRUE(fd2_result.ok());
+  EXPECT_EQ(HandshakeV2(fd2_result->get(), 1'000'000u),
+            kMaxPipelineWindow);
+}
+
+TEST_F(CorruptionMatrixTest, V1HelloAgainstV2ServerStaysV1) {
+  // A legacy client offering only v1 must get a v1 session whose hello
+  // response is byte-for-byte the v1 shape — no trailing window field.
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  std::vector<uint8_t> hello;
+  WireWriter writer(&hello);
+  writer.U8(static_cast<uint8_t>(Opcode::kHello));
+  writer.U32(kHelloMagic);
+  writer.U16(1);
+  writer.U16(1);
+  ASSERT_TRUE(WriteFrame(fd_result->get(), hello).ok());
+  auto resp = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  WireReader reader(resp->data(), resp->size());
+  (void)reader.U8();
+  EXPECT_EQ(reader.U8(), static_cast<uint8_t>(WireCode::kOk));
+  EXPECT_EQ(reader.U16(), 1);  // negotiated down to v1
+  (void)reader.U8();           // durability mode
+  (void)reader.U64();          // session id
+  EXPECT_TRUE(reader.Exhausted());  // v1 shape: no window field
+  // And the session really is v1-framed.
+  std::vector<uint8_t> ping;
+  WireWriter ping_writer(&ping);
+  ping_writer.U8(static_cast<uint8_t>(Opcode::kPing));
+  ASSERT_TRUE(WriteFrame(fd_result->get(), ping).ok());
+  auto pong = ReadFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ((*pong)[1], static_cast<uint8_t>(WireCode::kOk));
+}
+
+TEST_F(CorruptionMatrixTest, V2TaggedPingEchoesTag) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  ASSERT_GT(HandshakeV2(fd_result->get()), 0u);
+  const std::vector<uint8_t> frame = TaggedPing(0xDEAD0001u);
+  ASSERT_TRUE(SendAll(fd_result->get(), frame.data(), frame.size()).ok());
+  auto resp = ReadTaggedFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->tag, 0xDEAD0001u);
+  ASSERT_GE(resp->payload.size(), 2u);
+  EXPECT_EQ(resp->payload[1], static_cast<uint8_t>(WireCode::kOk));
+}
+
+TEST_F(CorruptionMatrixTest, CorruptedTagIsCaughtByCrc) {
+  // The v2 CRC covers the tag: a tag bit flipped in flight must be a
+  // protocol error (stream desync), not a response for the wrong
+  // request.
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  ASSERT_GT(HandshakeV2(fd_result->get()), 0u);
+  std::vector<uint8_t> frame = TaggedPing(42);
+  frame[8] ^= 0x01;  // flip a tag bit, CRC now stale
+  ASSERT_TRUE(SendAll(fd_result->get(), frame.data(), frame.size()).ok());
+  auto resp = ReadTaggedFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_GE(resp->payload.size(), 2u);
+  EXPECT_EQ(resp->payload[1],
+            static_cast<uint8_t>(WireCode::kProtocolError));
+  // The stream cannot be resynchronised: connection closes.
+  uint8_t byte;
+  EXPECT_FALSE(RecvAll(fd_result->get(), &byte, 1, 2000).ok());
+  ExpectServerAlive();
+}
+
+TEST_F(CorruptionMatrixTest, DuplicateTagRejectedConnectionSurvives) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  ASSERT_GT(HandshakeV2(fd_result->get()), 0u);
+  // Two requests with the same tag in ONE write, so they land in one
+  // server batch and the second is parsed while the first is still
+  // outstanding (responses flush after the batch).
+  std::vector<uint8_t> both = TaggedPing(7);
+  const std::vector<uint8_t> dup = TaggedPing(7);
+  both.insert(both.end(), dup.begin(), dup.end());
+  ASSERT_TRUE(SendAll(fd_result->get(), both.data(), both.size()).ok());
+  auto first = ReadTaggedFrame(fd_result->get(), 2000);
+  auto second = ReadTaggedFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->tag, 7u);
+  EXPECT_EQ(second->tag, 7u);
+  EXPECT_EQ(first->payload[1], static_cast<uint8_t>(WireCode::kOk));
+  EXPECT_EQ(second->payload[1],
+            static_cast<uint8_t>(WireCode::kInvalidArgument));
+  // The frame boundary stayed intact, so the connection survives.
+  const std::vector<uint8_t> again = TaggedPing(8);
+  ASSERT_TRUE(SendAll(fd_result->get(), again.data(), again.size()).ok());
+  auto third = ReadTaggedFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->payload[1], static_cast<uint8_t>(WireCode::kOk));
+}
+
+TEST_F(CorruptionMatrixTest, WindowOverflowShedsRetryably) {
+  auto fd_result = Dial();
+  ASSERT_TRUE(fd_result.ok());
+  ASSERT_EQ(HandshakeV2(fd_result->get(), 1), 1u);  // window of one
+  // Two outstanding requests against a window of 1, in one write: the
+  // second must be shed with the RETRYABLE admission code — overflowing
+  // the window is mis-pacing, not corruption, so never a close.
+  std::vector<uint8_t> both = TaggedPing(1);
+  const std::vector<uint8_t> extra = TaggedPing(2);
+  both.insert(both.end(), extra.begin(), extra.end());
+  ASSERT_TRUE(SendAll(fd_result->get(), both.data(), both.size()).ok());
+  auto first = ReadTaggedFrame(fd_result->get(), 2000);
+  auto second = ReadTaggedFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->payload[1], static_cast<uint8_t>(WireCode::kOk));
+  EXPECT_EQ(second->payload[1],
+            static_cast<uint8_t>(WireCode::kOverloaded));
+  EXPECT_TRUE(IsRetryableWireCode(
+      static_cast<WireCode>(second->payload[1])));
+  // The connection keeps serving once the window has room again.
+  const std::vector<uint8_t> again = TaggedPing(3);
+  ASSERT_TRUE(SendAll(fd_result->get(), again.data(), again.size()).ok());
+  auto third = ReadTaggedFrame(fd_result->get(), 2000);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->payload[1], static_cast<uint8_t>(WireCode::kOk));
 }
 
 TEST_F(CorruptionMatrixTest, GarbageByteStormNeverCrashes) {

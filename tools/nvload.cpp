@@ -16,9 +16,17 @@
 //   --scan-limit=N       read row cap                        [4]
 //   --seed=N             rng seed                            [42]
 //   --table=NAME         target table                        [kv]
+//   --pipeline=DEPTH     requests in flight per connection   [1]
+//   --protocol=V         max wire version to offer (1 or 2)  [2]
 //   --create-schema      create table+index and preload keys first
 //   --ramp=R1,R2,...     run once per rate in the list (same conns)
 //   --timeline           print per-second latency timeline lines
+//
+// --pipeline DEPTH > 1 needs wire v2 (tagged frames): each connection
+// keeps up to DEPTH requests outstanding, writes become one-frame
+// kDmlBatch autocommit ops, and one socket amortises syscalls and group
+// commits across the window. --protocol=1 forces legacy framing
+// (v1-compat runs against a v2 server).
 //
 // The schedule is open-loop: operation i is *due* at start + i/rate no
 // matter how the server behaves, and latency is measured from that
@@ -72,7 +80,8 @@ int Usage() {
       "usage: nvload --port=N [--host=ADDR] [--connections=N] [--rate=N] "
       "[--duration-s=N] [--warmup-s=N] [--read-pct=F] [--keys=N] "
       "[--theta=F] [--value-bytes=N] [--scan-limit=N] [--seed=N] "
-      "[--table=NAME] [--create-schema] [--ramp=R1,R2,...] [--timeline]\n");
+      "[--table=NAME] [--pipeline=DEPTH] [--protocol=V] [--create-schema] "
+      "[--ramp=R1,R2,...] [--timeline]\n");
   return 1;
 }
 
@@ -121,18 +130,23 @@ void PrintReport(const net::LoadgenOptions& options,
                  bool timeline) {
   std::printf(
       "BENCH_JSON {\"bench\":\"nvload\",\"phase\":%d,"
-      "\"connections\":%d,\"rate_rps\":%.0f,\"duration_s\":%.1f,"
+      "\"connections\":%d,\"depth\":%d,\"protocol\":%u,"
+      "\"rate_rps\":%.0f,\"duration_s\":%.1f,"
       "\"read_pct\":%.2f,\"ops_offered\":%" PRIu64
       ",\"ops_completed\":%" PRIu64 ",\"tput_rps\":%.1f,"
+      "\"capacity_rps\":%.1f,"
       "\"p50_us\":%.1f,\"p99_us\":%.1f,\"p999_us\":%.1f,"
       "\"max_us\":%.1f,\"mean_us\":%.1f,\"errors\":%" PRIu64
       ",\"shed\":%" PRIu64 ",\"protocol_errors\":%" PRIu64
       ",\"abandoned\":%" PRIu64 ",\"backlog_peak\":%" PRIu64 "}\n",
-      phase, options.connections, options.rate_rps, options.duration_s,
-      options.read_pct, report.ops_offered, report.ops_completed,
-      report.tput_rps, report.p50_us, report.p99_us, report.p999_us,
-      report.max_us, report.mean_us, report.errors, report.shed,
-      report.protocol_errors, report.abandoned, report.backlog_peak);
+      phase, options.connections, options.pipeline_depth,
+      static_cast<unsigned>(options.protocol_max), options.rate_rps,
+      options.duration_s, options.read_pct, report.ops_offered,
+      report.ops_completed, report.tput_rps, report.capacity_rps,
+      report.p50_us, report.p99_us,
+      report.p999_us, report.max_us, report.mean_us, report.errors,
+      report.shed, report.protocol_errors, report.abandoned,
+      report.backlog_peak);
   if (timeline) {
     for (size_t second = 0; second < report.timeline.size(); ++second) {
       const net::LoadgenTimelineBucket& bucket = report.timeline[second];
@@ -187,6 +201,10 @@ int main(int argc, char** argv) {
       options.scan_limit = static_cast<uint32_t>(n);
     } else if (ParseFlag(arg, "--seed", &n)) {
       options.seed = static_cast<uint64_t>(n);
+    } else if (ParseFlag(arg, "--pipeline", &n)) {
+      options.pipeline_depth = static_cast<int>(n);
+    } else if (ParseFlag(arg, "--protocol", &n)) {
+      options.protocol_max = static_cast<uint16_t>(n);
     } else if (std::strcmp(arg, "--create-schema") == 0) {
       create_schema = true;
     } else if (std::strcmp(arg, "--timeline") == 0) {

@@ -16,6 +16,12 @@
 //   create-table NAME COL:TYPE [COL:TYPE...]     TYPE = int|double|string
 //   create-index TABLE COLUMN [hash|skiplist]
 //   insert TABLE V1 [V2...]          (autocommit)
+//   batch-insert TABLE ROW [ROW...]  each ROW is V1,V2,... — all rows go
+//                                    out as ONE wire-v2 dml_batch frame,
+//                                    applied atomically under a single
+//                                    commit (one fsync for the lot)
+//   protocol                         negotiated wire version, pipeline
+//                                    window, server mode, session id
 //   count TABLE
 //   scan TABLE COLUMN VALUE [LIMIT]
 //   range TABLE COLUMN LO HI [LIMIT]
@@ -64,6 +70,7 @@ int Usage() {
                "          create-table NAME COL:TYPE...\n"
                "          create-index TABLE COLUMN [hash|skiplist]\n"
                "          insert TABLE V1 [V2...]\n"
+               "          batch-insert TABLE V1,V2 [V1,V2...] | protocol\n"
                "          count TABLE | scan TABLE COL VALUE [LIMIT] |\n"
                "          range TABLE COL LO HI [LIMIT]\n"
                     "          begin | commit | abort (script mode)\n"
@@ -297,6 +304,40 @@ int RunCommand(net::Client& client, const std::vector<std::string>& args,
     std::printf("inserted at %s:%llu\n",
                 loc_result->in_main ? "main" : "delta",
                 static_cast<unsigned long long>(loc_result->row));
+    return 0;
+  }
+  if (cmd == "protocol") {
+    std::printf("protocol v%u window %u mode %u session %llu\n",
+                client.protocol_version(), client.pipeline_window(),
+                client.server_mode(),
+                static_cast<unsigned long long>(client.session_id()));
+    return 0;
+  }
+  if (cmd == "batch-insert" && args.size() >= 3) {
+    std::vector<net::Client::DmlOp> ops;
+    for (size_t a = 2; a < args.size(); ++a) {
+      net::Client::DmlOp op;
+      op.kind = net::Client::DmlOp::kInsert;
+      op.table = args[1];
+      const std::string& row_text = args[a];
+      size_t pos = 0;
+      while (pos <= row_text.size()) {
+        size_t comma = row_text.find(',', pos);
+        if (comma == std::string::npos) comma = row_text.size();
+        op.row.push_back(ParseValue(row_text.substr(pos, comma - pos)));
+        pos = comma + 1;
+      }
+      ops.push_back(std::move(op));
+    }
+    auto batch_result = client.DmlBatch(ops);
+    if (!batch_result.ok()) return fail(batch_result.status());
+    for (const storage::RowLocation& loc : batch_result->locs) {
+      std::printf("inserted at %s:%llu\n", loc.in_main ? "main" : "delta",
+                  static_cast<unsigned long long>(loc.row));
+    }
+    std::printf("batch committed cid=%llu (%zu row(s), one frame)\n",
+                static_cast<unsigned long long>(batch_result->cid),
+                batch_result->locs.size());
     return 0;
   }
   if (cmd == "count" && args.size() >= 2) {
